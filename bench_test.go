@@ -1,0 +1,241 @@
+package verdictdb_test
+
+// Benchmarks regenerating the paper's tables and figures via testing.B.
+// Each benchmark corresponds to one experiment in DESIGN.md's index; the
+// full paper-shaped output comes from cmd/benchrunner, these give
+// -benchmem-style measurements of the same code paths.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	verdictdb "verdictdb"
+	"verdictdb/internal/bench"
+	"verdictdb/internal/core"
+	"verdictdb/internal/meta"
+	"verdictdb/internal/stats"
+	"verdictdb/internal/workload"
+)
+
+var benchCfg = bench.Config{TPCHScale: 0.05, InstaScale: 0.05, Seed: 42}
+
+func tpchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	env, err := bench.NewTPCHEnv(benchCfg, bench.DriverByName("generic"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func instaEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	env, err := bench.NewInstaEnv(benchCfg, bench.DriverByName("generic"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func queryByID(b *testing.B, id string) workload.Query {
+	b.Helper()
+	for _, q := range workload.AllQueries() {
+		if q.ID == id {
+			return q
+		}
+	}
+	b.Fatalf("no query %s", id)
+	return workload.Query{}
+}
+
+// --- Figures 4 and 9 (E1): exact vs approximate latency per engine ------
+
+func benchQuery(b *testing.B, env *bench.Env, sql string, bypass bool) {
+	b.Helper()
+	if bypass {
+		sql = "bypass " + sql
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Conn.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_TQ1_Exact(b *testing.B) { benchQuery(b, tpchEnv(b), queryByID(b, "tq-1").SQL, true) }
+func BenchmarkFig4_TQ1_Approx(b *testing.B) {
+	benchQuery(b, tpchEnv(b), queryByID(b, "tq-1").SQL, false)
+}
+func BenchmarkFig4_TQ6_Exact(b *testing.B) { benchQuery(b, tpchEnv(b), queryByID(b, "tq-6").SQL, true) }
+func BenchmarkFig4_TQ6_Approx(b *testing.B) {
+	benchQuery(b, tpchEnv(b), queryByID(b, "tq-6").SQL, false)
+}
+func BenchmarkFig4_TQ14_Exact(b *testing.B) {
+	benchQuery(b, tpchEnv(b), queryByID(b, "tq-14").SQL, true)
+}
+func BenchmarkFig4_TQ14_Approx(b *testing.B) {
+	benchQuery(b, tpchEnv(b), queryByID(b, "tq-14").SQL, false)
+}
+func BenchmarkFig4_IQ7_Exact(b *testing.B) {
+	benchQuery(b, instaEnv(b), queryByID(b, "iq-7").SQL, true)
+}
+func BenchmarkFig4_IQ7_Approx(b *testing.B) {
+	benchQuery(b, instaEnv(b), queryByID(b, "iq-7").SQL, false)
+}
+
+// --- Figure 5 (E3): speedup growth with data size ------------------------
+
+func BenchmarkFig5_Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.ScalingExperiment(io.Discard, []float64{0.02, 0.05}, 1000, 42); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6 (E4): integrated AQP vs VerdictDB --------------------------
+
+func BenchmarkFig6_Snappy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.SnappyExperiment(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2 (E5): native approximate aggregates -------------------------
+
+func BenchmarkTable2_Native(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.NativeExperiment(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7 (E6): error-estimation method overhead ---------------------
+
+func benchEstimatorMethod(b *testing.B, method core.ErrorMethod, sql string) {
+	env, err := bench.NewInstaEnv(benchCfg, bench.DriverByName("generic"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := verdictdb.Defaults()
+	opts.Method = method
+	cat, err := meta.Open(env.DB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mw := core.New(env.DB, cat, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := mw.Query(sql)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !a.Approximate {
+			b.Fatalf("not approximated: %v", a.Status)
+		}
+	}
+}
+
+const fig7FlatSQL = "select order_dow, count(*) as c, avg(days_since_prior) as g from orders group by order_dow"
+
+func BenchmarkFig7_Flat_NoError(b *testing.B) {
+	benchEstimatorMethod(b, core.MethodNone, fig7FlatSQL)
+}
+func BenchmarkFig7_Flat_Variational(b *testing.B) {
+	benchEstimatorMethod(b, core.MethodVariational, fig7FlatSQL)
+}
+func BenchmarkFig7_Flat_TraditionalSubsampling(b *testing.B) {
+	benchEstimatorMethod(b, core.MethodTraditionalSubsampling, fig7FlatSQL)
+}
+func BenchmarkFig7_Flat_ConsolidatedBootstrap(b *testing.B) {
+	benchEstimatorMethod(b, core.MethodConsolidatedBootstrap, fig7FlatSQL)
+}
+
+// --- Figure 8 (E7/E8): correctness sweeps --------------------------------
+
+func BenchmarkFig8a_Selectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.CorrectnessSelectivity(io.Discard, 1_000_000, 10_000, 20, 42)
+	}
+}
+
+func BenchmarkFig8b_SampleSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.CorrectnessSampleSize(io.Discard, []int{100_000}, 3, 100, 42)
+	}
+}
+
+// --- Figure 11 (E9): sample preparation ----------------------------------
+
+func BenchmarkFig11_Prep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.PrepExperiment(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figures 12-14 (E10-E12): estimator micro-benchmarks ----------------
+
+func BenchmarkFig12_Bootstrap_n100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := gaussian(100_000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.BootstrapInterval(stats.EstimateAvg, xs, 0, 0.95, 100, rng)
+	}
+}
+
+func BenchmarkFig12_TraditionalSubsampling_n100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := gaussian(100_000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.SubsamplingInterval(stats.EstimateAvg, xs, 0, 0.95, 100, 316, rng)
+	}
+}
+
+func BenchmarkFig12_Variational_n100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := gaussian(100_000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.VariationalInterval(stats.EstimateAvg, xs, 0, 0.95, 316, 316, rng)
+	}
+}
+
+func BenchmarkFig13_Variational_b500(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := gaussian(1_000_000, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats.VariationalInterval(stats.EstimateAvg, xs, 0, 0.95, 500, 2000, rng)
+	}
+}
+
+func BenchmarkFig14_NsSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.NsSweep(io.Discard, 100_000, 2, 42)
+	}
+}
+
+// --- Lemma 1 (E14): staircase computation --------------------------------
+
+func BenchmarkLemma1_Staircase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		stats.Staircase(100, 10_000_000, 0.001, 16)
+	}
+}
+
+func gaussian(n int, rng *rand.Rand) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 10 + 10*rng.NormFloat64()
+	}
+	return xs
+}

@@ -1,0 +1,133 @@
+// benchrunner regenerates every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	benchrunner -exp all
+//	benchrunner -exp speedup -engine redshift
+//	benchrunner -exp estimators -tpch 0.2 -insta 0.2
+//
+// Experiments (DESIGN.md experiment index):
+//
+//	speedup      Figures 4, 9, 10 (per-query speedups and errors; -engine)
+//	scaling      Figure 5  (speedup vs data size, fixed sample)
+//	snappy       Figure 6  (integrated AQP comparison)
+//	native       Table 2   (native approximate aggregates)
+//	estimators   Figure 7  (error-estimation method overheads)
+//	correctness  Figure 8a/8b (error-estimate calibration)
+//	prep         Figure 11 (sample preparation time)
+//	tradeoff-n   Figure 12 (accuracy/latency vs n)
+//	tradeoff-b   Figure 13 (accuracy/latency vs b)
+//	ns-sweep     Figure 14 (subsample-size choice)
+//	ablation     design-choice ablations (sample type, Lemma 1 delta, top-k)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"verdictdb/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see doc comment)")
+	engineName := flag.String("engine", "all", "engine for speedup: impala|sparksql|redshift|generic|all")
+	tpchScale := flag.Float64("tpch", 0, "TPC-H scale override (1.0 = 600k lineitem)")
+	instaScale := flag.Float64("insta", 0, "insta scale override (1.0 = 1M order_products)")
+	trials := flag.Int("trials", 200, "Monte Carlo trials for correctness experiments")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Seed = *seed
+	if *tpchScale > 0 {
+		cfg.TPCHScale = *tpchScale
+	}
+	if *instaScale > 0 {
+		cfg.InstaScale = *instaScale
+	}
+
+	w := os.Stdout
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Fprintf(w, "\n================ %s ================\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("speedup", func() error {
+		engines := []string{"redshift", "sparksql", "impala"}
+		if *engineName != "all" {
+			engines = []string{*engineName}
+		}
+		for _, e := range engines {
+			if _, err := bench.SpeedupExperiment(w, cfg, e); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	})
+	run("scaling", func() error {
+		_, err := bench.ScalingExperiment(w, []float64{0.02, 0.1, 0.4, 1.0}, 6000, cfg.Seed)
+		return err
+	})
+	run("snappy", func() error {
+		_, err := bench.SnappyExperiment(w, cfg)
+		return err
+	})
+	run("native", func() error {
+		_, err := bench.NativeExperiment(w, cfg)
+		return err
+	})
+	run("estimators", func() error {
+		_, err := bench.EstimatorOverheadExperiment(w, cfg)
+		return err
+	})
+	run("correctness", func() error {
+		bench.CorrectnessSelectivity(w, 1_000_000, 10_000, *trials, cfg.Seed)
+		fmt.Fprintln(w)
+		bench.CorrectnessSampleSize(w, []int{100_000, 1_000_000, 10_000_000},
+			maxInt(4, *trials/20), 100, cfg.Seed)
+		return nil
+	})
+	run("prep", func() error {
+		_, err := bench.PrepExperiment(w, cfg)
+		return err
+	})
+	run("tradeoff-n", func() error {
+		bench.TradeoffN(w, []int{10_000, 20_000, 40_000, 60_000, 80_000, 100_000},
+			maxInt(3, *trials/20), 1000, cfg.Seed)
+		return nil
+	})
+	run("tradeoff-b", func() error {
+		bench.TradeoffB(w, 1_000_000, []int{10, 20, 50, 100, 200, 500},
+			maxInt(3, *trials/40), cfg.Seed)
+		return nil
+	})
+	run("ns-sweep", func() error {
+		bench.NsSweep(w, 500_000, maxInt(5, *trials/10), cfg.Seed)
+		return nil
+	})
+	run("ablation", func() error {
+		if _, err := bench.AblationSampleType(w, cfg.Seed); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		bench.AblationStaircase(w, maxInt(500, *trials*5), cfg.Seed)
+		fmt.Fprintln(w)
+		_, err := bench.AblationPlannerTopK(w, cfg)
+		return err
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+// dbgen generates the benchmark datasets as CSV files, one file per table,
+// so they can be loaded into any external system for comparison.
+//
+// Usage:
+//
+//	dbgen -dataset tpch -scale 0.5 -out ./data
+//	dbgen -dataset insta -scale 1.0 -out ./data
+//	dbgen -dataset synthetic -rows 1000000 -out ./data
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "tpch", "tpch|insta|synthetic")
+	scale := flag.Float64("scale", 0.1, "scale factor (tpch/insta)")
+	rows := flag.Int("rows", 1_000_000, "row count (synthetic)")
+	out := flag.String("out", ".", "output directory")
+	seed := flag.Int64("seed", 42, "random seed")
+	flag.Parse()
+
+	eng := engine.NewSeeded(*seed)
+	var err error
+	switch *dataset {
+	case "tpch":
+		err = workload.LoadTPCH(eng, *scale, *seed)
+	case "insta":
+		err = workload.LoadInsta(eng, *scale, *seed)
+	case "synthetic":
+		err = workload.LoadSynthetic(eng, *rows, *seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, name := range eng.TableNames() {
+		if err := dumpTable(eng, name, *out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func dumpTable(eng *engine.Engine, name, dir string) error {
+	t, err := eng.Lookup(name)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		header[i] = c.Name
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Cols))
+	for _, row := range t.Rows {
+		for i, v := range row {
+			rec[i] = engine.ToStr(v)
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

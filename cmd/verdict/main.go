@@ -1,0 +1,146 @@
+// verdict is an interactive SQL shell over VerdictDB: it loads one of the
+// bundled datasets into the in-memory engine, builds default samples, and
+// answers queries approximately, printing error bars for aggregate columns.
+//
+// Usage:
+//
+//	verdict -dataset insta -scale 0.2
+//	> select order_dow, count(*) c from orders group by order_dow;
+//	> show samples;
+//	> explain select count(*) from orders;  -- show the AQP plan
+//	> bypass select count(*) from orders;   -- exact
+//	> \q
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	verdictdb "verdictdb"
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "insta", "dataset to load: insta|tpch|none")
+	scale := flag.Float64("scale", 0.1, "dataset scale factor")
+	autoSample := flag.Bool("autosample", true, "build default samples after loading")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	eng := engine.NewSeeded(*seed)
+	switch *dataset {
+	case "insta":
+		fmt.Printf("loading insta dataset at scale %.2f...\n", *scale)
+		if err := workload.LoadInsta(eng, *scale, *seed); err != nil {
+			fatal(err)
+		}
+	case "tpch":
+		fmt.Printf("loading tpch dataset at scale %.2f...\n", *scale)
+		if err := workload.LoadTPCH(eng, *scale, *seed); err != nil {
+			fatal(err)
+		}
+	case "none":
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+
+	conn, err := verdictdb.Open(drivers.NewGeneric(eng), verdictdb.Defaults())
+	if err != nil {
+		fatal(err)
+	}
+	if *autoSample && *dataset != "none" {
+		fmt.Println("building samples...")
+		tables := workload.InstaFactTables
+		if *dataset == "tpch" {
+			tables = workload.TPCHFactTables
+		}
+		for _, tbl := range tables {
+			if err := conn.Exec(fmt.Sprintf("create uniform sample of %s ratio 0.01", tbl)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Println("ready. Terminate statements with ';'. \\q quits.")
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("verdict> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || trimmed == "exit" || trimmed == "quit" {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+		if !strings.Contains(line, ";") {
+			fmt.Print("      -> ")
+			continue
+		}
+		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if sql != "" {
+			runOne(conn, sql)
+		}
+		fmt.Print("verdict> ")
+	}
+}
+
+func runOne(conn *verdictdb.Conn, sql string) {
+	start := time.Now()
+	a, err := conn.Query(sql)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if len(a.Cols) == 0 {
+		fmt.Printf("ok (%v)\n", elapsed.Round(time.Microsecond))
+		return
+	}
+	// Header.
+	for _, c := range a.Cols {
+		fmt.Printf("%-18s", c)
+	}
+	fmt.Println()
+	limit := len(a.Rows)
+	if limit > 50 {
+		limit = 50
+	}
+	for r := 0; r < limit; r++ {
+		for c := range a.Cols {
+			cell := fmt.Sprintf("%v", a.Rows[r][c])
+			if f, ok := engine.ToFloat(a.Rows[r][c]); ok && f != math.Trunc(f) {
+				cell = fmt.Sprintf("%.3f", f)
+			}
+			if lo, hi, ok := a.ConfidenceInterval(r, c); ok {
+				cell += fmt.Sprintf("±%.3g", (hi-lo)/2)
+			}
+			fmt.Printf("%-18s", cell)
+		}
+		fmt.Println()
+	}
+	if len(a.Rows) > limit {
+		fmt.Printf("... (%d rows total)\n", len(a.Rows))
+	}
+	mode := "exact"
+	if a.Approximate {
+		mode = "approximate (samples: " + strings.Join(a.SampleTables, ", ") + ")"
+	} else if a.Status != 0 {
+		mode = "exact [" + a.Status.String() + "]"
+	}
+	fmt.Printf("%d rows, %v, %s\n", len(a.Rows), elapsed.Round(time.Microsecond), mode)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Quickstart: load a table, build a sample, and compare an approximate
+// answer (with confidence intervals) against the exact one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	verdictdb "verdictdb"
+	"verdictdb/internal/engine"
+)
+
+func main() {
+	// 1. Open VerdictDB over a fresh in-memory engine (any drivers.DB
+	// works: the middleware only ever sends SQL).
+	conn, eng, err := verdictdb.OpenInMemory(42, verdictdb.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Load a million-row sales table.
+	if err := eng.CreateTable("sales", []engine.Column{
+		{Name: "region", Type: engine.TString},
+		{Name: "amount", Type: engine.TFloat},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	regions := []string{"east", "west", "north", "south"}
+	rows := make([][]engine.Value, 0, 1_000_000)
+	for i := 0; i < 1_000_000; i++ {
+		rows = append(rows, []engine.Value{
+			regions[rng.Intn(len(regions))],
+			50 + 20*rng.NormFloat64(),
+		})
+	}
+	if err := eng.InsertRows("sales", rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Build a 1% uniform sample — one SQL statement under the hood.
+	if err := conn.Exec("create uniform sample of sales ratio 0.01"); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Ask an aggregate question. VerdictDB rewrites it against the
+	// sample and estimates the error with variational subsampling.
+	query := "select region, count(*) as orders, sum(amount) as revenue from sales group by region order by region"
+	approx, err := conn.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := conn.Query("bypass " + query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("approximate answer (scanned %d rows instead of %d):\n",
+		approx.RowsScanned, exact.RowsScanned)
+	fmt.Printf("%-8s %14s %20s %16s\n", "region", "orders(approx)", "revenue(approx)", "revenue(exact)")
+	for i := range approx.Rows {
+		lo, hi, _ := approx.ConfidenceInterval(i, 2)
+		fmt.Printf("%-8s %14.0f %11.0f ±%6.0f %16.0f\n",
+			approx.Rows[i][0],
+			approx.Float(i, "orders"),
+			approx.Float(i, "revenue"), (hi-lo)/2,
+			exact.Float(i, "revenue"))
+	}
+	fmt.Printf("\nsamples used: %v\n", approx.SampleTables)
+	fmt.Printf("worst relative error at 95%% confidence: %.2f%%\n", 100*approx.MaxRelativeError())
+}

@@ -1,0 +1,71 @@
+// TPC-H speedups: runs a subset of the paper's tq-* queries exactly and
+// approximately on each simulated engine dialect (Impala, Spark SQL,
+// Redshift), printing the per-query speedups — a miniature Figure 4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	verdictdb "verdictdb"
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+func main() {
+	const scale = 0.3 // 180k lineitem rows
+
+	for _, mk := range []struct {
+		name string
+		make func(*engine.Engine) *drivers.Driver
+	}{
+		{"redshift", drivers.NewRedshift},
+		{"sparksql", drivers.NewSparkSQL},
+		{"impala", drivers.NewImpala},
+	} {
+		eng := engine.NewSeeded(11)
+		if err := workload.LoadTPCH(eng, scale, 11); err != nil {
+			log.Fatal(err)
+		}
+		conn, err := verdictdb.Open(mk.make(eng), verdictdb.Defaults())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, stmt := range []string{
+			"create uniform sample of lineitem ratio 0.01",
+			"create stratified sample of lineitem on (l_returnflag, l_linestatus) ratio 0.01",
+			"create uniform sample of orders ratio 0.01",
+			"create hashed sample of partsupp on (ps_suppkey) ratio 0.01",
+		} {
+			if err := conn.Exec(stmt); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		fmt.Printf("\n=== engine: %s ===\n", mk.name)
+		fmt.Printf("%-7s %12s %12s %9s %8s\n", "query", "exact", "approx", "speedup", "approx?")
+		for _, q := range workload.TPCHQueries {
+			switch q.ID {
+			case "tq-1", "tq-6", "tq-12", "tq-14", "tq-18", "tq-19":
+			default:
+				continue // keep the example fast; benchrunner runs all 33
+			}
+			exactStart := time.Now()
+			if _, err := conn.Query("bypass " + q.SQL); err != nil {
+				log.Fatalf("%s exact: %v", q.ID, err)
+			}
+			exactDur := time.Since(exactStart)
+
+			a, err := conn.Query(q.SQL)
+			if err != nil {
+				log.Fatalf("%s approx: %v", q.ID, err)
+			}
+			approxDur := time.Duration(a.ElapsedNanos)
+			fmt.Printf("%-7s %12v %12v %8.1fx %8v\n",
+				q.ID, exactDur.Round(time.Microsecond), approxDur.Round(time.Microsecond),
+				float64(exactDur)/float64(approxDur), a.Approximate)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"verdictdb/internal/engine"
+	"verdictdb/internal/sketch"
+)
+
+// NativeApprox models the built-in approximate aggregates of commercial
+// engines compared in Table 2: Impala's ndv (HyperLogLog) and Redshift's
+// approximate percentile. Their defining property is a full scan feeding a
+// bounded sketch — cheap in memory, expensive in I/O.
+type NativeApprox struct {
+	eng *engine.Engine
+}
+
+// NewNativeApprox wraps an engine.
+func NewNativeApprox(e *engine.Engine) *NativeApprox {
+	return &NativeApprox{eng: e}
+}
+
+// NDV estimates count-distinct of a column with HyperLogLog over a full
+// table scan, returning the estimate, rows scanned, and elapsed time.
+func (n *NativeApprox) NDV(table, column string) (float64, int64, time.Duration, error) {
+	start := time.Now()
+	t, err := n.eng.Lookup(table)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ci := t.ColIndex(column)
+	if ci < 0 {
+		return 0, 0, 0, fmt.Errorf("baselines: no column %s.%s", table, column)
+	}
+	h := sketch.NewHLL(12)
+	for _, row := range t.Rows {
+		if row[ci] == nil {
+			continue
+		}
+		h.AddString(engine.GroupKey(row[ci]))
+	}
+	return h.Estimate(), int64(len(t.Rows)), time.Since(start), nil
+}
+
+// ApproxMedian estimates the median of a column with a reservoir quantile
+// sketch over a full table scan.
+func (n *NativeApprox) ApproxMedian(table, column string) (float64, int64, time.Duration, error) {
+	start := time.Now()
+	t, err := n.eng.Lookup(table)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	ci := t.ColIndex(column)
+	if ci < 0 {
+		return 0, 0, 0, fmt.Errorf("baselines: no column %s.%s", table, column)
+	}
+	qs := sketch.NewQuantileSketch(4096, 17)
+	for _, row := range t.Rows {
+		f, ok := engine.ToFloat(row[ci])
+		if !ok {
+			continue
+		}
+		qs.Add(f)
+	}
+	return qs.Median(), int64(len(t.Rows)), time.Since(start), nil
+}

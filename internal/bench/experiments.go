@@ -1,0 +1,738 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	verdictdb "verdictdb"
+	"verdictdb/internal/baselines"
+	"verdictdb/internal/core"
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/meta"
+	"verdictdb/internal/sampling"
+	"verdictdb/internal/stats"
+	"verdictdb/internal/workload"
+)
+
+// DriverByName returns the simulated engine constructor for a name.
+func DriverByName(name string) func(*engine.Engine) *drivers.Driver {
+	switch name {
+	case "impala":
+		return drivers.NewImpala
+	case "sparksql", "spark":
+		return drivers.NewSparkSQL
+	case "redshift":
+		return drivers.NewRedshift
+	}
+	return drivers.NewGeneric
+}
+
+// ---------------------------------------------------------------------------
+// E1 + E2: Figures 4, 9, 10 — per-query speedups and actual errors.
+// ---------------------------------------------------------------------------
+
+// SpeedupExperiment runs all 33 benchmark queries on one engine and prints
+// per-query speedups (Figures 4 and 9) and true relative errors (Figure 10).
+func SpeedupExperiment(w io.Writer, cfg Config, driverName string) ([]QueryResult, error) {
+	mk := DriverByName(driverName)
+	tpch, err := NewTPCHEnv(cfg, mk)
+	if err != nil {
+		return nil, err
+	}
+	insta, err := NewInstaEnv(cfg, mk)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "## Figure 4/9 (%s): per-query speedup; Figure 10: actual relative error\n", driverName)
+	fmt.Fprintf(w, "%-7s %12s %12s %9s %9s %9s\n", "query", "exact", "approx", "speedup", "approx?", "rel.err")
+	var out []QueryResult
+	run := func(env *Env, queries []workload.Query) error {
+		for _, q := range queries {
+			res, err := RunQueryPair(env, q)
+			if err != nil {
+				return err
+			}
+			out = append(out, res)
+			fmt.Fprintf(w, "%-7s %12v %12v %8.2fx %9v %8.2f%%\n",
+				res.ID, res.ExactTime.Round(time.Microsecond), res.ApproxTime.Round(time.Microsecond),
+				res.Speedup, res.Approximate, 100*res.MaxRelErrTrue)
+		}
+		return nil
+	}
+	if err := run(tpch, workload.TPCHQueries); err != nil {
+		return nil, err
+	}
+	if err := run(insta, workload.InstaQueries); err != nil {
+		return nil, err
+	}
+	// Summary row (the paper reports per-engine averages).
+	var sum float64
+	var maxS float64
+	n := 0
+	for _, r := range out {
+		if r.Approximate {
+			sum += r.Speedup
+			if r.Speedup > maxS {
+				maxS = r.Speedup
+			}
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(w, "average speedup over %d approximated queries: %.2fx (max %.2fx)\n", n, sum/float64(n), maxS)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E3: Figure 5 — speedup vs data size at fixed sample size.
+// ---------------------------------------------------------------------------
+
+// ScalingResult is one point of Figure 5.
+type ScalingResult struct {
+	Scale   float64
+	Rows    int
+	Speedup map[string]float64 // query id -> speedup
+}
+
+// ScalingExperiment fixes the sample size and grows the base data,
+// reproducing Figure 5's rising speedup curves for tq-6 and tq-14.
+func ScalingExperiment(w io.Writer, scales []float64, fixedSampleRows int64, seed int64) ([]ScalingResult, error) {
+	fmt.Fprintf(w, "## Figure 5: speedup vs original data size (sample fixed at ~%d rows)\n", fixedSampleRows)
+	fmt.Fprintf(w, "%-10s %12s %10s %10s\n", "scale", "lineitem", "tq-6", "tq-14")
+	queries := map[string]workload.Query{}
+	for _, q := range workload.TPCHQueries {
+		if q.ID == "tq-6" || q.ID == "tq-14" {
+			queries[q.ID] = q
+		}
+	}
+	var out []ScalingResult
+	for _, scale := range scales {
+		eng := engine.NewSeeded(seed)
+		if err := workload.LoadTPCH(eng, scale, seed); err != nil {
+			return nil, err
+		}
+		db := drivers.NewGeneric(eng)
+		conn, err := verdictdb.Open(db, verdictdb.Defaults())
+		if err != nil {
+			return nil, err
+		}
+		n := eng.RowCount("lineitem")
+		ratio := float64(fixedSampleRows) / float64(n)
+		if ratio > 1 {
+			ratio = 1
+		}
+		if _, err := conn.CreateUniformSample("lineitem", ratio); err != nil {
+			return nil, err
+		}
+		res := ScalingResult{Scale: scale, Rows: n, Speedup: map[string]float64{}}
+		env := &Env{Eng: eng, Conn: conn, DB: db}
+		for id, q := range queries {
+			qr, err := RunQueryPair(env, q)
+			if err != nil {
+				return nil, err
+			}
+			res.Speedup[id] = qr.Speedup
+		}
+		out = append(out, res)
+		fmt.Fprintf(w, "%-10.2f %12d %9.2fx %9.2fx\n", scale, n, res.Speedup["tq-6"], res.Speedup["tq-14"])
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E4: Figure 6 — VerdictDB vs tightly-integrated AQP (SnappyData).
+// ---------------------------------------------------------------------------
+
+// SnappyResult is one Figure 6 bar pair.
+type SnappyResult struct {
+	ID            string
+	SnappyTime    time.Duration
+	VerdictTime   time.Duration
+	JoinOfSamples bool
+}
+
+// SnappyExperiment compares VerdictDB to the integrated baseline. The
+// paper's finding: comparable on flat queries, VerdictDB faster on queries
+// joining two samples (SnappyData falls back to base tables there).
+func SnappyExperiment(w io.Writer, cfg Config) ([]SnappyResult, error) {
+	env, err := NewInstaEnv(cfg, drivers.NewGeneric)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := meta.Open(env.DB)
+	if err != nil {
+		return nil, err
+	}
+	snappy, err := baselines.NewSnappy(env.DB, cat)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "## Figure 6: integrated AQP (SnappyData-like) vs VerdictDB\n")
+	fmt.Fprintf(w, "%-7s %14s %14s %12s\n", "query", "snappy", "verdictdb", "sample-join?")
+	var out []SnappyResult
+	for _, q := range workload.InstaQueries {
+		sStart := time.Now()
+		if _, err := snappy.Query(q.SQL); err != nil {
+			return nil, fmt.Errorf("snappy %s: %w", q.ID, err)
+		}
+		sDur := time.Since(sStart)
+		a, err := env.Conn.Query(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("verdict %s: %w", q.ID, err)
+		}
+		vDur := time.Duration(a.ElapsedNanos)
+		joins := len(a.SampleTables) > 1
+		out = append(out, SnappyResult{ID: q.ID, SnappyTime: sDur, VerdictTime: vDur, JoinOfSamples: joins})
+		fmt.Fprintf(w, "%-7s %14v %14v %12v\n", q.ID,
+			sDur.Round(time.Microsecond), vDur.Round(time.Microsecond), joins)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E5: Table 2 — sampling-based AQP vs native approximate aggregates.
+// ---------------------------------------------------------------------------
+
+// NativeResult is one Table 2 cell pair.
+type NativeResult struct {
+	Metric      string
+	VerdictTime time.Duration
+	VerdictErr  float64
+	NativeTime  time.Duration
+	NativeErr   float64
+}
+
+// NativeExperiment reproduces Table 2: approximate count-distinct and
+// median via VerdictDB's samples vs native full-scan sketches.
+func NativeExperiment(w io.Writer, cfg Config) ([]NativeResult, error) {
+	env, err := NewInstaEnv(cfg, drivers.NewGeneric)
+	if err != nil {
+		return nil, err
+	}
+	d := env.DB.(*drivers.Driver)
+	native := baselines.NewNativeApprox(d.Engine())
+
+	exactUsers, err := env.Conn.Query("bypass select count(distinct user_id) as d from orders")
+	if err != nil {
+		return nil, err
+	}
+	trueD := exactUsers.Float(0, "d")
+	exactMed, err := env.Conn.Query("bypass select percentile(price, 0.5) as m from order_products")
+	if err != nil {
+		return nil, err
+	}
+	trueM := exactMed.Float(0, "m")
+
+	var out []NativeResult
+
+	// count-distinct.
+	a, err := env.Conn.Query("select count(distinct user_id) as d from orders")
+	if err != nil {
+		return nil, err
+	}
+	ndv, _, nTime, err := native.NDV("orders", "user_id")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, NativeResult{
+		Metric:      "count-distinct",
+		VerdictTime: time.Duration(a.ElapsedNanos),
+		VerdictErr:  abs(a.Float(0, "d")-trueD) / trueD,
+		NativeTime:  nTime,
+		NativeErr:   abs(ndv-trueD) / trueD,
+	})
+
+	// median.
+	a2, err := env.Conn.Query("select percentile(price, 0.5) as m from order_products")
+	if err != nil {
+		return nil, err
+	}
+	med, _, mTime, err := native.ApproxMedian("order_products", "price")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, NativeResult{
+		Metric:      "median",
+		VerdictTime: time.Duration(a2.ElapsedNanos),
+		VerdictErr:  abs(a2.Float(0, "m")-trueM) / trueM,
+		NativeTime:  mTime,
+		NativeErr:   abs(med-trueM) / trueM,
+	})
+
+	fmt.Fprintf(w, "## Table 2: sampling-based AQP vs native approximation\n")
+	fmt.Fprintf(w, "%-16s %14s %10s %14s %10s\n", "metric", "verdict", "err", "native", "err")
+	for _, r := range out {
+		fmt.Fprintf(w, "%-16s %14v %9.2f%% %14v %9.2f%%\n", r.Metric,
+			r.VerdictTime.Round(time.Microsecond), 100*r.VerdictErr,
+			r.NativeTime.Round(time.Microsecond), 100*r.NativeErr)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E6: Figure 7 — runtime of error-estimation methods (flat/join/nested).
+// ---------------------------------------------------------------------------
+
+// EstimatorResult is one Figure 7 bar.
+type EstimatorResult struct {
+	QueryKind string
+	Method    string
+	Elapsed   time.Duration
+}
+
+// EstimatorOverheadExperiment measures query latency under each
+// error-estimation method for flat, join, and nested queries.
+func EstimatorOverheadExperiment(w io.Writer, cfg Config) ([]EstimatorResult, error) {
+	queries := []struct{ kind, sql string }{
+		{"flat", "select order_dow, count(*) as c, sum(days_since_prior) as s from orders group by order_dow"},
+		{"join", `select o.order_dow, sum(op.price) as rev from orders o
+			inner join order_products op on o.order_id = op.order_id group by o.order_dow`},
+		{"nested", `select avg(basket) as ab from
+			(select op.order_id as oid, sum(op.price) as basket from order_products op group by op.order_id) as b`},
+	}
+	methods := []struct {
+		name   string
+		method core.ErrorMethod
+	}{
+		{"none", core.MethodNone},
+		{"variational", core.MethodVariational},
+		{"traditional", core.MethodTraditionalSubsampling},
+		{"bootstrap", core.MethodConsolidatedBootstrap},
+	}
+	fmt.Fprintf(w, "## Figure 7: query latency by error-estimation method\n")
+	fmt.Fprintf(w, "%-8s %-14s %14s\n", "query", "method", "latency")
+	var out []EstimatorResult
+	for _, mdef := range methods {
+		opts := verdictdb.Defaults()
+		opts.Method = mdef.method
+		env, err := newInstaEnvWithOpts(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, q := range queries {
+			if mdef.method == core.MethodTraditionalSubsampling || mdef.method == core.MethodConsolidatedBootstrap {
+				if q.kind == "nested" {
+					// The SQL-expressed baselines support flat and join
+					// queries; the paper's nested numbers use the same
+					// O(b*n) blowup, approximated here by the join shape.
+					continue
+				}
+			}
+			a, err := env.Conn.Query(q.sql)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", q.kind, mdef.name, err)
+			}
+			if !a.Approximate {
+				return nil, fmt.Errorf("%s/%s: not approximated (%v)", q.kind, mdef.name, a.Status)
+			}
+			out = append(out, EstimatorResult{QueryKind: q.kind, Method: mdef.name, Elapsed: time.Duration(a.ElapsedNanos)})
+			fmt.Fprintf(w, "%-8s %-14s %14v\n", q.kind, mdef.name, time.Duration(a.ElapsedNanos).Round(time.Microsecond))
+		}
+	}
+	return out, nil
+}
+
+func newInstaEnvWithOpts(cfg Config, opts verdictdb.Options) (*Env, error) {
+	eng := engine.NewSeeded(cfg.Seed + 1)
+	if err := workload.LoadInsta(eng, cfg.InstaScale, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+	db := drivers.NewGeneric(eng)
+	// Keep samples large enough (>=1000 rows) that grouped queries stay
+	// approximable at reduced test scales.
+	ratioFor := func(table string) float64 {
+		n := eng.RowCount(table)
+		r := 1000.0 / float64(n)
+		if r < 0.01 {
+			r = 0.01
+		}
+		if r > 0.5 {
+			r = 0.5
+		}
+		return r
+	}
+	// The budget must admit those samples — this experiment compares
+	// error-estimation overheads, not budget policy.
+	maxRatio := ratioFor("orders")
+	if r := ratioFor("order_products"); r > maxRatio {
+		maxRatio = r
+	}
+	if opts.IOBudget < 1.2*maxRatio {
+		opts.IOBudget = 1.2 * maxRatio
+		opts.Planner.IOBudget = opts.IOBudget
+	}
+	conn, err := verdictdb.Open(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, stmt := range []string{
+		fmt.Sprintf("create uniform sample of order_products ratio %g", ratioFor("order_products")),
+		fmt.Sprintf("create hashed sample of order_products on (order_id) ratio %g", ratioFor("order_products")),
+		fmt.Sprintf("create uniform sample of orders ratio %g", ratioFor("orders")),
+	} {
+		if err := conn.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	return &Env{Eng: eng, Conn: conn, DB: db}, nil
+}
+
+// ---------------------------------------------------------------------------
+// E7 + E8: Figure 8 — correctness of variational subsampling.
+// ---------------------------------------------------------------------------
+
+// SelectivityPoint is one Figure 8a point.
+type SelectivityPoint struct {
+	Selectivity   float64
+	GroundTruth   float64 // true relative error of the count estimate
+	EstimatedP5   float64
+	EstimatedMean float64
+	EstimatedP95  float64
+}
+
+// CorrectnessSelectivity reproduces Figure 8a: estimated vs ground-truth
+// relative error of a count query across selectivities.
+func CorrectnessSelectivity(w io.Writer, popN int, sampleN int, trials int, seed int64) []SelectivityPoint {
+	rng := rand.New(rand.NewSource(seed))
+	tau := float64(sampleN) / float64(popN)
+	z := stats.ZScore(0.95)
+	fmt.Fprintf(w, "## Figure 8a: estimated error vs selectivity (count query, n=%d)\n", sampleN)
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %12s\n", "selectivity", "groundtruth", "est.p5", "est.mean", "est.p95")
+	var out []SelectivityPoint
+	for _, sel := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		trueCount := sel * float64(popN)
+		// Ground-truth relative error: z * SE(count estimate) / count.
+		gt := z * math.Sqrt(sel*float64(popN)*(1-tau)/tau) / trueCount
+		var rels []float64
+		for trial := 0; trial < trials; trial++ {
+			// Draw the sample's matching-tuple count.
+			k := 0
+			for i := 0; i < sampleN; i++ {
+				if rng.Float64() < sel {
+					k++
+				}
+			}
+			iv := stats.CountEstimate(int64(k), tau, 0.95)
+			if iv.Estimate > 0 {
+				rels = append(rels, iv.HalfWidth()/iv.Estimate)
+			}
+		}
+		sort.Float64s(rels)
+		out = append(out, SelectivityPoint{
+			Selectivity:   sel,
+			GroundTruth:   gt,
+			EstimatedP5:   stats.Quantile(rels, 0.05),
+			EstimatedMean: stats.Mean(rels),
+			EstimatedP95:  stats.Quantile(rels, 0.95),
+		})
+		p := out[len(out)-1]
+		fmt.Fprintf(w, "%-12.1f %11.3f%% %11.3f%% %11.3f%% %11.3f%%\n",
+			sel, 100*gt, 100*p.EstimatedP5, 100*p.EstimatedMean, 100*p.EstimatedP95)
+	}
+	return out
+}
+
+// SampleSizePoint is one Figure 8b group of bars.
+type SampleSizePoint struct {
+	N       int
+	Methods map[string]float64 // method -> mean estimated relative error
+	Truth   float64
+}
+
+// CorrectnessSampleSize reproduces Figure 8b: error estimates from CLT,
+// bootstrap, traditional subsampling, and variational subsampling across
+// sample sizes, for an avg query on the synthetic distribution
+// (mean 10, sd 10).
+func CorrectnessSampleSize(w io.Writer, sizes []int, trials int, b int, seed int64) []SampleSizePoint {
+	rng := rand.New(rand.NewSource(seed))
+	z := stats.ZScore(0.95)
+	fmt.Fprintf(w, "## Figure 8b: estimated error by method and sample size (avg query)\n")
+	fmt.Fprintf(w, "%-10s %12s %10s %10s %12s %12s\n", "n", "groundtruth", "CLT", "bootstrap", "subsampling", "variational")
+	var out []SampleSizePoint
+	for _, n := range sizes {
+		truth := z * 10.0 / math.Sqrt(float64(n)) / 10.0 // rel. error of mean
+		sums := map[string]float64{}
+		for trial := 0; trial < trials; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = 10 + 10*rng.NormFloat64()
+			}
+			ns := int(math.Sqrt(float64(n)))
+			ivs := map[string]stats.Interval{
+				"clt":         stats.CLTInterval(stats.EstimateAvg, xs, 0, 0.95),
+				"bootstrap":   stats.BootstrapInterval(stats.EstimateAvg, xs, 0, 0.95, b, rng),
+				"subsampling": stats.SubsamplingInterval(stats.EstimateAvg, xs, 0, 0.95, b, ns, rng),
+				"variational": stats.VariationalInterval(stats.EstimateAvg, xs, 0, 0.95, n/ns, ns, rng),
+			}
+			for k, iv := range ivs {
+				if iv.Estimate != 0 {
+					sums[k] += iv.HalfWidth() / math.Abs(iv.Estimate)
+				}
+			}
+		}
+		p := SampleSizePoint{N: n, Methods: map[string]float64{}, Truth: truth}
+		for k, s := range sums {
+			p.Methods[k] = s / float64(trials)
+		}
+		out = append(out, p)
+		fmt.Fprintf(w, "%-10d %11.3f%% %9.3f%% %9.3f%% %11.3f%% %11.3f%%\n",
+			n, 100*truth, 100*p.Methods["clt"], 100*p.Methods["bootstrap"],
+			100*p.Methods["subsampling"], 100*p.Methods["variational"])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// E9: Figure 11 — sample preparation time vs data-transfer baselines.
+// ---------------------------------------------------------------------------
+
+// PrepResult is the Figure 11 bar set.
+type PrepResult struct {
+	TransferRemote  time.Duration // modeled scp to a remote cluster
+	TransferCluster time.Duration // modeled HDFS upload
+	VerdictSampling time.Duration // measured stratified + uniform build
+	SnappySampling  time.Duration // measured integrated (in-process) build
+	DatasetBytes    int64
+}
+
+// PrepExperiment measures VerdictDB's sampling time and compares it with
+// modeled data-transfer costs (the unavoidable data-preparation work the
+// paper benchmarks against) and an integrated in-process sampler.
+func PrepExperiment(w io.Writer, cfg Config) (*PrepResult, error) {
+	eng := engine.NewSeeded(cfg.Seed + 2)
+	if err := workload.LoadInsta(eng, cfg.InstaScale, cfg.Seed+2); err != nil {
+		return nil, err
+	}
+	db := drivers.NewGeneric(eng)
+	cat, err := meta.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	builder := sampling.NewBuilder(db, cat)
+
+	// Approximate dataset size: ~40 bytes per order_products row plus
+	// ~24 per orders row (CSV-ish).
+	bytes := int64(eng.RowCount("order_products"))*40 + int64(eng.RowCount("orders"))*24
+
+	start := time.Now()
+	if _, err := builder.CreateStratified("orders", []string{"order_dow"}, 0.01); err != nil {
+		return nil, err
+	}
+	if _, err := builder.CreateUniform("order_products", 0.01); err != nil {
+		return nil, err
+	}
+	verdictDur := time.Since(start)
+
+	// Integrated sampler: direct in-process pass (no SQL round trips).
+	start = time.Now()
+	t, err := eng.Lookup("order_products")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	kept := 0
+	for range t.Rows {
+		if rng.Float64() < 0.01 {
+			kept++
+		}
+	}
+	_ = kept
+	snappyDur := time.Since(start)
+
+	// Modeled transfer throughputs: 30 MB/s WAN scp, 100 MB/s HDFS put
+	// (same order as the paper's measured 25.8h vs 7.15h for 370 GB).
+	res := &PrepResult{
+		TransferRemote:  time.Duration(float64(bytes) / (30 << 20) * float64(time.Second)),
+		TransferCluster: time.Duration(float64(bytes) / (100 << 20) * float64(time.Second)),
+		VerdictSampling: verdictDur,
+		SnappySampling:  snappyDur,
+		DatasetBytes:    bytes,
+	}
+	fmt.Fprintf(w, "## Figure 11: sample prep vs data-transfer (dataset %.1f MB)\n", float64(bytes)/(1<<20))
+	fmt.Fprintf(w, "%-28s %14v\n", "transfer to remote cluster", res.TransferRemote.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-28s %14v\n", "transfer within cluster", res.TransferCluster.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-28s %14v\n", "verdictdb sampling (SQL)", res.VerdictSampling.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-28s %14v\n", "integrated sampling", res.SnappySampling.Round(time.Millisecond))
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E10 + E11 + E12: Figures 12, 13, 14 — time-error tradeoffs.
+// ---------------------------------------------------------------------------
+
+// TradeoffPoint is one (accuracy, latency) measurement for one method.
+type TradeoffPoint struct {
+	Param   int // n for Figure 12, b for Figure 13
+	Method  string
+	RelErr  float64 // relative error of the estimated error bound
+	Latency time.Duration
+}
+
+// boundRelErr computes |estimated bound - true bound| / true mean, the
+// Appendix B.3 accuracy metric for error estimates.
+func boundRelErr(iv stats.Interval, trueMean, trueBound float64) float64 {
+	est := iv.Hi - iv.Estimate
+	return math.Abs(est-trueBound) / trueMean
+}
+
+// TradeoffN reproduces Figure 12: accuracy and latency of the three
+// resampling methods as the sample size n grows.
+func TradeoffN(w io.Writer, sizes []int, trials, bFixed int, seed int64) []TradeoffPoint {
+	rng := rand.New(rand.NewSource(seed))
+	z := stats.ZScore(0.95)
+	fmt.Fprintf(w, "## Figure 12: accuracy/latency of error bounds vs sample size (b=%d; variational b=sqrt(n))\n", bFixed)
+	fmt.Fprintf(w, "%-8s %-13s %12s %14s\n", "n", "method", "bound.err", "latency")
+	var out []TradeoffPoint
+	for _, n := range sizes {
+		trueBound := z * 10.0 / math.Sqrt(float64(n))
+		type m struct {
+			name string
+			run  func(xs []float64) stats.Interval
+		}
+		ns := int(math.Sqrt(float64(n)))
+		methods := []m{
+			{"bootstrap", func(xs []float64) stats.Interval {
+				return stats.BootstrapInterval(stats.EstimateAvg, xs, 0, 0.95, bFixed, rng)
+			}},
+			{"subsampling", func(xs []float64) stats.Interval {
+				return stats.SubsamplingInterval(stats.EstimateAvg, xs, 0, 0.95, bFixed, ns, rng)
+			}},
+			{"variational", func(xs []float64) stats.Interval {
+				return stats.VariationalInterval(stats.EstimateAvg, xs, 0, 0.95, n/ns, ns, rng)
+			}},
+		}
+		for _, meth := range methods {
+			var errSum float64
+			var elapsed time.Duration
+			for trial := 0; trial < trials; trial++ {
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = 10 + 10*rng.NormFloat64()
+				}
+				start := time.Now()
+				iv := meth.run(xs)
+				elapsed += time.Since(start)
+				errSum += boundRelErr(iv, 10.0, trueBound)
+			}
+			p := TradeoffPoint{
+				Param: n, Method: meth.name,
+				RelErr:  errSum / float64(trials),
+				Latency: elapsed / time.Duration(trials),
+			}
+			out = append(out, p)
+			fmt.Fprintf(w, "%-8d %-13s %11.3f%% %14v\n", n, meth.name, 100*p.RelErr, p.Latency.Round(time.Microsecond))
+		}
+	}
+	return out
+}
+
+// TradeoffB reproduces Figure 13: accuracy and latency as the number of
+// resamples b grows, n fixed.
+func TradeoffB(w io.Writer, n int, bs []int, trials int, seed int64) []TradeoffPoint {
+	rng := rand.New(rand.NewSource(seed))
+	z := stats.ZScore(0.95)
+	trueBound := z * 10.0 / math.Sqrt(float64(n))
+	ns := int(math.Sqrt(float64(n)))
+	fmt.Fprintf(w, "## Figure 13: accuracy/latency of error bounds vs resamples b (n=%d)\n", n)
+	fmt.Fprintf(w, "%-8s %-13s %12s %14s\n", "b", "method", "bound.err", "latency")
+	var out []TradeoffPoint
+	for _, b := range bs {
+		methods := []struct {
+			name string
+			run  func(xs []float64) stats.Interval
+		}{
+			{"bootstrap", func(xs []float64) stats.Interval {
+				return stats.BootstrapInterval(stats.EstimateAvg, xs, 0, 0.95, b, rng)
+			}},
+			{"subsampling", func(xs []float64) stats.Interval {
+				return stats.SubsamplingInterval(stats.EstimateAvg, xs, 0, 0.95, b, ns, rng)
+			}},
+			{"variational", func(xs []float64) stats.Interval {
+				return stats.VariationalInterval(stats.EstimateAvg, xs, 0, 0.95, b, n/b, rng)
+			}},
+		}
+		for _, meth := range methods {
+			var errSum float64
+			var elapsed time.Duration
+			for trial := 0; trial < trials; trial++ {
+				xs := make([]float64, n)
+				for i := range xs {
+					xs[i] = 10 + 10*rng.NormFloat64()
+				}
+				start := time.Now()
+				iv := meth.run(xs)
+				elapsed += time.Since(start)
+				errSum += boundRelErr(iv, 10.0, trueBound)
+			}
+			p := TradeoffPoint{
+				Param: b, Method: meth.name,
+				RelErr:  errSum / float64(trials),
+				Latency: elapsed / time.Duration(trials),
+			}
+			out = append(out, p)
+			fmt.Fprintf(w, "%-8d %-13s %11.3f%% %14v\n", b, meth.name, 100*p.RelErr, p.Latency.Round(time.Microsecond))
+		}
+	}
+	return out
+}
+
+// NsPoint is one Figure 14 bar.
+type NsPoint struct {
+	Label  string
+	Ns     int
+	RelErr float64
+}
+
+// NsSweep reproduces Figure 14: the effect of the subsample size ns on
+// variational subsampling's error-bound accuracy (n fixed). The paper's
+// claim: ns = n^(1/2) minimizes the error.
+//
+// The data must be skewed for the sweep to be meaningful: with Gaussian
+// values, subsample means are exactly normal at every ns and the small-ns
+// penalty (the n_s^{-1/2} term of Appendix B.3) vanishes. A lognormal with
+// the synthetic dataset's moments (mean 10, sd 10) supplies the skew.
+func NsSweep(w io.Writer, n, trials int, seed int64) []NsPoint {
+	rng := rand.New(rand.NewSource(seed))
+	z := stats.ZScore(0.95)
+	const lnSigma = 0.8325546111576977 // sqrt(ln 2): sd = mean for lognormal
+	lnMu := math.Log(10.0) - lnSigma*lnSigma/2
+	trueBound := z * 10.0 / math.Sqrt(float64(n))
+	exps := []struct {
+		label string
+		e     float64
+	}{
+		{"n^1/4", 0.25}, {"n^1/3", 1.0 / 3}, {"n^1/2", 0.5}, {"n^2/3", 2.0 / 3}, {"n^3/4", 0.75},
+	}
+	fmt.Fprintf(w, "## Figure 14: error of variational subsampling vs subsample size (n=%d)\n", n)
+	fmt.Fprintf(w, "%-8s %10s %12s\n", "ns", "value", "bound.err")
+	var out []NsPoint
+	for _, ex := range exps {
+		ns := int(math.Pow(float64(n), ex.e))
+		if ns < 2 {
+			ns = 2
+		}
+		b := n / ns
+		if b < 2 {
+			b = 2
+		}
+		var errSum float64
+		for trial := 0; trial < trials; trial++ {
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = math.Exp(lnMu + lnSigma*rng.NormFloat64())
+			}
+			iv := stats.VariationalInterval(stats.EstimateAvg, xs, 0, 0.95, b, ns, rng)
+			errSum += boundRelErr(iv, 10.0, trueBound)
+		}
+		p := NsPoint{Label: ex.label, Ns: ns, RelErr: errSum / float64(trials)}
+		out = append(out, p)
+		fmt.Fprintf(w, "%-8s %10d %11.3f%%\n", p.Label, p.Ns, 100*p.RelErr)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"verdictdb/internal/engine"
+)
+
+func TestAnswerAccessors(t *testing.T) {
+	a := &Answer{
+		Cols:       []string{"g", "v"},
+		Rows:       [][]engine.Value{{"x", 100.0}, {"y", 200.0}},
+		StdErr:     [][]float64{{math.NaN(), 10.0}, {math.NaN(), math.NaN()}},
+		Confidence: 0.95,
+	}
+	if a.ColIndex("V") != 1 || a.ColIndex("missing") != -1 {
+		t.Fatal("ColIndex")
+	}
+	if a.Value(0, "g") != "x" || a.Value(5, "g") != nil {
+		t.Fatal("Value")
+	}
+	if a.Float(1, "v") != 200 {
+		t.Fatal("Float")
+	}
+	if !math.IsNaN(a.Float(0, "g")) {
+		t.Fatal("Float on string should be NaN")
+	}
+
+	lo, hi, ok := a.ConfidenceInterval(0, 1)
+	if !ok {
+		t.Fatal("interval missing")
+	}
+	// z(0.95) ~ 1.96: [100-19.6, 100+19.6]
+	if math.Abs(lo-80.4) > 0.1 || math.Abs(hi-119.6) > 0.1 {
+		t.Fatalf("interval [%v, %v]", lo, hi)
+	}
+	if _, _, ok := a.ConfidenceInterval(1, 1); ok {
+		t.Fatal("NaN stderr should give no interval")
+	}
+	if _, _, ok := a.ConfidenceInterval(0, 0); ok {
+		t.Fatal("group col should give no interval")
+	}
+
+	re := a.RelativeError(0, 1)
+	if math.Abs(re-0.196) > 0.001 {
+		t.Fatalf("relative error %v", re)
+	}
+	if worst := a.MaxRelativeError(); math.Abs(worst-re) > 1e-12 {
+		t.Fatalf("max relative error %v", worst)
+	}
+}
+
+func TestMergerCombinesPlans(t *testing.T) {
+	// Two partial results covering different aggregate items of a 3-item
+	// query: g (group), a (plan 1), b (plan 2).
+	mg := newMerger(3)
+	rs1 := &engine.ResultSet{
+		Cols: []string{"g", "a", "a_err"},
+		Rows: [][]engine.Value{{"x", 1.0, 0.1}, {"y", 2.0, 0.2}},
+	}
+	cols1 := []OutputCol{
+		{Kind: ColGroup, ItemIdx: 0, Name: "g"},
+		{Kind: ColAgg, ItemIdx: 1, Name: "a"},
+		{Kind: ColErr, ItemIdx: 1, Name: "a_err"},
+	}
+	rs2 := &engine.ResultSet{
+		Cols: []string{"g", "b"},
+		Rows: [][]engine.Value{{"y", 20.0}, {"x", 10.0}}, // different order
+	}
+	cols2 := []OutputCol{
+		{Kind: ColGroup, ItemIdx: 0, Name: "g"},
+		{Kind: ColAgg, ItemIdx: 2, Name: "b"},
+	}
+	mg.add(rs1, cols1)
+	mg.add(rs2, cols2)
+	rows, errs := mg.result([]string{"g", "a", "b"})
+	if len(rows) != 2 {
+		t.Fatalf("merged rows: %d", len(rows))
+	}
+	// First-seen order: x then y.
+	if rows[0][0] != "x" || rows[0][1] != 1.0 || rows[0][2] != 10.0 {
+		t.Fatalf("row x: %v", rows[0])
+	}
+	if rows[1][0] != "y" || rows[1][1] != 2.0 || rows[1][2] != 20.0 {
+		t.Fatalf("row y: %v", rows[1])
+	}
+	if errs[0][1] != 0.1 || !math.IsNaN(errs[0][2]) {
+		t.Fatalf("errors: %v", errs[0])
+	}
+}
+
+func TestMergerGroupMissingInOnePlan(t *testing.T) {
+	mg := newMerger(2)
+	mg.add(&engine.ResultSet{
+		Cols: []string{"g", "a"},
+		Rows: [][]engine.Value{{"x", 1.0}},
+	}, []OutputCol{
+		{Kind: ColGroup, ItemIdx: 0, Name: "g"},
+		{Kind: ColAgg, ItemIdx: 1, Name: "a"},
+	})
+	mg.add(&engine.ResultSet{
+		Cols: []string{"g", "a"},
+		Rows: [][]engine.Value{{"z", 9.0}},
+	}, []OutputCol{
+		{Kind: ColGroup, ItemIdx: 0, Name: "g"},
+		{Kind: ColAgg, ItemIdx: 1, Name: "a"},
+	})
+	rows, _ := mg.result([]string{"g", "a"})
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+}
+
+func TestNanMatrix(t *testing.T) {
+	m := nanMatrix(2, 3)
+	for _, row := range m {
+		for _, v := range row {
+			if !math.IsNaN(v) {
+				t.Fatal("non-NaN entry")
+			}
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/sqlparser"
+)
+
+// Explain describes — without executing anything against base data — how
+// the middleware would answer a SELECT: support status, the consolidated
+// sample plans with scores and I/O costs, extreme-statistic decomposition,
+// and the rewritten SQL that would be sent to the engine.
+func (m *Middleware) Explain(sel *sqlparser.SelectStmt) (*Answer, error) {
+	a := &Answer{
+		Cols:       []string{"step", "detail"},
+		Confidence: m.opts.Confidence,
+	}
+	add := func(step, detail string) {
+		a.Rows = append(a.Rows, []engine.Value{step, detail})
+	}
+
+	status := Analyze(sel)
+	add("support", status.String())
+	if status != Supported {
+		add("execution", "passthrough to underlying engine")
+		a.StdErr = nanMatrix(len(a.Rows), 2)
+		return a, nil
+	}
+
+	flat, err := FlattenComparisonSubqueries(sel)
+	if err != nil {
+		return nil, err
+	}
+	if flattened := sqlparser.Format(flat) != sqlparser.Format(sel); flattened {
+		add("flatten", "comparison subqueries converted to joins")
+	}
+
+	occ := map[string]*tableOccurrence{}
+	if err := collectAllOccurrences(flat, occ); err != nil {
+		return nil, err
+	}
+	var aliases []string
+	for al, o := range occ {
+		aliases = append(aliases, fmt.Sprintf("%s=%s", al, o.Base))
+	}
+	add("tables", strings.Join(aliases, ", "))
+
+	all, err := m.cat.List()
+	if err != nil {
+		return nil, err
+	}
+	planner := NewPlanner(m.opts.Planner, all)
+	plans, extremeIdx, ok, err := planner.PlanQuery(flat, occ)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		add("plan", "no admissible sample plan within the I/O budget")
+		add("execution", "passthrough to underlying engine")
+		a.StdErr = nanMatrix(len(a.Rows), 2)
+		return a, nil
+	}
+	if decline, err := m.groupCardinalityTooHigh(flat, plans[0].Plan); err == nil && decline {
+		add("plan", "declined: grouping cardinality too high for the sample")
+		add("execution", "passthrough to underlying engine")
+		a.StdErr = nanMatrix(len(a.Rows), 2)
+		return a, nil
+	}
+
+	multi := len(plans) > 1 || len(extremeIdx) > 0
+	for i, cp := range plans {
+		var choices []string
+		for al, c := range cp.Plan.Choices {
+			if c.Sample != nil {
+				choices = append(choices, fmt.Sprintf("%s->%s", al, c.Sample.SampleTable))
+			} else {
+				choices = append(choices, fmt.Sprintf("%s->base", al))
+			}
+		}
+		add(fmt.Sprintf("plan %d", i+1),
+			fmt.Sprintf("items %v via %s (score %.4f, cost %d rows)",
+				cp.ItemIdx, strings.Join(choices, ", "), cp.Plan.Score, cp.Plan.Cost))
+		ro, err := Rewrite(flat, cp.Plan, cp.ItemIdx, !multi)
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("rewritten %d", i+1), drivers.Render(m.db, ro.Stmt))
+		add(fmt.Sprintf("subsamples %d", i+1), fmt.Sprintf("b = %d", ro.B))
+	}
+	if len(extremeIdx) > 0 {
+		add("extreme", fmt.Sprintf("items %v answered exactly from base tables (min/max)", extremeIdx))
+	}
+	add("error estimation", methodName(m.opts.Method))
+	a.StdErr = nanMatrix(len(a.Rows), 2)
+	return a, nil
+}
+
+func methodName(m ErrorMethod) string {
+	switch m {
+	case MethodVariational:
+		return "variational subsampling"
+	case MethodNone:
+		return "none"
+	case MethodTraditionalSubsampling:
+		return "traditional subsampling (O(b*n))"
+	case MethodConsolidatedBootstrap:
+		return "consolidated bootstrap (O(b*n))"
+	}
+	return "unknown"
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"verdictdb/internal/engine"
+	"verdictdb/internal/sqlparser"
+)
+
+func TestExplainSupportedQuery(t *testing.T) {
+	env := newEnv(t, Options{})
+	sel, err := sqlparser.ParseSelect("select city, count(*) as c from orders group by city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := env.m.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := map[string]string{}
+	for _, r := range a.Rows {
+		steps[engine.ToStr(r[0])] = engine.ToStr(r[1])
+	}
+	if steps["support"] != "supported" {
+		t.Fatalf("support: %q", steps["support"])
+	}
+	if !strings.Contains(steps["plan 1"], "orders->") {
+		t.Errorf("plan row: %q", steps["plan 1"])
+	}
+	if !strings.Contains(strings.ToLower(steps["rewritten 1"]), "verdict_sid") {
+		t.Errorf("rewritten SQL missing sid: %q", steps["rewritten 1"])
+	}
+	if !strings.Contains(steps["error estimation"], "variational") {
+		t.Errorf("method: %q", steps["error estimation"])
+	}
+}
+
+func TestExplainDeclinedQuery(t *testing.T) {
+	env := newEnv(t, Options{})
+	// High-cardinality grouping declines AQP.
+	sel, err := sqlparser.ParseSelect("select order_id, count(*) from orders group by order_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := env.m.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, r := range a.Rows {
+		joined += engine.ToStr(r[0]) + "=" + engine.ToStr(r[1]) + ";"
+	}
+	if !strings.Contains(joined, "passthrough") {
+		t.Fatalf("declined explain lacks passthrough: %s", joined)
+	}
+}
+
+func TestExplainDoesNotExecute(t *testing.T) {
+	env := newEnv(t, Options{})
+	sel, _ := sqlparser.ParseSelect("select count(*) from orders")
+	a, err := env.m.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explain must not report engine time from running the rewritten query.
+	if a.ElapsedNanos != 0 {
+		t.Fatalf("explain spent %dns executing", a.ElapsedNanos)
+	}
+	if a.Approximate {
+		t.Fatal("explain output marked approximate")
+	}
+}
+
+func TestExplainExtremeDecomposition(t *testing.T) {
+	env := newEnv(t, Options{})
+	sel, _ := sqlparser.ParseSelect("select count(*) as c, max(price) as m from orders")
+	a, err := env.m.Explain(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range a.Rows {
+		if engine.ToStr(r[0]) == "extreme" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("extreme decomposition not explained")
+	}
+}

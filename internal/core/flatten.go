@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// FlattenComparisonSubqueries rewrites correlated comparison subqueries in
+// WHERE into joins with derived aggregate tables, as described in
+// Section 2.2. Example:
+//
+//	... where price > (select avg(price) from order_products
+//	                   where product = t1.product)
+//
+// becomes
+//
+//	... inner join (select product, avg(price) as verdict_sq_0
+//	                from order_products group by product) as verdict_sqt_0
+//	      on t1.product = verdict_sqt_0.product
+//	    where price > verdict_sq_0
+//
+// Uncorrelated scalar subqueries are left alone (they execute exactly on
+// base tables inside the rewritten query). The transformation mutates a
+// clone, never the caller's AST.
+func FlattenComparisonSubqueries(sel *sqlparser.SelectStmt) (*sqlparser.SelectStmt, error) {
+	out := sqlparser.CloneSelect(sel)
+	if out.Where == nil {
+		return out, nil
+	}
+	counter := 0
+	var flattenErr error
+	out.Where = sqlparser.RewriteExpr(out.Where, func(e sqlparser.Expr) sqlparser.Expr {
+		be, ok := e.(*sqlparser.BinaryExpr)
+		if !ok || !isComparisonOp(be.Op) {
+			return e
+		}
+		sq, ok := be.R.(*sqlparser.SubqueryExpr)
+		if !ok {
+			// Also handle subquery on the left.
+			if lsq, lok := be.L.(*sqlparser.SubqueryExpr); lok {
+				sq, be.L, be.R = lsq, be.R, be.L
+				be.Op = flipComparison(be.Op)
+				ok = true
+			}
+		}
+		if !ok || sq == nil {
+			return e
+		}
+		// Work on a clone so predicate nodes can be removed by identity.
+		inner := sqlparser.CloneSelect(sq.Select)
+		corr, innerCols, outerRefs, supported := correlationPredicates(inner)
+		if !supported || len(corr) == 0 {
+			return e // uncorrelated or unflattenable: leave as scalar subquery
+		}
+		drop := make(map[sqlparser.Expr]bool, len(corr))
+		for _, p := range corr {
+			drop[p] = true
+		}
+		inner.Where = removeConjuncts(inner.Where, drop)
+		if len(inner.Items) != 1 || inner.Items[0].Expr == nil ||
+			!sqlparser.ContainsAggregate(inner.Items[0].Expr) {
+			flattenErr = fmt.Errorf("core: comparison subquery must select a single aggregate")
+			return e
+		}
+		valAlias := fmt.Sprintf("verdict_sq_%d", counter)
+		tblAlias := fmt.Sprintf("verdict_sqt_%d", counter)
+		counter++
+		inner.Items[0].Alias = valAlias
+		for _, ic := range innerCols {
+			inner.Items = append(inner.Items, sqlparser.SelectItem{
+				Expr: &sqlparser.ColumnRef{Name: ic}, Alias: ic,
+			})
+			inner.GroupBy = append(inner.GroupBy, &sqlparser.ColumnRef{Name: ic})
+		}
+		// Join the derived table to the outer FROM.
+		var on sqlparser.Expr
+		for i, ic := range innerCols {
+			eq := &sqlparser.BinaryExpr{
+				Op: "=",
+				L:  sqlparser.CloneExpr(outerRefs[i]),
+				R:  &sqlparser.ColumnRef{Table: tblAlias, Name: ic},
+			}
+			if on == nil {
+				on = eq
+			} else {
+				on = &sqlparser.BinaryExpr{Op: "AND", L: on, R: eq}
+			}
+		}
+		out.From = &sqlparser.JoinExpr{
+			Left:  out.From,
+			Right: &sqlparser.DerivedTable{Select: inner, Alias: tblAlias},
+			Type:  sqlparser.InnerJoin,
+			On:    on,
+		}
+		return &sqlparser.BinaryExpr{
+			Op: be.Op,
+			L:  be.L,
+			R:  &sqlparser.ColumnRef{Table: tblAlias, Name: valAlias},
+		}
+	})
+	return out, flattenErr
+}
+
+func isComparisonOp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func flipComparison(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// correlationPredicates finds conjuncts of the form inner_col = outer.col
+// in the subquery's WHERE. It returns the inner grouping columns and the
+// matching outer references, in corresponding order. supported is false if
+// the WHERE mixes correlation with OR or uses non-equality correlation.
+func correlationPredicates(sel *sqlparser.SelectStmt) (preds []sqlparser.Expr, innerCols []string, outerRefs []sqlparser.Expr, supported bool) {
+	localAliases := map[string]bool{}
+	var collect func(t sqlparser.TableExpr)
+	collect = func(t sqlparser.TableExpr) {
+		switch tt := t.(type) {
+		case *sqlparser.TableRef:
+			a := tt.Alias
+			if a == "" {
+				a = baseName(tt.Name)
+			}
+			localAliases[strings.ToLower(a)] = true
+		case *sqlparser.DerivedTable:
+			localAliases[strings.ToLower(tt.Alias)] = true
+		case *sqlparser.JoinExpr:
+			collect(tt.Left)
+			collect(tt.Right)
+		}
+	}
+	if sel.From != nil {
+		collect(sel.From)
+	}
+	isOuterRef := func(e sqlparser.Expr) bool {
+		cr, ok := e.(*sqlparser.ColumnRef)
+		return ok && cr.Table != "" && !localAliases[strings.ToLower(cr.Table)]
+	}
+	isInnerCol := func(e sqlparser.Expr) (string, bool) {
+		cr, ok := e.(*sqlparser.ColumnRef)
+		if !ok {
+			return "", false
+		}
+		if cr.Table == "" || localAliases[strings.ToLower(cr.Table)] {
+			return cr.Name, true
+		}
+		return "", false
+	}
+
+	supported = true
+	var walk func(e sqlparser.Expr)
+	walk = func(e sqlparser.Expr) {
+		be, ok := e.(*sqlparser.BinaryExpr)
+		if !ok {
+			checkNoOuter(e, localAliases, &supported)
+			return
+		}
+		switch be.Op {
+		case "AND":
+			walk(be.L)
+			walk(be.R)
+		case "=":
+			switch {
+			case isOuterRef(be.R):
+				if col, ok := isInnerCol(be.L); ok {
+					preds = append(preds, be)
+					innerCols = append(innerCols, col)
+					outerRefs = append(outerRefs, be.R)
+					return
+				}
+				supported = false
+			case isOuterRef(be.L):
+				if col, ok := isInnerCol(be.R); ok {
+					preds = append(preds, be)
+					innerCols = append(innerCols, col)
+					outerRefs = append(outerRefs, be.L)
+					return
+				}
+				supported = false
+			default:
+				checkNoOuter(e, localAliases, &supported)
+			}
+		default:
+			checkNoOuter(e, localAliases, &supported)
+		}
+	}
+	if sel.Where != nil {
+		walk(sel.Where)
+	}
+	return preds, innerCols, outerRefs, supported
+}
+
+// checkNoOuter flags unsupported when e references outer columns in a
+// position the flattener cannot handle.
+func checkNoOuter(e sqlparser.Expr, local map[string]bool, supported *bool) {
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if cr, ok := x.(*sqlparser.ColumnRef); ok && cr.Table != "" && !local[strings.ToLower(cr.Table)] {
+			*supported = false
+		}
+		return true
+	})
+}
+
+// removeConjuncts rebuilds a conjunction without the listed nodes
+// (identified by pointer identity).
+func removeConjuncts(where sqlparser.Expr, drop map[sqlparser.Expr]bool) sqlparser.Expr {
+	if where == nil {
+		return nil
+	}
+	var keep []sqlparser.Expr
+	var flatten func(e sqlparser.Expr)
+	flatten = func(e sqlparser.Expr) {
+		if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
+			flatten(be.L)
+			flatten(be.R)
+			return
+		}
+		if !drop[e] {
+			keep = append(keep, e)
+		}
+	}
+	flatten(where)
+	var out sqlparser.Expr
+	for _, k := range keep {
+		if out == nil {
+			out = k
+		} else {
+			out = &sqlparser.BinaryExpr{Op: "AND", L: out, R: k}
+		}
+	}
+	return out
+}

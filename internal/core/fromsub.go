@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"verdictdb/internal/sampling"
+	"verdictdb/internal/sqlparser"
+)
+
+// vsource summarizes the variational structure of a (possibly joined) FROM
+// subtree after sample substitution: the per-tuple inclusion probability
+// expression, the subsample-id expression, and the subsample count b.
+type vsource struct {
+	prob sqlparser.Expr // nil means probability 1 (exact relation)
+	sid  sqlparser.Expr // nil means no subsample structure
+	b    int64
+	// hashed is true when the subtree consists solely of hash-aligned
+	// universe samples, whose sid values agree on join keys.
+	hashed bool
+	// hashedCols holds "alias.column" keys the universe samples hash on.
+	hashedCols map[string]bool
+	// ratio is the effective sampling ratio of the subtree (min over an
+	// aligned hashed chain, product otherwise); used by count-distinct.
+	ratio float64
+	// replicated is true when each subsample's rows are complete estimates
+	// of population quantities (a Bernoulli-sampled nested variational
+	// table, Section 5.2): sums/counts over such rows combine by weighted
+	// MEAN across subsamples rather than by Horvitz-Thompson summation.
+	replicated bool
+}
+
+func exactSource() vsource { return vsource{ratio: 1} }
+
+// substituteFrom replaces base tables with their planned samples and
+// computes the combined variational structure. Derived tables with
+// aggregates are rewritten per Section 5.2 via rewriteNested.
+func (rw *rewriter) substituteFrom(from sqlparser.TableExpr) (sqlparser.TableExpr, vsource, error) {
+	switch t := from.(type) {
+	case *sqlparser.TableRef:
+		alias := t.Alias
+		if alias == "" {
+			alias = baseName(t.Name)
+		}
+		choice, ok := rw.plan.Choices[strings.ToLower(alias)]
+		if !ok || choice.Sample == nil {
+			return &sqlparser.TableRef{Name: t.Name, Alias: t.Alias}, exactSource(), nil
+		}
+		si := choice.Sample
+		newRef := &sqlparser.TableRef{Name: si.SampleTable, Alias: alias}
+		src := vsource{
+			prob:  &sqlparser.ColumnRef{Table: alias, Name: sampling.ProbCol},
+			sid:   &sqlparser.ColumnRef{Table: alias, Name: sampling.SidCol},
+			b:     si.Subsamples,
+			ratio: si.EffectiveRatio(),
+		}
+		if si.Type == sqlparser.HashedSample {
+			src.hashed = true
+			src.hashedCols = map[string]bool{}
+			for _, c := range si.Columns {
+				src.hashedCols[strings.ToLower(alias)+"."+c] = true
+			}
+			src.ratio = si.Ratio // the universe inclusion probability
+		}
+		rw.sampleTables = append(rw.sampleTables, si.SampleTable)
+		return newRef, src, nil
+	case *sqlparser.DerivedTable:
+		if sqlparser.HasAggregates(t.Select) {
+			inner, info, err := rw.rewriteNested(t.Select)
+			if err != nil {
+				return nil, vsource{}, err
+			}
+			if info.b == 0 {
+				// Nested block used no samples; keep it exact.
+				return &sqlparser.DerivedTable{Select: sqlparser.CloneSelect(t.Select), Alias: t.Alias}, exactSource(), nil
+			}
+			dt := &sqlparser.DerivedTable{Select: inner, Alias: t.Alias}
+			src := vsource{
+				sid:        &sqlparser.ColumnRef{Table: t.Alias, Name: sampling.SidCol},
+				b:          info.b,
+				ratio:      1,
+				replicated: true,
+			}
+			if info.complete {
+				src.replicated = false
+				// Universe-sampled complete groups: each group row exists
+				// with probability τ, so the enclosing level applies HT
+				// scaling with that constant probability.
+				src.prob = floatLit(info.ratio)
+				src.ratio = info.ratio
+			}
+			return dt, src, nil
+		}
+		// Non-aggregate derived table: substitute inside and surface the
+		// variational columns through the projection.
+		innerSel := sqlparser.CloneSelect(t.Select)
+		newFrom, src, err := rw.substituteFrom(innerSel.From)
+		if err != nil {
+			return nil, vsource{}, err
+		}
+		innerSel.From = newFrom
+		if src.sid != nil {
+			innerSel.Items = append(innerSel.Items,
+				sqlparser.SelectItem{Expr: probOrOne(src.prob), Alias: sampling.ProbCol},
+				sqlparser.SelectItem{Expr: src.sid, Alias: sampling.SidCol},
+			)
+			out := vsource{
+				prob:       &sqlparser.ColumnRef{Table: t.Alias, Name: sampling.ProbCol},
+				sid:        &sqlparser.ColumnRef{Table: t.Alias, Name: sampling.SidCol},
+				b:          src.b,
+				hashed:     src.hashed,
+				hashedCols: nil, // alias mapping is lost through projection
+				ratio:      src.ratio,
+			}
+			return &sqlparser.DerivedTable{Select: innerSel, Alias: t.Alias}, out, nil
+		}
+		return &sqlparser.DerivedTable{Select: innerSel, Alias: t.Alias}, exactSource(), nil
+	case *sqlparser.JoinExpr:
+		left, lsrc, err := rw.substituteFrom(t.Left)
+		if err != nil {
+			return nil, vsource{}, err
+		}
+		right, rsrc, err := rw.substituteFrom(t.Right)
+		if err != nil {
+			return nil, vsource{}, err
+		}
+		join := &sqlparser.JoinExpr{
+			Left: left, Right: right, Type: t.Type,
+			On: sqlparser.CloneExpr(t.On),
+		}
+		join.Using = append(join.Using, t.Using...)
+		return join, combineSources(lsrc, rsrc, t.On), nil
+	case nil:
+		return nil, exactSource(), nil
+	}
+	return nil, vsource{}, fmt.Errorf("core: unsupported FROM element %T", from)
+}
+
+// combineSources merges the variational structure of two joined subtrees
+// (Section 5.1, Theorem 4).
+func combineSources(l, r vsource, on sqlparser.Expr) vsource {
+	// Hash-aligned universe join: sids agree on the join key, so the left
+	// structure carries over and the inclusion probability is the minimum.
+	if l.hashed && r.hashed && joinedOnHashCols(on, l.hashedCols, r.hashedCols) {
+		out := vsource{
+			prob:   leastExpr(l.prob, r.prob),
+			sid:    l.sid,
+			b:      l.b,
+			hashed: true,
+			ratio:  math.Min(l.ratio, r.ratio),
+		}
+		out.hashedCols = map[string]bool{}
+		for k := range l.hashedCols {
+			out.hashedCols[k] = true
+		}
+		for k := range r.hashedCols {
+			out.hashedCols[k] = true
+		}
+		return out
+	}
+	// Independent join: probabilities multiply; sids fold via h(i,j).
+	out := vsource{
+		prob:  mulExpr(l.prob, r.prob),
+		ratio: l.ratio * r.ratio,
+	}
+	// A replicated variational table stays replicated only when joined with
+	// exact relations; combining with another sampled relation loses the
+	// clean replicate structure (the planner avoids such combos).
+	if (l.replicated && r.prob == nil && r.sid == nil) ||
+		(r.replicated && l.prob == nil && l.sid == nil) {
+		out.replicated = true
+	}
+	switch {
+	case l.sid == nil && r.sid == nil:
+	case l.sid == nil:
+		out.sid, out.b = r.sid, r.b
+	case r.sid == nil:
+		out.sid, out.b = l.sid, l.b
+	default:
+		out.sid, out.b = foldSid(l.sid, l.b, r.sid, r.b)
+	}
+	return out
+}
+
+// foldSid implements h(i,j) of Theorem 4 generalized to differing subsample
+// counts: the left sids are split into r1 = floor(sqrt(b1)) blocks and the
+// right into r2 = floor(sqrt(b2)) blocks; the joined subsample id is the
+// block pair, giving r1*r2 joined subsamples:
+//
+//	h(i,j) = floor((i-1)/ceil(b1/r1)) * r2 + floor((j-1)/ceil(b2/r2)) + 1
+func foldSid(lsid sqlparser.Expr, lb int64, rsid sqlparser.Expr, rb int64) (sqlparser.Expr, int64) {
+	r1 := int64(math.Floor(math.Sqrt(float64(lb))))
+	if r1 < 1 {
+		r1 = 1
+	}
+	r2 := int64(math.Floor(math.Sqrt(float64(rb))))
+	if r2 < 1 {
+		r2 = 1
+	}
+	cell1 := (lb + r1 - 1) / r1
+	cell2 := (rb + r2 - 1) / r2
+	blockL := floorDiv(minusOne(lsid), cell1)
+	blockR := floorDiv(minusOne(rsid), cell2)
+	h := &sqlparser.BinaryExpr{
+		Op: "+",
+		L:  intLit(1),
+		R: &sqlparser.BinaryExpr{
+			Op: "+",
+			L:  &sqlparser.BinaryExpr{Op: "*", L: blockL, R: intLit(r2)},
+			R:  blockR,
+		},
+	}
+	return h, r1 * r2
+}
+
+// joinedOnHashCols reports whether some equality conjunct of on equates a
+// hashed column of the left subtree with a hashed column of the right.
+func joinedOnHashCols(on sqlparser.Expr, lcols, rcols map[string]bool) bool {
+	if on == nil || lcols == nil || rcols == nil {
+		return false
+	}
+	found := false
+	var walk func(e sqlparser.Expr)
+	walk = func(e sqlparser.Expr) {
+		be, ok := e.(*sqlparser.BinaryExpr)
+		if !ok {
+			return
+		}
+		if be.Op == "AND" {
+			walk(be.L)
+			walk(be.R)
+			return
+		}
+		if be.Op == "=" {
+			l, lok := be.L.(*sqlparser.ColumnRef)
+			r, rok := be.R.(*sqlparser.ColumnRef)
+			if lok && rok {
+				lk := strings.ToLower(l.Table) + "." + strings.ToLower(l.Name)
+				rk := strings.ToLower(r.Table) + "." + strings.ToLower(r.Name)
+				if (lcols[lk] && rcols[rk]) || (lcols[rk] && rcols[lk]) {
+					found = true
+				}
+			}
+		}
+	}
+	walk(on)
+	return found
+}
+
+// Small expression constructors.
+
+func intLit(v int64) sqlparser.Expr     { return &sqlparser.Literal{Val: v} }
+func floatLit(v float64) sqlparser.Expr { return &sqlparser.Literal{Val: v} }
+
+func minusOne(e sqlparser.Expr) sqlparser.Expr {
+	return &sqlparser.BinaryExpr{Op: "-", L: sqlparser.CloneExpr(e), R: intLit(1)}
+}
+
+func floorDiv(e sqlparser.Expr, d int64) sqlparser.Expr {
+	return &sqlparser.FuncCall{Name: "floor", Args: []sqlparser.Expr{
+		&sqlparser.BinaryExpr{Op: "/", L: e, R: intLit(d)},
+	}}
+}
+
+func mulExpr(a, b sqlparser.Expr) sqlparser.Expr {
+	switch {
+	case a == nil:
+		return cloneOrNil(b)
+	case b == nil:
+		return cloneOrNil(a)
+	}
+	return &sqlparser.BinaryExpr{Op: "*", L: sqlparser.CloneExpr(a), R: sqlparser.CloneExpr(b)}
+}
+
+func leastExpr(a, b sqlparser.Expr) sqlparser.Expr {
+	switch {
+	case a == nil:
+		return cloneOrNil(b)
+	case b == nil:
+		return cloneOrNil(a)
+	}
+	return &sqlparser.FuncCall{Name: "least", Args: []sqlparser.Expr{
+		sqlparser.CloneExpr(a), sqlparser.CloneExpr(b),
+	}}
+}
+
+func cloneOrNil(e sqlparser.Expr) sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	return sqlparser.CloneExpr(e)
+}
+
+// probOrOne returns the probability expression, or the literal 1.0 for
+// exact relations.
+func probOrOne(prob sqlparser.Expr) sqlparser.Expr {
+	if prob == nil {
+		return floatLit(1)
+	}
+	return sqlparser.CloneExpr(prob)
+}
+
+// overProb builds expr / prob (or expr when prob is nil) — the
+// Horvitz-Thompson weighting used in every partial aggregate.
+func overProb(e sqlparser.Expr, prob sqlparser.Expr) sqlparser.Expr {
+	if prob == nil {
+		return e
+	}
+	return &sqlparser.BinaryExpr{Op: "/", L: e, R: sqlparser.CloneExpr(prob)}
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/meta"
+	"verdictdb/internal/sqlparser"
+)
+
+// ErrorMethod selects the error-estimation strategy (Section 6.4 compares
+// them; variational subsampling is the paper's contribution and default).
+type ErrorMethod int
+
+// Error-estimation methods.
+const (
+	MethodVariational ErrorMethod = iota
+	// MethodNone computes approximate answers without error estimates
+	// (the "no error estimation" baseline of Figure 7).
+	MethodNone
+	// MethodTraditionalSubsampling materializes an O(b*n) subsample table
+	// and aggregates it per subsample (Query 1 of Section 4.1).
+	MethodTraditionalSubsampling
+	// MethodConsolidatedBootstrap materializes b Poisson-weighted resamples
+	// (the state-of-the-art bootstrap baseline of Section 6.4).
+	MethodConsolidatedBootstrap
+)
+
+// Options configures the middleware (Section 2.4's knobs).
+type Options struct {
+	// IOBudget is the fraction of base data a query may read (default 2%).
+	IOBudget float64
+	// Confidence for error reporting (default 0.95).
+	Confidence float64
+	// MinAccuracy is the optional High-level Accuracy Contract: when > 0,
+	// answers whose worst relative error exceeds 1-MinAccuracy are re-run
+	// exactly (Section 2.4).
+	MinAccuracy float64
+	// ErrorColumns appends <col>_err columns to user-visible output.
+	ErrorColumns bool
+	// Method selects the error-estimation strategy.
+	Method ErrorMethod
+	// Planner tuning.
+	Planner PlannerConfig
+	// MaxGroupsPerSample declines AQP when the estimated group cardinality
+	// exceeds this fraction of the sample size (the paper's "AQP not
+	// feasible due to high-cardinality grouping attributes").
+	MaxGroupsFraction float64
+}
+
+// DefaultOptions mirrors the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		IOBudget:          0.02,
+		Confidence:        0.95,
+		Planner:           DefaultPlannerConfig(),
+		MaxGroupsFraction: 0.08,
+	}
+}
+
+// Middleware is the VerdictDB core: it intercepts queries, rewrites the
+// supported ones against sample tables, and rewrites answers back.
+type Middleware struct {
+	db   drivers.DB
+	cat  *meta.Catalog
+	opts Options
+}
+
+// New builds a middleware over an underlying database and sample catalog.
+func New(db drivers.DB, cat *meta.Catalog, opts Options) *Middleware {
+	if opts.Confidence == 0 {
+		opts.Confidence = 0.95
+	}
+	if opts.IOBudget == 0 {
+		opts.IOBudget = 0.02
+	}
+	if opts.Planner.TopK == 0 {
+		opts.Planner = DefaultPlannerConfig()
+	}
+	if opts.MaxGroupsFraction == 0 {
+		opts.MaxGroupsFraction = 0.08
+	}
+	opts.Planner.IOBudget = opts.IOBudget
+	return &Middleware{db: db, cat: cat, opts: opts}
+}
+
+// Options returns the middleware's effective options.
+func (m *Middleware) Options() Options { return m.opts }
+
+// DB returns the underlying database handle.
+func (m *Middleware) DB() drivers.DB { return m.db }
+
+// Query runs one SQL statement through the AQP pipeline.
+func (m *Middleware) Query(sql string) (*Answer, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		// DDL/DML pass straight through.
+		if err := m.db.Exec(sql); err != nil {
+			return nil, err
+		}
+		return &Answer{Status: PassNoAggregates, Confidence: m.opts.Confidence}, nil
+	}
+	return m.QuerySelect(sel, sql)
+}
+
+// QuerySelect runs a parsed SELECT through the AQP pipeline. original is
+// the user's SQL for passthrough execution.
+func (m *Middleware) QuerySelect(sel *sqlparser.SelectStmt, original string) (*Answer, error) {
+	status := Analyze(sel)
+	if status != Supported {
+		return m.passthrough(original, status)
+	}
+	flat, err := FlattenComparisonSubqueries(sel)
+	if err != nil || flat == nil {
+		return m.passthrough(original, PassOther)
+	}
+
+	occ := map[string]*tableOccurrence{}
+	if err := collectAllOccurrences(flat, occ); err != nil {
+		return m.passthrough(original, PassOther)
+	}
+	for _, o := range occ {
+		if n, err := m.db.RowCount(o.Base); err == nil {
+			o.Rows = n
+		}
+	}
+
+	all, err := m.cat.List()
+	if err != nil {
+		return nil, err
+	}
+	planner := NewPlanner(m.opts.Planner, all)
+	plans, extremeIdx, ok, err := planner.PlanQuery(flat, occ)
+	if err != nil || !ok {
+		return m.passthrough(original, PassOther)
+	}
+
+	// High-cardinality grouping check (Section 6.2: tq-3/8/15 declined).
+	if decline, err := m.groupCardinalityTooHigh(flat, plans[0].Plan); err == nil && decline {
+		return m.passthrough(original, PassOther)
+	}
+
+	multi := len(plans) > 1 || len(extremeIdx) > 0
+	if multi && flat.Having != nil {
+		// HAVING across merged partial plans is not reassembled; fall back.
+		return m.passthrough(original, PassOther)
+	}
+
+	switch m.opts.Method {
+	case MethodTraditionalSubsampling, MethodConsolidatedBootstrap:
+		if multi {
+			return m.passthrough(original, PassOther)
+		}
+		return m.runResamplingBaseline(flat, plans[0], original)
+	}
+
+	answer := &Answer{
+		Approximate:  true,
+		Status:       Supported,
+		Confidence:   m.opts.Confidence,
+		SampleTables: nil,
+	}
+
+	nItems := len(flat.Items)
+	mg := newMerger(nItems)
+	for _, cp := range plans {
+		ro, err := Rewrite(flat, cp.Plan, cp.ItemIdx, !multi)
+		if err != nil {
+			return m.passthrough(original, PassOther)
+		}
+		if m.opts.Method == MethodNone {
+			stripErrorColumns(ro)
+		}
+		rendered := drivers.Render(m.db, ro.Stmt)
+		rs, elapsed, err := m.db.QueryTimed(rendered)
+		if err != nil {
+			// A stale catalog (sample table dropped outside VerdictDB) or a
+			// dialect corner case must never break the user's query: fall
+			// back to exact execution, like the paper's middleware.
+			return m.passthrough(original, PassOther)
+		}
+		answer.RewrittenSQL = append(answer.RewrittenSQL, rendered)
+		answer.SampleTables = append(answer.SampleTables, ro.SampleTables...)
+		answer.ElapsedNanos += elapsed.Nanoseconds()
+		answer.RowsScanned += rs.RowsScanned
+		mg.add(rs, ro.Columns)
+	}
+
+	// Extreme statistics answered exactly (Section 2.2 decomposition).
+	if len(extremeIdx) > 0 {
+		rs, cols, elapsed, err := m.runExtremeQuery(flat, extremeIdx)
+		if err != nil {
+			return m.passthrough(original, PassOther)
+		}
+		answer.ElapsedNanos += elapsed
+		answer.RowsScanned += rs.RowsScanned
+		mg.add(rs, cols)
+	}
+
+	// Materialize merged rows in original item order.
+	names := make([]string, nItems)
+	for i, it := range flat.Items {
+		if it.Alias != "" {
+			names[i] = it.Alias
+		} else {
+			names[i] = deriveName(it.Expr, i)
+		}
+	}
+	answer.Cols = names
+	answer.Rows, answer.StdErr = mg.result(names)
+
+	if multi {
+		if err := m.applyOrderLimit(flat, answer); err != nil {
+			return m.passthrough(original, PassOther)
+		}
+	}
+
+	// Post-execution high-cardinality guard: grouping expressions the
+	// pre-probe skipped (derived columns, expressions) can still explode
+	// the group count; if the result spreads the sample across too many
+	// groups, the estimates are meaningless — run exactly instead. Only
+	// applicable when no LIMIT truncated the output.
+	if len(flat.GroupBy) > 0 && flat.Limit == nil &&
+		float64(len(answer.Rows)) > m.opts.MaxGroupsFraction*float64(maxI64(answer.RowsScanned, 1)) {
+		return m.passthrough(original, PassOther)
+	}
+
+	// High-level Accuracy Contract (Section 2.4).
+	if m.opts.MinAccuracy > 0 {
+		if answer.MaxRelativeError() > (1 - m.opts.MinAccuracy) {
+			exact, err := m.passthrough(original, Supported)
+			if err != nil {
+				return nil, err
+			}
+			exact.HACFallback = true
+			return exact, nil
+		}
+	}
+
+	if m.opts.ErrorColumns {
+		appendErrorColumns(answer)
+	}
+	return answer, nil
+}
+
+// passthrough executes the original SQL unchanged.
+func (m *Middleware) passthrough(sql string, status SupportStatus) (*Answer, error) {
+	rs, elapsed, err := m.db.QueryTimed(sql)
+	if err != nil {
+		return nil, err
+	}
+	a := exactAnswer(rs, status, m.opts.Confidence)
+	a.ElapsedNanos = elapsed.Nanoseconds()
+	return a, nil
+}
+
+// OccurrencesOf collects a query's table occurrences for callers that drive
+// the planner or rewriter directly (benchmark harnesses, ablations).
+func OccurrencesOf(sel *sqlparser.SelectStmt) (map[string]*TableOccurrence, error) {
+	occ := map[string]*tableOccurrence{}
+	if err := collectAllOccurrences(sel, occ); err != nil {
+		return nil, err
+	}
+	return occ, nil
+}
+
+// collectAllOccurrences gathers occurrences from the top-level FROM and all
+// derived-table FROMs. Conflicting aliases across scopes disable sampling
+// for that alias (both scopes read base tables).
+func collectAllOccurrences(sel *sqlparser.SelectStmt, out map[string]*tableOccurrence) error {
+	if err := collectOccurrences(sel.From, out); err != nil {
+		return err
+	}
+	var walkDerived func(t sqlparser.TableExpr) error
+	walkDerived = func(t sqlparser.TableExpr) error {
+		switch tt := t.(type) {
+		case *sqlparser.DerivedTable:
+			sub := map[string]*tableOccurrence{}
+			if err := collectOccurrences(tt.Select.From, sub); err != nil {
+				return err
+			}
+			for a, o := range sub {
+				if _, dup := out[a]; dup {
+					delete(out, a) // ambiguous alias: fall back to base
+					continue
+				}
+				out[a] = o
+			}
+			return nil
+		case *sqlparser.JoinExpr:
+			if err := walkDerived(tt.Left); err != nil {
+				return err
+			}
+			return walkDerived(tt.Right)
+		}
+		return nil
+	}
+	return walkDerived(sel.From)
+}
+
+// groupCardinalityTooHigh estimates the query's group cardinality and
+// declines AQP when the chosen samples would spread too thin across groups
+// (the paper's "AQP not feasible for high-cardinality grouping attributes",
+// Section 6.2). Each simple grouping column is probed with ndv() against
+// the sample table that contains it, or the base table of its occurrence
+// (dimension tables are cheap to scan); the largest per-column cardinality
+// lower-bounds the group count. Non-column grouping expressions are skipped
+// — the probe is deliberately best-effort and conservative.
+func (m *Middleware) groupCardinalityTooHigh(sel *sqlparser.SelectStmt, plan CandidatePlan) (bool, error) {
+	if len(sel.GroupBy) == 0 {
+		return false, nil
+	}
+	var sampleRows int64
+	var probeTables []string
+	for _, c := range plan.Choices {
+		if c.Sample != nil {
+			sampleRows += c.Sample.SampleRows
+			probeTables = append(probeTables, c.Sample.SampleTable)
+		} else if c.Occurrence != nil {
+			probeTables = append(probeTables, c.Occurrence.Base)
+		}
+	}
+	if sampleRows == 0 {
+		return false, nil
+	}
+	maxNdv := int64(0)
+	for _, g := range sel.GroupBy {
+		cr, ok := g.(*sqlparser.ColumnRef)
+		if !ok {
+			continue
+		}
+		for _, tbl := range probeTables {
+			rs, err := m.db.Query(fmt.Sprintf("select ndv(%s) from %s", cr.Name, tbl))
+			if err != nil {
+				continue // column not in this table
+			}
+			if v, okV := engine.ToInt(rs.Rows[0][0]); okV && v > maxNdv {
+				maxNdv = v
+			}
+			break
+		}
+	}
+	return float64(maxNdv) > m.opts.MaxGroupsFraction*float64(sampleRows), nil
+}
+
+// runExtremeQuery answers min/max items exactly from base tables.
+func (m *Middleware) runExtremeQuery(sel *sqlparser.SelectStmt, extremeIdx []int) (*engine.ResultSet, []OutputCol, int64, error) {
+	ex := &sqlparser.SelectStmt{
+		From:  sqlparser.CloneTable(sel.From),
+		Where: sqlparser.CloneExpr(sel.Where),
+	}
+	for _, g := range sel.GroupBy {
+		ex.GroupBy = append(ex.GroupBy, sqlparser.CloneExpr(g))
+	}
+	var cols []OutputCol
+	want := map[int]bool{}
+	for _, i := range extremeIdx {
+		want[i] = true
+	}
+	for i, it := range sel.Items {
+		isAgg := it.Expr != nil && sqlparser.ContainsAggregate(it.Expr)
+		name := it.Alias
+		if name == "" {
+			name = deriveName(it.Expr, i)
+		}
+		switch {
+		case !isAgg:
+			ex.Items = append(ex.Items, sqlparser.SelectItem{Expr: sqlparser.CloneExpr(it.Expr), Alias: name})
+			cols = append(cols, OutputCol{Kind: ColGroup, ItemIdx: i, Name: name})
+		case want[i]:
+			ex.Items = append(ex.Items, sqlparser.SelectItem{Expr: sqlparser.CloneExpr(it.Expr), Alias: name})
+			cols = append(cols, OutputCol{Kind: ColAgg, ItemIdx: i, Name: name})
+		}
+	}
+	rendered := drivers.Render(m.db, ex)
+	rs, elapsed, err := m.db.QueryTimed(rendered)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return rs, cols, elapsed.Nanoseconds(), nil
+}
+
+// applyOrderLimit sorts and truncates merged multi-plan answers in the
+// middleware (ORDER BY and LIMIT were stripped from the partial queries).
+func (m *Middleware) applyOrderLimit(sel *sqlparser.SelectStmt, a *Answer) error {
+	if len(sel.OrderBy) > 0 {
+		type keyed struct {
+			row  []engine.Value
+			errs []float64
+			key  []engine.Value
+		}
+		items := make([]keyed, len(a.Rows))
+		for r := range a.Rows {
+			k := keyed{row: a.Rows[r], errs: a.StdErr[r]}
+			for _, ob := range sel.OrderBy {
+				ci, err := m.orderColumn(sel, ob.Expr, a)
+				if err != nil {
+					return err
+				}
+				k.key = append(k.key, a.Rows[r][ci])
+			}
+			items[r] = k
+		}
+		sort.SliceStable(items, func(x, y int) bool {
+			for j, ob := range sel.OrderBy {
+				va, vb := items[x].key[j], items[y].key[j]
+				var c int
+				switch {
+				case va == nil && vb == nil:
+					c = 0
+				case va == nil:
+					c = -1
+				case vb == nil:
+					c = 1
+				default:
+					c = engine.Compare(va, vb)
+				}
+				if ob.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		for r := range items {
+			a.Rows[r] = items[r].row
+			a.StdErr[r] = items[r].errs
+		}
+	}
+	if sel.Limit != nil {
+		if lit, ok := sel.Limit.(*sqlparser.Literal); ok {
+			if n, ok2 := lit.Val.(int64); ok2 && int64(len(a.Rows)) > n {
+				a.Rows = a.Rows[:n]
+				a.StdErr = a.StdErr[:n]
+			}
+		}
+	}
+	return nil
+}
+
+// orderColumn resolves an ORDER BY term to a merged output column index.
+func (m *Middleware) orderColumn(sel *sqlparser.SelectStmt, e sqlparser.Expr, a *Answer) (int, error) {
+	if lit, ok := e.(*sqlparser.Literal); ok {
+		if p, isInt := lit.Val.(int64); isInt && p >= 1 && int(p) <= len(a.Cols) {
+			return int(p - 1), nil
+		}
+	}
+	if cr, ok := e.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+		if ci := a.ColIndex(cr.Name); ci >= 0 {
+			return ci, nil
+		}
+	}
+	f := sqlparser.FormatExpr(e)
+	for i, it := range sel.Items {
+		if it.Expr != nil && sqlparser.FormatExpr(it.Expr) == f {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("core: cannot resolve ORDER BY term %s after plan merge", f)
+}
+
+// stripErrorColumns removes _err outputs for the no-error-estimation
+// baseline.
+func stripErrorColumns(ro *RewriteOutput) {
+	kept := ro.Stmt.Items[:0]
+	var keptCols []OutputCol
+	for i, oc := range ro.Columns {
+		if oc.Kind == ColErr {
+			continue
+		}
+		kept = append(kept, ro.Stmt.Items[i])
+		keptCols = append(keptCols, oc)
+	}
+	ro.Stmt.Items = kept
+	ro.Columns = keptCols
+}
+
+// appendErrorColumns exposes half-width confidence intervals as extra
+// user-visible columns named <col>_err.
+func appendErrorColumns(a *Answer) {
+	var aggCols []int
+	for c := range a.Cols {
+		for r := range a.Rows {
+			if !math.IsNaN(a.StdErr[r][c]) {
+				aggCols = append(aggCols, c)
+				break
+			}
+		}
+	}
+	for _, c := range aggCols {
+		a.Cols = append(a.Cols, a.Cols[c]+"_err")
+		for r := range a.Rows {
+			lo, hi, ok := a.ConfidenceInterval(r, c)
+			if ok {
+				a.Rows[r] = append(a.Rows[r], (hi-lo)/2)
+			} else {
+				a.Rows[r] = append(a.Rows[r], nil)
+			}
+			a.StdErr[r] = append(a.StdErr[r], math.NaN())
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

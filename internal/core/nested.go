@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/sampling"
+	"verdictdb/internal/sqlparser"
+)
+
+// nestedInfo describes the variational table built for a derived aggregate
+// block.
+type nestedInfo struct {
+	b int64
+	// complete is true when the block's GROUP BY includes the universe
+	// (hashed) sample's hash column: every surviving group then contains
+	// ALL of its base tuples, so inner aggregates are exact per group and
+	// the enclosing query sees each group row with inclusion probability
+	// ratio (the universe τ). This is what makes per-entity statistics
+	// (e.g. average basket value) unbiased — Bernoulli samples cannot
+	// preserve small groups, universe samples can (Section 5.1).
+	complete bool
+	ratio    float64
+}
+
+// rewriteNested turns a derived table containing aggregates into its
+// variational table (Section 5.2, Query 7): the block is re-grouped by
+// (original groups, sid) and each aggregate becomes its per-subsample
+// estimator, so the enclosing query sees one row per (group, subsample)
+// carrying an estimate of the true aggregate plus a verdict_sid column.
+//
+// info.b is 0 if the block touched no samples.
+func (rw *rewriter) rewriteNested(sel *sqlparser.SelectStmt) (*sqlparser.SelectStmt, nestedInfo, error) {
+	newFrom, src, err := rw.substituteFrom(sel.From)
+	if err != nil {
+		return nil, nestedInfo{}, err
+	}
+	if src.sid == nil {
+		return nil, nestedInfo{}, nil
+	}
+	info := nestedInfo{b: src.b, ratio: src.ratio}
+	if src.hashed && groupsContainHashCol(sel.GroupBy, src.hashedCols) {
+		info.complete = true
+		// Groups are complete: aggregate them exactly (probability 1
+		// within the group) and let the enclosing level scale by τ.
+		src.prob = nil
+	}
+	out := &sqlparser.SelectStmt{
+		From:  newFrom,
+		Where: sqlparser.CloneExpr(sel.Where),
+	}
+	for _, g := range sel.GroupBy {
+		out.GroupBy = append(out.GroupBy, sqlparser.CloneExpr(g))
+	}
+
+	substitute := func(e sqlparser.Expr) (sqlparser.Expr, error) {
+		if info.complete {
+			// Complete groups need no estimator surgery: the original
+			// aggregates are exact within each surviving group.
+			return sqlparser.CloneExpr(e), nil
+		}
+		var subErr error
+		res := sqlparser.RewriteExpr(sqlparser.CloneExpr(e), func(x sqlparser.Expr) sqlparser.Expr {
+			fc, ok := x.(*sqlparser.FuncCall)
+			if !ok || fc.Over != nil || !sqlparser.AggregateFuncs[fc.Name] {
+				return x
+			}
+			est, err := inlineSubsampleEstimator(fc, src)
+			if err != nil {
+				subErr = err
+				return x
+			}
+			return est
+		})
+		if subErr != nil {
+			return nil, subErr
+		}
+		return res, nil
+	}
+
+	for i, it := range sel.Items {
+		if it.Star {
+			return nil, nestedInfo{}, fmt.Errorf("core: SELECT * not supported in nested aggregate blocks")
+		}
+		name := it.Alias
+		if name == "" {
+			name = deriveName(it.Expr, i)
+		}
+		if sqlparser.ContainsAggregate(it.Expr) {
+			est, err := substitute(it.Expr)
+			if err != nil {
+				return nil, nestedInfo{}, err
+			}
+			out.Items = append(out.Items, sqlparser.SelectItem{Expr: est, Alias: name})
+		} else {
+			out.Items = append(out.Items, sqlparser.SelectItem{Expr: sqlparser.CloneExpr(it.Expr), Alias: name})
+		}
+	}
+	// Per-subsample grouping: append sid.
+	out.Items = append(out.Items, sqlparser.SelectItem{
+		Expr: sqlparser.CloneExpr(src.sid), Alias: sampling.SidCol,
+	})
+	out.GroupBy = append(out.GroupBy, sqlparser.CloneExpr(src.sid))
+
+	if sel.Having != nil {
+		h, err := substitute(sel.Having)
+		if err != nil {
+			return nil, nestedInfo{}, err
+		}
+		out.Having = h
+	}
+	// ORDER BY / LIMIT inside a derived aggregate block would change which
+	// rows survive per subsample; the paper's supported query class keeps
+	// ordering at the top level, so it is dropped here (LIMIT would be
+	// statistically meaningless per subsample).
+	return out, info, nil
+}
+
+// groupsContainHashCol reports whether some GROUP BY term is a column the
+// universe sample hashes on (matched by qualified "alias.col" or bare name).
+func groupsContainHashCol(groupBy []sqlparser.Expr, hashedCols map[string]bool) bool {
+	for _, g := range groupBy {
+		cr, ok := g.(*sqlparser.ColumnRef)
+		if !ok {
+			continue
+		}
+		name := strings.ToLower(cr.Name)
+		if cr.Table != "" {
+			if hashedCols[strings.ToLower(cr.Table)+"."+name] {
+				return true
+			}
+			continue
+		}
+		for k := range hashedCols {
+			if strings.HasSuffix(k, "."+name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inlineSubsampleEstimator builds the single-level per-subsample estimator
+// used by variational tables of nested blocks.
+func inlineSubsampleEstimator(fc *sqlparser.FuncCall, src vsource) (sqlparser.Expr, error) {
+	var arg sqlparser.Expr
+	if len(fc.Args) > 0 {
+		arg = sqlparser.CloneExpr(fc.Args[0])
+	}
+	sum := func(e sqlparser.Expr) sqlparser.Expr {
+		return &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{e}}
+	}
+	htOne := func() sqlparser.Expr { return overProb(floatLit(1), src.prob) }
+	switch classifyAgg(fc) {
+	case AggCount:
+		if src.replicated {
+			return sum(htOne()), nil
+		}
+		return &sqlparser.BinaryExpr{Op: "*", L: sum(htOne()), R: intLit(src.b)}, nil
+	case AggSum:
+		if src.replicated {
+			return sum(overProb(arg, src.prob)), nil
+		}
+		return &sqlparser.BinaryExpr{Op: "*", L: sum(overProb(arg, src.prob)), R: intLit(src.b)}, nil
+	case AggAvg:
+		return &sqlparser.BinaryExpr{Op: "/",
+			L: sum(overProb(arg, src.prob)),
+			R: sum(htOne())}, nil
+	case AggVar, AggStddev:
+		mean := &sqlparser.BinaryExpr{Op: "/",
+			L: sum(overProb(sqlparser.CloneExpr(arg), src.prob)),
+			R: sum(htOne())}
+		meanSq := &sqlparser.BinaryExpr{Op: "/",
+			L: sum(overProb(&sqlparser.BinaryExpr{Op: "*", L: sqlparser.CloneExpr(arg), R: sqlparser.CloneExpr(arg)}, src.prob)),
+			R: sum(htOne())}
+		variance := &sqlparser.BinaryExpr{Op: "-", L: meanSq,
+			R: &sqlparser.FuncCall{Name: "pow", Args: []sqlparser.Expr{mean, intLit(2)}}}
+		if classifyAgg(fc) == AggStddev {
+			return &sqlparser.FuncCall{Name: "sqrt", Args: []sqlparser.Expr{
+				&sqlparser.FuncCall{Name: "abs", Args: []sqlparser.Expr{variance}},
+			}}, nil
+		}
+		return variance, nil
+	case AggQuantile:
+		q, err := quantileFraction(fc)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlparser.FuncCall{Name: "percentile", Args: []sqlparser.Expr{arg, floatLit(q)}}, nil
+	case AggCountDistinct:
+		return &sqlparser.BinaryExpr{Op: "/",
+			L: &sqlparser.BinaryExpr{Op: "*",
+				L: &sqlparser.FuncCall{Name: "count", Distinct: true, Args: []sqlparser.Expr{arg}},
+				R: intLit(src.b)},
+			R: floatLit(src.ratio)}, nil
+	case AggExtreme:
+		// min/max in a nested block: keep it as-is per subsample (a
+		// conservative estimate; the middleware never approximates extreme
+		// stats at the top level).
+		return sqlparser.CloneExpr(fc), nil
+	}
+	return nil, fmt.Errorf("core: aggregate %s not supported in nested block", fc.Name)
+}

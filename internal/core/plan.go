@@ -1,0 +1,558 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"verdictdb/internal/meta"
+	"verdictdb/internal/sqlparser"
+)
+
+// This file implements the sample planner of Appendix E: it enumerates
+// candidate sample plans (one sample choice — or the base table — per table
+// occurrence), scores them as sqrt(effective sampling ratio) times advantage
+// factors, rejects plans whose I/O cost exceeds the budget, consolidates
+// aggregates that share a plan, and prunes the enumeration to the top-k
+// options per join (Appendix E.2).
+
+// TableChoice picks how one table occurrence is read: a sample, or nil for
+// the base table.
+type TableChoice struct {
+	Occurrence *tableOccurrence
+	Sample     *meta.SampleInfo // nil = use the base table
+}
+
+// CandidatePlan maps every table occurrence (by alias) to a choice.
+type CandidatePlan struct {
+	Choices map[string]TableChoice
+	Score   float64
+	Cost    int64 // total sample rows read
+}
+
+// sampled reports whether any occurrence uses a sample.
+func (p CandidatePlan) sampled() bool {
+	for _, c := range p.Choices {
+		if c.Sample != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Key renders the plan's choice set for consolidation (Appendix E.1:
+// aggregates with identical sample sets are merged into one query).
+func (p CandidatePlan) Key() string {
+	aliases := make([]string, 0, len(p.Choices))
+	for a := range p.Choices {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	var sb strings.Builder
+	for _, a := range aliases {
+		sb.WriteString(a)
+		sb.WriteByte('=')
+		if s := p.Choices[a].Sample; s != nil {
+			sb.WriteString(s.SampleTable)
+		} else {
+			sb.WriteString("<base>")
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// PlannerConfig tunes the planner.
+type PlannerConfig struct {
+	// IOBudget is the fraction of total base rows a plan may read
+	// (Section 2.4 default: 2%).
+	IOBudget float64
+	// TopK bounds the per-join candidate set (Appendix E.2 default: 10).
+	TopK int
+	// StratifiedAdvantage multiplies the score when a stratified sample's
+	// column set covers the query's grouping attributes.
+	StratifiedAdvantage float64
+	// MinBudgetRows keeps tiny tables out of budget trouble: tables whose
+	// base is smaller than this are always read whole at zero cost
+	// (paper: tables under 10M rows are not sampled by default).
+	MinBudgetRows int64
+	// MinUniverseKeys rejects universe (hashed) samples holding fewer
+	// distinct hash keys than this: a near-empty universe cannot support
+	// joins, grouping, or count-distinct estimation (Appendix F).
+	MinUniverseKeys int64
+}
+
+// DefaultPlannerConfig mirrors the paper's defaults, with the size threshold
+// scaled to this repo's datasets.
+func DefaultPlannerConfig() PlannerConfig {
+	return PlannerConfig{
+		IOBudget:            0.02,
+		TopK:                10,
+		StratifiedAdvantage: 1.5,
+		MinBudgetRows:       10_000,
+		MinUniverseKeys:     20,
+	}
+}
+
+// aggClass partitions a query's aggregate calls by planning constraints:
+// count-distinct aggregates need a hashed sample on the distinct column,
+// everything mean-like shares one plan.
+type aggClass struct {
+	// ItemIdx are the select-item indexes answered by this class.
+	ItemIdx []int
+	// DistinctCol is the column of count(distinct col) classes ("" for the
+	// mean-like class).
+	DistinctCol string
+}
+
+// classifyItems partitions aggregate-bearing select items into classes.
+// Items with extreme (min/max) aggregates are reported separately.
+func classifyItems(sel *sqlparser.SelectStmt) (meanlike aggClass, distincts []aggClass, extremeIdx []int, unsupported bool) {
+	byCol := map[string]*aggClass{}
+	for i, it := range sel.Items {
+		if it.Expr == nil || !sqlparser.ContainsAggregate(it.Expr) {
+			continue
+		}
+		aggs := aggsIn(it.Expr)
+		hasExtreme, hasDistinct, hasMean := false, false, false
+		var distinctCol string
+		for _, fc := range aggs {
+			switch classifyAgg(fc) {
+			case AggExtreme:
+				hasExtreme = true
+			case AggCountDistinct:
+				hasDistinct = true
+				if len(fc.Args) == 1 {
+					if cr, ok := fc.Args[0].(*sqlparser.ColumnRef); ok {
+						distinctCol = strings.ToLower(cr.Name)
+					}
+				}
+			case AggOther:
+				unsupported = true
+			default:
+				hasMean = true
+			}
+		}
+		switch {
+		case hasExtreme && !hasDistinct && !hasMean:
+			extremeIdx = append(extremeIdx, i)
+		case hasExtreme:
+			// Mixed extreme and mean-like inside one expression cannot be
+			// decomposed; treat the whole item as extreme (exact).
+			extremeIdx = append(extremeIdx, i)
+		case hasDistinct && !hasMean:
+			ac, ok := byCol[distinctCol]
+			if !ok {
+				ac = &aggClass{DistinctCol: distinctCol}
+				byCol[distinctCol] = ac
+			}
+			ac.ItemIdx = append(ac.ItemIdx, i)
+		case hasDistinct && hasMean:
+			// e.g. sum(x) / count(distinct y): plan with the mean-like
+			// class; count-distinct then runs on whatever sample is chosen
+			// (scaled by the effective ratio), trading accuracy for a
+			// single-plan execution.
+			meanlike.ItemIdx = append(meanlike.ItemIdx, i)
+		default:
+			meanlike.ItemIdx = append(meanlike.ItemIdx, i)
+		}
+	}
+	cols := make([]string, 0, len(byCol))
+	for c := range byCol {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	for _, c := range cols {
+		distincts = append(distincts, *byCol[c])
+	}
+	return meanlike, distincts, extremeIdx, unsupported
+}
+
+// Planner chooses sample plans.
+type Planner struct {
+	cfg     PlannerConfig
+	samples map[string][]meta.SampleInfo // base table (lower) -> samples
+}
+
+// NewPlanner builds a planner over the catalog's current samples.
+func NewPlanner(cfg PlannerConfig, all []meta.SampleInfo) *Planner {
+	byBase := map[string][]meta.SampleInfo{}
+	for _, si := range all {
+		key := strings.ToLower(si.BaseTable)
+		byBase[key] = append(byBase[key], si)
+	}
+	return &Planner{cfg: cfg, samples: byBase}
+}
+
+// groupColumns extracts lower-cased simple column names from GROUP BY,
+// including grouping columns of derived-table blocks (a universe sample on
+// a nested grouping column keeps those groups complete, which the planner
+// rewards).
+func groupColumns(sel *sqlparser.SelectStmt) []string {
+	var out []string
+	for _, g := range sel.GroupBy {
+		if cr, ok := g.(*sqlparser.ColumnRef); ok {
+			out = append(out, strings.ToLower(cr.Name))
+		}
+	}
+	var walk func(t sqlparser.TableExpr)
+	walk = func(t sqlparser.TableExpr) {
+		switch tt := t.(type) {
+		case *sqlparser.DerivedTable:
+			out = append(out, groupColumns(tt.Select)...)
+		case *sqlparser.JoinExpr:
+			walk(tt.Left)
+			walk(tt.Right)
+		}
+	}
+	if sel.From != nil {
+		walk(sel.From)
+	}
+	return out
+}
+
+// Plan picks the best candidate plan for one aggregate class over the given
+// occurrences. A nil return means no sampled plan is admissible (the caller
+// falls back to base tables).
+func (p *Planner) Plan(occ map[string]*tableOccurrence, class aggClass, groupCols []string) *CandidatePlan {
+	aliases := make([]string, 0, len(occ))
+	for a := range occ {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+
+	// Per-occurrence options.
+	options := make([][]TableChoice, len(aliases))
+	for i, a := range aliases {
+		o := occ[a]
+		opts := []TableChoice{{Occurrence: o, Sample: nil}}
+		for _, si := range p.samples[o.Base] {
+			si := si
+			opts = append(opts, TableChoice{Occurrence: o, Sample: &si})
+		}
+		// Early pruning (Appendix E.2): keep the k most promising options
+		// per occurrence, ranked by the same scoring used for full plans.
+		if len(opts) > p.cfg.TopK+1 {
+			sort.Slice(opts[1:], func(x, y int) bool {
+				return p.optionScore(opts[1+x], class, groupCols) > p.optionScore(opts[1+y], class, groupCols)
+			})
+			opts = opts[:p.cfg.TopK+1]
+		}
+		options[i] = opts
+	}
+
+	var best *CandidatePlan
+	choice := make([]int, len(aliases))
+	var recurse func(depth int)
+	recurse = func(depth int) {
+		if depth == len(aliases) {
+			plan := CandidatePlan{Choices: map[string]TableChoice{}}
+			for i, a := range aliases {
+				plan.Choices[a] = options[i][choice[i]]
+			}
+			if !plan.sampled() {
+				return
+			}
+			score, cost, ok := p.evaluate(&plan, class, groupCols)
+			if !ok {
+				return
+			}
+			plan.Score, plan.Cost = score, cost
+			if best == nil || plan.Score > best.Score ||
+				(plan.Score == best.Score && plan.Cost < best.Cost) {
+				cp := plan
+				best = &cp
+			}
+			return
+		}
+		for i := range options[depth] {
+			choice[depth] = i
+			recurse(depth + 1)
+		}
+	}
+	recurse(0)
+	return best
+}
+
+// optionScore ranks a single-table option for early pruning.
+func (p *Planner) optionScore(c TableChoice, class aggClass, groupCols []string) float64 {
+	if c.Sample == nil {
+		return 0
+	}
+	s := math.Sqrt(c.Sample.EffectiveRatio())
+	if c.Sample.Type == sqlparser.StratifiedSample && coversGroupCols(c.Sample, groupCols) {
+		s *= p.cfg.StratifiedAdvantage
+	}
+	if c.Sample.Type == sqlparser.HashedSample && hashColInGroups(c.Sample, groupCols) {
+		s *= p.cfg.StratifiedAdvantage
+	}
+	return s
+}
+
+// hashColInGroups reports whether a universe sample's hash column appears
+// among the (possibly nested) grouping columns.
+func hashColInGroups(si *meta.SampleInfo, groupCols []string) bool {
+	if len(si.Columns) != 1 {
+		return false
+	}
+	for _, g := range groupCols {
+		if g == si.Columns[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate scores a full plan and checks join-validity rules (Section 5.1):
+//   - count-distinct classes require the distinct column's table to use a
+//     hashed sample on that column (or the base table);
+//   - joins may contain at most one independent (uniform/stratified) sample;
+//     additional sampled relations must be hashed samples aligned on join
+//     keys with another hashed sample or with the independent sample's table.
+func (p *Planner) evaluate(plan *CandidatePlan, class aggClass, groupCols []string) (score float64, cost int64, ok bool) {
+	independent := 0 // samples that collapse join cardinality if combined
+	bernoulli := 0   // uniform/stratified samples (value-independent)
+	ratio := 1.0
+	advantage := 1.0
+	// alignedRatios holds universe samples whose hash column is equated to
+	// another chosen universe sample's hash column — they share keys, so
+	// their joined ratio is the minimum (Appendix E.1). Unaligned universe
+	// samples behave like independent Bernoulli samples in the join.
+	var alignedRatios []float64
+	var sampledCount int
+
+	// isHashedOn reports whether the plan reads alias with a universe
+	// sample hashed on col.
+	isHashedOn := func(alias, col string) bool {
+		c, ok := plan.Choices[alias]
+		if !ok || c.Sample == nil || c.Sample.Type != sqlparser.HashedSample {
+			return false
+		}
+		return len(c.Sample.Columns) == 1 && c.Sample.Columns[0] == col
+	}
+
+	// Latency-awareness: large base tables read in full give no speedup,
+	// so plans that scan them are penalized (Appendix E prunes "too large"
+	// options for the same reason). Track the fraction of large-table rows
+	// the plan reads exactly.
+	var largeRows, baseReadRows int64
+	for _, c := range plan.Choices {
+		if c.Occurrence != nil && c.Occurrence.Rows >= p.cfg.MinBudgetRows {
+			largeRows += c.Occurrence.Rows
+			if c.Sample == nil {
+				baseReadRows += c.Occurrence.Rows
+			}
+		}
+	}
+
+	for _, c := range plan.Choices {
+		if c.Sample == nil {
+			continue
+		}
+		si := c.Sample
+		sampledCount++
+		cost += si.SampleRows
+		// Per-table budget (Section 2.4): samples of large tables must stay
+		// within the allowed percentage. 10% slack absorbs Bernoulli noise.
+		// Stratified samples get a doubled allowance (the paper used a
+		// larger budget for them since per-stratum minimums inflate sizes);
+		// so do universe samples, whose size is cluster-sampled by key and
+		// therefore much noisier than a Bernoulli draw.
+		if si.BaseRows >= p.cfg.MinBudgetRows {
+			allowance := 1.1 * p.cfg.IOBudget * float64(si.BaseRows)
+			if si.Type == sqlparser.StratifiedSample || si.Type == sqlparser.HashedSample {
+				allowance *= 2
+			}
+			if float64(si.SampleRows) > allowance {
+				return 0, 0, false
+			}
+		}
+		switch si.Type {
+		case sqlparser.UniformSample, sqlparser.StratifiedSample:
+			independent++
+			bernoulli++
+			ratio *= si.EffectiveRatio()
+			if si.Type == sqlparser.StratifiedSample && coversGroupCols(si, groupCols) {
+				advantage *= p.cfg.StratifiedAdvantage
+			}
+		case sqlparser.HashedSample:
+			if si.UniverseKeys > 0 && si.UniverseKeys < p.cfg.MinUniverseKeys {
+				return 0, 0, false // degenerate universe
+			}
+			col := ""
+			if len(si.Columns) > 0 {
+				col = si.Columns[0]
+			}
+			inGroups := hashColInGroups(si, groupCols)
+			if inGroups {
+				advantage *= p.cfg.StratifiedAdvantage
+			}
+			aligned := false
+			for _, peer := range c.Occurrence.JoinCols[col] {
+				if isHashedOn(peer.Alias, peer.Col) {
+					aligned = true
+					break
+				}
+				// Hashed sample joined to a base table on its hash key
+				// keeps the join total on sampled keys: also fine.
+				if pc, ok := plan.Choices[peer.Alias]; ok && pc.Sample == nil {
+					aligned = true
+				}
+			}
+			// A universe sample's inclusion depends on the hash column's
+			// value, so it is only admissible when that structure is what
+			// the query needs: joins on the hash key, grouping by it, or
+			// count-distinct over it. Plain aggregates over a
+			// value-correlated universe sample would be biased (Appendix F:
+			// universe samples are "mainly useful for joining fact tables").
+			usedForDistinct := class.DistinctCol != "" && col == class.DistinctCol
+			if !aligned && !inGroups && !usedForDistinct {
+				return 0, 0, false
+			}
+			if aligned {
+				alignedRatios = append(alignedRatios, si.Ratio)
+			} else {
+				// Grouping/distinct use without join alignment: the
+				// universe ratio applies directly, and for join-cardinality
+				// purposes the sample behaves like an independent one.
+				independent++
+				ratio *= si.Ratio
+			}
+		}
+	}
+
+	if sampledCount == 0 {
+		return 0, 0, false
+	}
+	if independent > 1 {
+		// Joining two independent samples collapses cardinality (§5.1);
+		// the planner never chooses it.
+		return 0, 0, false
+	}
+	// Section 5.1's join rule, stated on the join graph: every equi-join
+	// edge connecting two SAMPLED relations must be universe-aligned on the
+	// joined columns of both sides — anything else multiplies inclusion
+	// probabilities on the join key and collapses the join.
+	for alias, c := range plan.Choices {
+		if c.Sample == nil || c.Occurrence == nil {
+			continue
+		}
+		for col, peers := range c.Occurrence.JoinCols {
+			for _, peer := range peers {
+				pc, ok := plan.Choices[peer.Alias]
+				if !ok || pc.Sample == nil {
+					continue // joining a base table is always fine
+				}
+				if !isHashedOn(alias, col) || !isHashedOn(peer.Alias, peer.Col) {
+					return 0, 0, false
+				}
+			}
+		}
+	}
+	if len(alignedRatios) > 0 {
+		minRatio := alignedRatios[0]
+		for _, r := range alignedRatios[1:] {
+			if r < minRatio {
+				minRatio = r
+			}
+		}
+		ratio *= minRatio
+	}
+
+	// count-distinct constraint.
+	if class.DistinctCol != "" {
+		if bernoulli > 0 {
+			// Mixing a Bernoulli sample into the join re-keys the subsample
+			// ids (h(i,j) fold), which breaks the hash-subdomain
+			// partitioning count-distinct relies on.
+			return 0, 0, false
+		}
+		okDistinct := false
+		for _, c := range plan.Choices {
+			if c.Sample == nil {
+				continue
+			}
+			if c.Sample.Type == sqlparser.HashedSample && len(c.Sample.Columns) == 1 &&
+				c.Sample.Columns[0] == class.DistinctCol {
+				okDistinct = true
+			}
+		}
+		if !okDistinct {
+			return 0, 0, false
+		}
+	}
+	score = math.Sqrt(ratio) * advantage
+	if largeRows > 0 && baseReadRows > 0 {
+		score *= 1 - 0.5*float64(baseReadRows)/float64(largeRows)
+	}
+	return score, cost, true
+}
+
+func coversGroupCols(si *meta.SampleInfo, groupCols []string) bool {
+	if len(groupCols) == 0 {
+		return false
+	}
+	set := si.ColumnSet()
+	for _, g := range groupCols {
+		if !set[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConsolidatedPlan is one rewritten query's worth of work: the chosen
+// sample plan plus the select items it answers.
+type ConsolidatedPlan struct {
+	Plan    CandidatePlan
+	ItemIdx []int
+}
+
+// PlanQuery plans all aggregate classes of a query and consolidates classes
+// that landed on identical sample sets (Appendix E.1). extremeIdx items are
+// always answered exactly by the caller. A nil result (with ok=false) means
+// no class admits a sampled plan.
+func (p *Planner) PlanQuery(sel *sqlparser.SelectStmt, occ map[string]*tableOccurrence) (plans []ConsolidatedPlan, extremeIdx []int, ok bool, err error) {
+	meanlike, distincts, extremes, unsupported := classifyItems(sel)
+	if unsupported {
+		return nil, nil, false, fmt.Errorf("core: unsupported aggregate in query")
+	}
+	extremeIdx = extremes
+	groupCols := groupColumns(sel)
+
+	byKey := map[string]*ConsolidatedPlan{}
+	var order []string
+	add := func(class aggClass) bool {
+		if len(class.ItemIdx) == 0 {
+			return true
+		}
+		cand := p.Plan(occ, class, groupCols)
+		if cand == nil {
+			return false
+		}
+		key := cand.Key()
+		cp, exists := byKey[key]
+		if !exists {
+			cp = &ConsolidatedPlan{Plan: *cand}
+			byKey[key] = cp
+			order = append(order, key)
+		}
+		cp.ItemIdx = append(cp.ItemIdx, class.ItemIdx...)
+		return true
+	}
+	allOK := add(meanlike)
+	for _, dc := range distincts {
+		if !add(dc) {
+			allOK = false
+		}
+	}
+	if !allOK {
+		return nil, extremeIdx, false, nil
+	}
+	for _, k := range order {
+		sort.Ints(byKey[k].ItemIdx)
+		plans = append(plans, *byKey[k])
+	}
+	return plans, extremeIdx, len(plans) > 0, nil
+}

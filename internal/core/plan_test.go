@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+
+	"verdictdb/internal/meta"
+	"verdictdb/internal/sqlparser"
+)
+
+func occFor(t *testing.T, sql string) (map[string]*tableOccurrence, *sqlparser.SelectStmt) {
+	t.Helper()
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := map[string]*tableOccurrence{}
+	if err := collectAllOccurrences(sel, occ); err != nil {
+		t.Fatal(err)
+	}
+	return occ, sel
+}
+
+func sample(base, name string, typ sqlparser.SampleType, ratio float64, rows, baseRows int64, cols ...string) meta.SampleInfo {
+	return meta.SampleInfo{
+		SampleTable: name, BaseTable: base, Type: typ, Ratio: ratio,
+		Columns: cols, SampleRows: rows, BaseRows: baseRows, Subsamples: 32,
+	}
+}
+
+func TestCollectOccurrencesJoinCols(t *testing.T) {
+	occ, _ := occFor(t, `select count(*) from orders o
+		inner join order_products op on o.order_id = op.order_id
+		inner join products p on op.product_id = p.product_id`)
+	if len(occ) != 3 {
+		t.Fatalf("occurrences: %d", len(occ))
+	}
+	if peers := occ["o"].JoinCols["order_id"]; len(peers) != 1 || peers[0].Alias != "op" {
+		t.Errorf("o join cols: %+v", occ["o"].JoinCols)
+	}
+	if peers := occ["op"].JoinCols["product_id"]; len(peers) != 1 || peers[0].Alias != "p" {
+		t.Errorf("op join cols: %+v", occ["op"].JoinCols)
+	}
+}
+
+func TestPlannerRejectsTwoIndependentSamples(t *testing.T) {
+	occ, sel := occFor(t, `select count(*) from a inner join b on a.k = b.k`)
+	samples := []meta.SampleInfo{
+		sample("a", "a_u", sqlparser.UniformSample, 0.01, 1000, 100_000),
+		sample("b", "b_u", sqlparser.UniformSample, 0.01, 1000, 100_000),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	plans, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no plan at all — expected single-sample plan")
+	}
+	// The chosen plan must sample at most one of a, b.
+	sampled := 0
+	for _, c := range plans[0].Plan.Choices {
+		if c.Sample != nil {
+			sampled++
+		}
+	}
+	if sampled != 1 {
+		t.Fatalf("plan samples %d relations, want 1 (uniform x uniform joins are invalid)", sampled)
+	}
+}
+
+func TestPlannerPrefersAlignedUniverseJoin(t *testing.T) {
+	occ, sel := occFor(t, `select count(*) from a inner join b on a.k = b.k`)
+	samples := []meta.SampleInfo{
+		sample("a", "a_u", sqlparser.UniformSample, 0.005, 500, 100_000),
+		sample("a", "a_h", sqlparser.HashedSample, 0.01, 1000, 100_000, "k"),
+		sample("b", "b_u", sqlparser.UniformSample, 0.005, 500, 100_000),
+		sample("b", "b_h", sqlparser.HashedSample, 0.01, 1000, 100_000, "k"),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	plans, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil || !ok {
+		t.Fatalf("plan failed: %v %v", ok, err)
+	}
+	// Universe samples on the join key (ratio 0.01) beat the 0.5% uniform
+	// samples; a single hashed sample joined to the base table on its hash
+	// key is equally valid and cheaper, so require: at least one hashed
+	// sample, no uniform samples.
+	hashed, uniform := 0, 0
+	for _, c := range plans[0].Plan.Choices {
+		if c.Sample == nil {
+			continue
+		}
+		switch c.Sample.Type {
+		case sqlparser.HashedSample:
+			hashed++
+		case sqlparser.UniformSample:
+			uniform++
+		}
+	}
+	if hashed < 1 || uniform > 0 {
+		t.Fatalf("universe join not preferred: %s", plans[0].Plan.Key())
+	}
+}
+
+func TestPlannerBudgetRejectsOversizedSamples(t *testing.T) {
+	occ, sel := occFor(t, `select count(*) from big`)
+	samples := []meta.SampleInfo{
+		// 10% sample of a large table blows the default 2% budget.
+		sample("big", "big_u", sqlparser.UniformSample, 0.10, 100_000, 1_000_000),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	_, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("over-budget plan accepted")
+	}
+}
+
+func TestPlannerSmallTableExemptFromBudget(t *testing.T) {
+	occ, sel := occFor(t, `select count(*) from small`)
+	samples := []meta.SampleInfo{
+		sample("small", "small_u", sqlparser.UniformSample, 0.10, 500, 5_000),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	_, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil || !ok {
+		t.Fatalf("small-table sample rejected (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestPlannerStratifiedAdvantage(t *testing.T) {
+	occ, sel := occFor(t, `select city, count(*) from t group by city`)
+	samples := []meta.SampleInfo{
+		sample("t", "t_u", sqlparser.UniformSample, 0.01, 1000, 100_000),
+		sample("t", "t_s", sqlparser.StratifiedSample, 0.01, 1100, 100_000, "city"),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	plans, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	c := plans[0].Plan.Choices["t"]
+	if c.Sample == nil || c.Sample.Type != sqlparser.StratifiedSample {
+		t.Fatalf("stratified sample not preferred: %s", plans[0].Plan.Key())
+	}
+}
+
+func TestPlannerConsolidation(t *testing.T) {
+	// count + avg share a plan; count(distinct k) needs the hashed sample:
+	// two consolidated plans (Table 4's shape).
+	occ, sel := occFor(t, `select count(*), avg(x), count(distinct k) from t`)
+	samples := []meta.SampleInfo{
+		sample("t", "t_u", sqlparser.UniformSample, 0.01, 1000, 100_000),
+		sample("t", "t_h", sqlparser.HashedSample, 0.01, 1000, 100_000, "k"),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	plans, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("consolidated plans: %d, want 2", len(plans))
+	}
+	// The mean-like plan answers items 0 and 1 together.
+	for _, cp := range plans {
+		if len(cp.ItemIdx) == 2 && (cp.ItemIdx[0] != 0 || cp.ItemIdx[1] != 1) {
+			t.Errorf("mean-like consolidation wrong: %v", cp.ItemIdx)
+		}
+	}
+}
+
+func TestPlannerAllDistinctOneQuery(t *testing.T) {
+	// Two count-distincts on the same column consolidate into one plan.
+	occ, sel := occFor(t, `select count(distinct k), count(distinct k) from t`)
+	samples := []meta.SampleInfo{
+		sample("t", "t_h", sqlparser.HashedSample, 0.01, 1000, 100_000, "k"),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	plans, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 || len(plans[0].ItemIdx) != 2 {
+		t.Fatalf("distinct consolidation: %+v", plans)
+	}
+}
+
+func TestPlannerExtremeSeparation(t *testing.T) {
+	occ, sel := occFor(t, `select count(*), max(x) from t`)
+	samples := []meta.SampleInfo{
+		sample("t", "t_u", sqlparser.UniformSample, 0.01, 1000, 100_000),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	plans, extremeIdx, ok, err := p.PlanQuery(sel, occ)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(extremeIdx) != 1 || extremeIdx[0] != 1 {
+		t.Fatalf("extreme items: %v", extremeIdx)
+	}
+	if len(plans) != 1 || len(plans[0].ItemIdx) != 1 || plans[0].ItemIdx[0] != 0 {
+		t.Fatalf("mean-like plan items: %+v", plans)
+	}
+}
+
+func TestPlannerCountDistinctRequiresHashed(t *testing.T) {
+	occ, sel := occFor(t, `select count(distinct k) from t`)
+	samples := []meta.SampleInfo{
+		sample("t", "t_u", sqlparser.UniformSample, 0.01, 1000, 100_000),
+	}
+	p := NewPlanner(DefaultPlannerConfig(), samples)
+	_, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("count-distinct planned without a hashed sample")
+	}
+}
+
+func TestPlannerTopKPruning(t *testing.T) {
+	occ, sel := occFor(t, `select count(*) from t`)
+	// 30 candidate samples; TopK=3 must still find the best (largest
+	// effective ratio within budget).
+	var samples []meta.SampleInfo
+	for i := 0; i < 30; i++ {
+		ratio := 0.001 + float64(i)*0.0005
+		rows := int64(ratio * 1_000_000)
+		samples = append(samples, meta.SampleInfo{
+			SampleTable: "t_u_" + string(rune('a'+i)), BaseTable: "t",
+			Type: sqlparser.UniformSample, Ratio: ratio,
+			SampleRows: rows, BaseRows: 1_000_000, Subsamples: 32,
+		})
+	}
+	cfg := DefaultPlannerConfig()
+	cfg.TopK = 3
+	p := NewPlanner(cfg, samples)
+	plans, _, ok, err := p.PlanQuery(sel, occ)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	chosen := plans[0].Plan.Choices["t"].Sample
+	// Best within the 2% budget is ratio closest to 0.02 from below-ish;
+	// samples go up to 0.0155 so the largest one wins.
+	if chosen.Ratio < 0.015 {
+		t.Fatalf("top-k pruning lost the best sample: chose ratio %v", chosen.Ratio)
+	}
+}
+
+func TestClassifyItemsMixedDistinctAndMean(t *testing.T) {
+	sel, err := sqlparser.ParseSelect("select sum(x) / count(distinct k) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanlike, distincts, extremes, unsupported := classifyItems(sel)
+	if unsupported {
+		t.Fatal("mixed item marked unsupported")
+	}
+	if len(meanlike.ItemIdx) != 1 || len(distincts) != 0 || len(extremes) != 0 {
+		t.Fatalf("classification: mean=%v distinct=%v extreme=%v", meanlike.ItemIdx, distincts, extremes)
+	}
+}

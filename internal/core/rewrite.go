@@ -1,0 +1,534 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/sampling"
+	"verdictdb/internal/sqlparser"
+)
+
+// ColKind classifies an output column of a rewritten query.
+type ColKind int
+
+// Output column kinds.
+const (
+	ColGroup ColKind = iota
+	ColAgg
+	ColErr
+)
+
+// OutputCol maps a rewritten query's output column back to the original
+// query's select items.
+type OutputCol struct {
+	Kind    ColKind
+	ItemIdx int // index into the original select items
+	Name    string
+}
+
+// RewriteOutput is a rewritten query plus the metadata the answer rewriter
+// needs to reassemble user-facing results.
+type RewriteOutput struct {
+	Stmt         *sqlparser.SelectStmt
+	Columns      []OutputCol
+	B            int64
+	SampleTables []string
+}
+
+// rewriter holds per-rewrite state.
+type rewriter struct {
+	plan         CandidatePlan
+	sampleTables []string
+	nameSeq      int
+}
+
+// partials records the inner-query partial-aggregate columns backing one
+// original aggregate call.
+type partials struct {
+	kind  AggKind
+	cols  []string // inner output aliases
+	ratio float64  // universe ratio for count-distinct
+	q     float64  // percentile fraction
+	// replicated marks partials over a Bernoulli-nested variational table:
+	// each subsample's partial is a complete estimate, so the full-sample
+	// combination is the mean across subsamples, not the HT sum.
+	replicated bool
+}
+
+const (
+	innerAlias  = "vt1"
+	sizeCol     = "verdict_size"
+	errSuffix   = "_verdict_err"
+	groupPrefix = "verdict_g"
+)
+
+// Rewrite builds the variational-subsampling form of sel for the given plan
+// (Appendix G shape): an inner query grouping by (groups, sid) computing
+// Horvitz-Thompson partial aggregates, wrapped in an outer query that
+// weight-averages the subsamples into an unbiased point estimate and a
+// standard error per aggregate.
+//
+// itemIdx lists the aggregate select items this plan answers; all non-agg
+// (grouping) items are always included. includeOrderLimit controls whether
+// ORDER BY / LIMIT / HAVING attach to the outer query (the middleware turns
+// this off when results from several consolidated plans must be merged
+// first).
+func Rewrite(sel *sqlparser.SelectStmt, plan CandidatePlan, itemIdx []int, includeOrderLimit bool) (*RewriteOutput, error) {
+	rw := &rewriter{plan: plan}
+	newFrom, src, err := rw.substituteFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if src.sid == nil {
+		return nil, fmt.Errorf("core: plan substituted no samples")
+	}
+
+	wanted := make(map[int]bool, len(itemIdx))
+	for _, i := range itemIdx {
+		wanted[i] = true
+	}
+
+	// ---- Inner query ----
+	inner := &sqlparser.SelectStmt{From: newFrom, Where: sqlparser.CloneExpr(sel.Where)}
+
+	// Group columns.
+	type groupInfo struct {
+		expr  sqlparser.Expr
+		alias string
+	}
+	groups := make([]groupInfo, len(sel.GroupBy))
+	usedAliases := map[string]bool{}
+	for i, g := range sel.GroupBy {
+		alias := fmt.Sprintf("%s%d", groupPrefix, i)
+		if cr, ok := g.(*sqlparser.ColumnRef); ok && !usedAliases[strings.ToLower(cr.Name)] {
+			alias = cr.Name
+		}
+		usedAliases[strings.ToLower(alias)] = true
+		groups[i] = groupInfo{expr: g, alias: alias}
+		inner.Items = append(inner.Items, sqlparser.SelectItem{Expr: sqlparser.CloneExpr(g), Alias: alias})
+		inner.GroupBy = append(inner.GroupBy, sqlparser.CloneExpr(g))
+	}
+
+	// Partial aggregates for every distinct aggregate call referenced by the
+	// answered items, HAVING, and ORDER BY.
+	partialByKey := map[string]*partials{}
+	registerAggs := func(e sqlparser.Expr) error {
+		for _, fc := range aggsIn(e) {
+			key := sqlparser.FormatExpr(fc)
+			if _, ok := partialByKey[key]; ok {
+				continue
+			}
+			p, err := rw.addPartials(inner, fc, src)
+			if err != nil {
+				return err
+			}
+			partialByKey[key] = p
+		}
+		return nil
+	}
+	for i, it := range sel.Items {
+		if wanted[i] {
+			if err := registerAggs(it.Expr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if includeOrderLimit {
+		if sel.Having != nil {
+			if err := registerAggs(sel.Having); err != nil {
+				return nil, err
+			}
+		}
+		for _, ob := range sel.OrderBy {
+			if sqlparser.ContainsAggregate(ob.Expr) {
+				if err := registerAggs(ob.Expr); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Subsample id and size.
+	inner.Items = append(inner.Items,
+		sqlparser.SelectItem{Expr: sqlparser.CloneExpr(src.sid), Alias: sampling.SidCol},
+		sqlparser.SelectItem{Expr: &sqlparser.FuncCall{Name: "count", Star: true}, Alias: sizeCol},
+	)
+	inner.GroupBy = append(inner.GroupBy, sqlparser.CloneExpr(src.sid))
+
+	// ---- Outer query ----
+	outer := &sqlparser.SelectStmt{
+		From: &sqlparser.DerivedTable{Select: inner, Alias: innerAlias},
+	}
+	for _, g := range groups {
+		outer.GroupBy = append(outer.GroupBy, &sqlparser.ColumnRef{Table: innerAlias, Name: g.alias})
+	}
+
+	groupAliasFor := func(e sqlparser.Expr) (string, bool) {
+		f := sqlparser.FormatExpr(e)
+		for _, g := range groups {
+			if sqlparser.FormatExpr(g.expr) == f {
+				return g.alias, true
+			}
+		}
+		return "", false
+	}
+
+	// substitute rewrites an expression over the original relations into one
+	// over vt1: aggregate calls become either full-sample or per-subsample
+	// estimators; other column refs must match a grouping expression.
+	substitute := func(e sqlparser.Expr, perSubsample bool) (sqlparser.Expr, error) {
+		var subErr error
+		out := sqlparser.RewriteExpr(sqlparser.CloneExpr(e), func(x sqlparser.Expr) sqlparser.Expr {
+			if fc, ok := x.(*sqlparser.FuncCall); ok && fc.Over == nil && sqlparser.AggregateFuncs[fc.Name] {
+				p := partialByKey[sqlparser.FormatExpr(fc)]
+				if p == nil {
+					subErr = fmt.Errorf("core: aggregate %s not planned", sqlparser.FormatExpr(fc))
+					return x
+				}
+				if perSubsample {
+					return perSubsampleEstimator(p, src.b)
+				}
+				return fullEstimator(p)
+			}
+			return x
+		})
+		if subErr != nil {
+			return nil, subErr
+		}
+		// Remaining column refs must be grouping expressions.
+		out = sqlparser.RewriteExpr(out, func(x sqlparser.Expr) sqlparser.Expr {
+			if cr, ok := x.(*sqlparser.ColumnRef); ok {
+				if strings.EqualFold(cr.Table, innerAlias) {
+					return x
+				}
+				if alias, ok := groupAliasFor(cr); ok {
+					return &sqlparser.ColumnRef{Table: innerAlias, Name: alias}
+				}
+				subErr = fmt.Errorf("core: non-grouping column %s in aggregate context", sqlparser.FormatExpr(cr))
+			}
+			return x
+		})
+		if subErr != nil {
+			return nil, subErr
+		}
+		return out, nil
+	}
+
+	out := &RewriteOutput{B: src.b, SampleTables: rw.sampleTables}
+	var errItems []sqlparser.SelectItem
+	for i, it := range sel.Items {
+		isAgg := it.Expr != nil && sqlparser.ContainsAggregate(it.Expr)
+		switch {
+		case !isAgg:
+			if it.Star {
+				return nil, fmt.Errorf("core: SELECT * not supported with aggregates")
+			}
+			alias, ok := groupAliasFor(it.Expr)
+			if !ok {
+				return nil, fmt.Errorf("core: select item %q is neither aggregate nor grouping expression", sqlparser.FormatExpr(it.Expr))
+			}
+			name := it.Alias
+			if name == "" {
+				name = deriveName(it.Expr, i)
+			}
+			outer.Items = append(outer.Items, sqlparser.SelectItem{
+				Expr:  &sqlparser.ColumnRef{Table: innerAlias, Name: alias},
+				Alias: name,
+			})
+			out.Columns = append(out.Columns, OutputCol{Kind: ColGroup, ItemIdx: i, Name: name})
+		case wanted[i]:
+			point, err := substitute(it.Expr, false)
+			if err != nil {
+				return nil, err
+			}
+			name := it.Alias
+			if name == "" {
+				name = deriveName(it.Expr, i)
+			}
+			outer.Items = append(outer.Items, sqlparser.SelectItem{Expr: point, Alias: name})
+			out.Columns = append(out.Columns, OutputCol{Kind: ColAgg, ItemIdx: i, Name: name})
+
+			perSub, err := substitute(it.Expr, true)
+			if err != nil {
+				return nil, err
+			}
+			errItems = append(errItems, sqlparser.SelectItem{
+				Expr:  errorExpr(perSub),
+				Alias: name + errSuffix,
+			})
+			out.Columns = append(out.Columns, OutputCol{Kind: ColErr, ItemIdx: i, Name: name + errSuffix})
+		default:
+			// Aggregate item answered by a different consolidated plan (or
+			// the exact extreme query); skipped here.
+		}
+	}
+	// Error columns go last so positional ORDER BY stays valid.
+	nErrStart := len(outer.Items)
+	outer.Items = append(outer.Items, errItems...)
+	// Reorder metadata to match (groups/aggs first, then errors).
+	reordered := make([]OutputCol, 0, len(out.Columns))
+	var errCols []OutputCol
+	for _, c := range out.Columns {
+		if c.Kind == ColErr {
+			errCols = append(errCols, c)
+		} else {
+			reordered = append(reordered, c)
+		}
+	}
+	if len(reordered) != nErrStart {
+		return nil, fmt.Errorf("core: internal column accounting error")
+	}
+	out.Columns = append(reordered, errCols...)
+
+	if includeOrderLimit {
+		if sel.Having != nil {
+			h, err := substitute(sel.Having, false)
+			if err != nil {
+				return nil, err
+			}
+			outer.Having = h
+		}
+		for _, ob := range sel.OrderBy {
+			newOb := sqlparser.OrderItem{Desc: ob.Desc}
+			switch {
+			case isPositional(ob.Expr):
+				newOb.Expr = sqlparser.CloneExpr(ob.Expr)
+			case isAliasRef(ob.Expr, outer.Items):
+				newOb.Expr = sqlparser.CloneExpr(ob.Expr)
+			default:
+				oe, err := substitute(ob.Expr, false)
+				if err != nil {
+					return nil, err
+				}
+				newOb.Expr = oe
+			}
+			outer.OrderBy = append(outer.OrderBy, newOb)
+		}
+		outer.Limit = sqlparser.CloneExpr(sel.Limit)
+	}
+
+	out.Stmt = outer
+	return out, nil
+}
+
+// addPartials appends the inner partial-aggregate columns for one aggregate
+// call and returns their descriptor.
+func (rw *rewriter) addPartials(inner *sqlparser.SelectStmt, fc *sqlparser.FuncCall, src vsource) (*partials, error) {
+	kind := classifyAgg(fc)
+	p := &partials{kind: kind, ratio: 1, replicated: src.replicated}
+	name := func(suffix string) string {
+		rw.nameSeq++
+		return fmt.Sprintf("vp%d_%s", rw.nameSeq, suffix)
+	}
+	add := func(alias string, e sqlparser.Expr) {
+		inner.Items = append(inner.Items, sqlparser.SelectItem{Expr: e, Alias: alias})
+		p.cols = append(p.cols, alias)
+	}
+	var arg sqlparser.Expr
+	if len(fc.Args) > 0 {
+		arg = sqlparser.CloneExpr(fc.Args[0])
+	}
+	switch kind {
+	case AggCount:
+		a := name("a")
+		add(a, &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{
+			overProb(floatLit(1), src.prob),
+		}})
+	case AggSum:
+		a := name("a")
+		add(a, &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{
+			overProb(arg, src.prob),
+		}})
+	case AggAvg:
+		add(name("a"), &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{
+			overProb(arg, src.prob),
+		}})
+		add(name("b"), &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{
+			overProb(floatLit(1), src.prob),
+		}})
+	case AggVar, AggStddev:
+		add(name("a"), &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{
+			overProb(sqlparser.CloneExpr(arg), src.prob),
+		}})
+		add(name("b"), &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{
+			overProb(&sqlparser.BinaryExpr{Op: "*", L: sqlparser.CloneExpr(arg), R: sqlparser.CloneExpr(arg)}, src.prob),
+		}})
+		add(name("c"), &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{
+			overProb(floatLit(1), src.prob),
+		}})
+	case AggQuantile:
+		q, err := quantileFraction(fc)
+		if err != nil {
+			return nil, err
+		}
+		p.q = q
+		add(name("a"), &sqlparser.FuncCall{Name: "percentile", Args: []sqlparser.Expr{
+			arg, floatLit(q),
+		}})
+	case AggCountDistinct:
+		p.ratio = src.ratio
+		add(name("a"), &sqlparser.FuncCall{Name: "count", Distinct: true, Args: []sqlparser.Expr{arg}})
+	default:
+		return nil, fmt.Errorf("core: aggregate %s cannot be rewritten", fc.Name)
+	}
+	return p, nil
+}
+
+// fullEstimator builds the full-sample (point) estimator over the inner
+// rows for one aggregate.
+func fullEstimator(p *partials) sqlparser.Expr {
+	col := func(i int) sqlparser.Expr {
+		return &sqlparser.ColumnRef{Table: innerAlias, Name: p.cols[i]}
+	}
+	sum := func(e sqlparser.Expr) sqlparser.Expr {
+		return &sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{e}}
+	}
+	mean := func(e sqlparser.Expr) sqlparser.Expr {
+		return &sqlparser.FuncCall{Name: "avg", Args: []sqlparser.Expr{e}}
+	}
+	switch p.kind {
+	case AggCount, AggSum:
+		if p.replicated {
+			// Each subsample's partial already estimates the population
+			// quantity: combine by mean across subsamples.
+			return mean(col(0))
+		}
+		return sum(col(0))
+	case AggAvg:
+		return &sqlparser.BinaryExpr{Op: "/", L: sum(col(0)), R: sum(col(1))}
+	case AggVar, AggStddev:
+		mean := &sqlparser.BinaryExpr{Op: "/", L: sum(col(0)), R: sum(col(2))}
+		meanSq := &sqlparser.BinaryExpr{Op: "/", L: sum(col(1)), R: sum(col(2))}
+		variance := &sqlparser.BinaryExpr{Op: "-", L: meanSq,
+			R: &sqlparser.FuncCall{Name: "pow", Args: []sqlparser.Expr{mean, intLit(2)}}}
+		if p.kind == AggStddev {
+			return &sqlparser.FuncCall{Name: "sqrt", Args: []sqlparser.Expr{
+				&sqlparser.FuncCall{Name: "abs", Args: []sqlparser.Expr{variance}},
+			}}
+		}
+		return variance
+	case AggQuantile:
+		// Subsample-size-weighted average of per-subsample percentiles.
+		num := sum(&sqlparser.BinaryExpr{Op: "*", L: col(0),
+			R: &sqlparser.ColumnRef{Table: innerAlias, Name: sizeCol}})
+		den := sum(&sqlparser.ColumnRef{Table: innerAlias, Name: sizeCol})
+		return &sqlparser.BinaryExpr{Op: "/", L: num, R: den}
+	case AggCountDistinct:
+		if p.replicated {
+			return mean(col(0))
+		}
+		// Universe-sample scaling: distinct values hash-partition across
+		// subsamples, so the sample-wide distinct count is the sum.
+		return &sqlparser.BinaryExpr{Op: "/", L: sum(col(0)), R: floatLit(p.ratio)}
+	}
+	return nil
+}
+
+// perSubsampleEstimator builds the per-subsample estimator (evaluated per
+// inner row, i.e. per (group, sid)) for one aggregate.
+func perSubsampleEstimator(p *partials, b int64) sqlparser.Expr {
+	col := func(i int) sqlparser.Expr {
+		return &sqlparser.ColumnRef{Table: innerAlias, Name: p.cols[i]}
+	}
+	switch p.kind {
+	case AggCount, AggSum:
+		if p.replicated {
+			return col(0) // already a complete per-subsample estimate
+		}
+		// A subsample is a 1/b thinning of the sample: scale partial HT
+		// sums by b.
+		return &sqlparser.BinaryExpr{Op: "*", L: col(0), R: intLit(b)}
+	case AggAvg:
+		return &sqlparser.BinaryExpr{Op: "/", L: col(0), R: col(1)}
+	case AggVar, AggStddev:
+		mean := &sqlparser.BinaryExpr{Op: "/", L: col(0), R: col(2)}
+		meanSq := &sqlparser.BinaryExpr{Op: "/", L: col(1), R: col(2)}
+		variance := &sqlparser.BinaryExpr{Op: "-", L: meanSq,
+			R: &sqlparser.FuncCall{Name: "pow", Args: []sqlparser.Expr{mean, intLit(2)}}}
+		if p.kind == AggStddev {
+			return &sqlparser.FuncCall{Name: "sqrt", Args: []sqlparser.Expr{
+				&sqlparser.FuncCall{Name: "abs", Args: []sqlparser.Expr{variance}},
+			}}
+		}
+		return variance
+	case AggQuantile:
+		return col(0)
+	case AggCountDistinct:
+		if p.replicated {
+			return col(0)
+		}
+		return &sqlparser.BinaryExpr{Op: "/",
+			L: &sqlparser.BinaryExpr{Op: "*", L: col(0), R: intLit(b)},
+			R: floatLit(p.ratio)}
+	}
+	return nil
+}
+
+// errorExpr wraps a per-subsample estimator into the standard-error formula
+// of Appendix G:
+//
+//	stddev(est_i) * sqrt(avg(sub_size)) / sqrt(sum(sub_size))
+func errorExpr(perSub sqlparser.Expr) sqlparser.Expr {
+	size := func() sqlparser.Expr { return &sqlparser.ColumnRef{Table: innerAlias, Name: sizeCol} }
+	sd := &sqlparser.FuncCall{Name: "stddev", Args: []sqlparser.Expr{perSub}}
+	sqrtAvg := &sqlparser.FuncCall{Name: "sqrt", Args: []sqlparser.Expr{
+		&sqlparser.FuncCall{Name: "avg", Args: []sqlparser.Expr{size()}},
+	}}
+	sqrtSum := &sqlparser.FuncCall{Name: "sqrt", Args: []sqlparser.Expr{
+		&sqlparser.FuncCall{Name: "sum", Args: []sqlparser.Expr{size()}},
+	}}
+	return &sqlparser.BinaryExpr{
+		Op: "/",
+		L:  &sqlparser.BinaryExpr{Op: "*", L: sd, R: sqrtAvg},
+		R:  sqrtSum,
+	}
+}
+
+func quantileFraction(fc *sqlparser.FuncCall) (float64, error) {
+	if fc.Name == "median" || fc.Name == "approx_median" || len(fc.Args) < 2 {
+		return 0.5, nil
+	}
+	lit, ok := fc.Args[1].(*sqlparser.Literal)
+	if !ok {
+		return 0, fmt.Errorf("core: percentile fraction must be a literal")
+	}
+	switch v := lit.Val.(type) {
+	case int64:
+		return float64(v), nil
+	case float64:
+		return v, nil
+	}
+	return 0, fmt.Errorf("core: bad percentile fraction")
+}
+
+func deriveName(e sqlparser.Expr, pos int) string {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		return x.Name
+	case *sqlparser.FuncCall:
+		return x.Name
+	}
+	return fmt.Sprintf("_c%d", pos)
+}
+
+func isPositional(e sqlparser.Expr) bool {
+	lit, ok := e.(*sqlparser.Literal)
+	if !ok {
+		return false
+	}
+	_, isInt := lit.Val.(int64)
+	return isInt
+}
+
+func isAliasRef(e sqlparser.Expr, items []sqlparser.SelectItem) bool {
+	cr, ok := e.(*sqlparser.ColumnRef)
+	if !ok || cr.Table != "" {
+		return false
+	}
+	for _, it := range items {
+		if strings.EqualFold(it.Alias, cr.Name) {
+			return true
+		}
+	}
+	return false
+}

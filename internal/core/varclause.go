@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"verdictdb/internal/sampling"
+)
+
+// This repo materializes verdict_sid when a sample is created (like the
+// released VerdictDB). The paper's Query 3 instead assigns subsample ids
+// on the fly with rand() at query time, which footnote 7 argues avoids the
+// risk of consistently unlucky precomputed subsamples. Both forms are
+// provided; benchmarks and tests show they produce statistically equivalent
+// error estimates.
+
+// VariationalClause renders the Query-3 style derived table that assigns a
+// fresh random subsample id in [1, b] to (roughly) a b*ns/n fraction of the
+// sample's tuples and discards the rest:
+//
+//	select *, 1 + floor(rand() * b) as verdict_sid
+//	from <sampleTable>
+//	where rand() < b*ns/n
+//
+// n is the sample's row count, ns the subsample size, b the subsample
+// count. When b*ns >= n every tuple is kept (a full partition, matching the
+// stored-sid default of b = ns = sqrt(n)).
+func VariationalClause(sampleTable string, n, ns, b int64) string {
+	keep := float64(b) * float64(ns) / float64(n)
+	if keep >= 1 {
+		return fmt.Sprintf(
+			"(select *, 1 + floor(rand() * %d) as %s from %s) as verdict_v",
+			b, sampling.SidCol, sampleTable)
+	}
+	return fmt.Sprintf(
+		"(select *, 1 + floor(rand() * %d) as %s from %s where rand() < %.12g) as verdict_v",
+		b, sampling.SidCol, sampleTable, keep)
+}
+
+// VariationalAggregate renders the Query-4 style one-shot subsample
+// aggregation over a variational clause: per-(group, sid) aggregates plus
+// subsample sizes, ready for middleware-side combination.
+func VariationalAggregate(sampleTable string, n, ns, b int64, aggExprSQL, groupColsSQL string) string {
+	clause := VariationalClause(sampleTable, n, ns, b)
+	if groupColsSQL == "" {
+		return fmt.Sprintf(
+			"select %s as %s, %s, count(*) as %s from %s group by %s",
+			sampling.SidCol, sampling.SidCol, aggExprSQL, sizeCol, clause, sampling.SidCol)
+	}
+	return fmt.Sprintf(
+		"select %s, %s as %s, %s, count(*) as %s from %s group by %s, %s",
+		groupColsSQL, sampling.SidCol, sampling.SidCol, aggExprSQL, sizeCol, clause,
+		groupColsSQL, sampling.SidCol)
+}

@@ -1,0 +1,113 @@
+package drivers
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"verdictdb/internal/engine"
+	"verdictdb/internal/sqlparser"
+)
+
+func newEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.NewSeeded(1)
+	if err := e.CreateTable("t", []engine.Column{
+		{Name: "a", Type: engine.TInt},
+		{Name: "b", Type: engine.TString},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := e.InsertRows("t", [][]engine.Value{{int64(i), "x"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func TestDialectRendering(t *testing.T) {
+	stmt, err := sqlparser.Parse("select a from t where rand() < 0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t)
+	cases := []struct {
+		db       DB
+		contains string
+	}{
+		{NewImpala(e), "`a`"},
+		{NewRedshift(e), `"a"`},
+		{NewRedshift(e), "random()"},
+		{NewSparkSQL(e), "rand()"},
+		{NewGeneric(e), "rand()"},
+	}
+	for _, c := range cases {
+		out := Render(c.db, stmt)
+		if !strings.Contains(out, c.contains) {
+			t.Errorf("%s dialect: %q missing %q", c.db.Name(), out, c.contains)
+		}
+	}
+}
+
+func TestDialectRoundTripThroughEngine(t *testing.T) {
+	// Every dialect's rendering must be executable by the engine.
+	e := newEngine(t)
+	stmt, err := sqlparser.Parse("select count(*) as c from t where a >= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, db := range []DB{NewImpala(e), NewRedshift(e), NewSparkSQL(e), NewGeneric(e)} {
+		rs, err := db.Query(Render(db, stmt))
+		if err != nil {
+			t.Fatalf("%s: %v", db.Name(), err)
+		}
+		if rs.Rows[0][0].(int64) != 50 {
+			t.Errorf("%s: count %v", db.Name(), rs.Rows[0][0])
+		}
+	}
+}
+
+func TestOverheadModel(t *testing.T) {
+	e := newEngine(t)
+	spark := NewSparkSQL(e)
+	redshift := NewRedshift(e)
+	if spark.Overhead() <= redshift.Overhead() {
+		t.Error("Spark should model more fixed overhead than Redshift (Section 6.2)")
+	}
+	_, dur, err := spark.QueryTimed("select count(*) from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur < spark.Overhead() {
+		t.Errorf("QueryTimed %v below modeled overhead %v", dur, spark.Overhead())
+	}
+	if dur > spark.Overhead()+5*time.Second {
+		t.Errorf("QueryTimed suspiciously slow: %v", dur)
+	}
+}
+
+func TestColumnsProbe(t *testing.T) {
+	e := newEngine(t)
+	db := NewGeneric(e)
+	cols, err := db.Columns("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || cols[0] != "a" || cols[1] != "b" {
+		t.Fatalf("columns: %v", cols)
+	}
+	if _, err := db.Columns("missing"); err == nil {
+		t.Fatal("missing table should error")
+	}
+}
+
+func TestImpalaNoRandInWhereFlag(t *testing.T) {
+	e := newEngine(t)
+	if !NewImpala(e).Dialect().NoRandInWhere {
+		t.Fatal("Impala dialect must flag rand()-in-WHERE restriction")
+	}
+	if NewSparkSQL(e).Dialect().NoRandInWhere {
+		t.Fatal("Spark dialect should not flag rand() restriction")
+	}
+}

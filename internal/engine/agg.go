@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"verdictdb/internal/sketch"
+	"verdictdb/internal/sqlparser"
+)
+
+// accumulator is the incremental state of one aggregate function over one
+// group.
+type accumulator interface {
+	add(v Value) error
+	addStar() // count(*) path: count the row regardless of value
+	result() Value
+}
+
+// newAccumulator builds an accumulator for the aggregate call fc.
+func newAccumulator(fc *sqlparser.FuncCall, quantileArg float64) (accumulator, error) {
+	if fc.Distinct {
+		switch fc.Name {
+		case "count":
+			return &distinctCountAcc{seen: map[string]bool{}}, nil
+		case "sum", "avg":
+			return &distinctSumAcc{name: fc.Name, seen: map[string]bool{}}, nil
+		}
+		return nil, fmt.Errorf("engine: DISTINCT not supported for %s", fc.Name)
+	}
+	switch fc.Name {
+	case "count":
+		return &countAcc{}, nil
+	case "sum":
+		return &sumAcc{}, nil
+	case "avg":
+		return &avgAcc{}, nil
+	case "min":
+		return &extremeAcc{min: true}, nil
+	case "max":
+		return &extremeAcc{}, nil
+	case "stddev", "stddev_samp":
+		return &momentsAcc{mode: momentStddev}, nil
+	case "var", "variance", "var_samp":
+		return &momentsAcc{mode: momentVar}, nil
+	case "percentile", "quantile":
+		return &percentileAcc{p: quantileArg}, nil
+	case "median":
+		return &percentileAcc{p: 0.5}, nil
+	case "approx_median":
+		return &sketchMedianAcc{qs: sketch.NewQuantileSketch(4096, 7)}, nil
+	case "ndv", "approx_count_distinct":
+		return &hllAcc{h: sketch.NewHLL(12)}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown aggregate %s", fc.Name)
+}
+
+type countAcc struct{ n int64 }
+
+func (a *countAcc) add(v Value) error {
+	if v != nil {
+		a.n++
+	}
+	return nil
+}
+func (a *countAcc) addStar()      { a.n++ }
+func (a *countAcc) result() Value { return a.n }
+
+type sumAcc struct {
+	sum     float64
+	sawAny  bool
+	intOnly bool
+	started bool
+}
+
+func (a *sumAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	f, ok := ToFloat(v)
+	if !ok {
+		return fmt.Errorf("engine: sum of non-numeric %T", v)
+	}
+	if !a.started {
+		a.intOnly = true
+		a.started = true
+	}
+	if _, isInt := v.(int64); !isInt {
+		a.intOnly = false
+	}
+	a.sum += f
+	a.sawAny = true
+	return nil
+}
+func (a *sumAcc) addStar() { _ = a.add(int64(1)) }
+func (a *sumAcc) result() Value {
+	if !a.sawAny {
+		return nil
+	}
+	if a.intOnly && a.sum == math.Trunc(a.sum) && math.Abs(a.sum) < 1e15 {
+		return int64(a.sum)
+	}
+	return a.sum
+}
+
+type avgAcc struct {
+	sum float64
+	n   int64
+}
+
+func (a *avgAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	f, ok := ToFloat(v)
+	if !ok {
+		return fmt.Errorf("engine: avg of non-numeric %T", v)
+	}
+	a.sum += f
+	a.n++
+	return nil
+}
+func (a *avgAcc) addStar() { _ = a.add(int64(1)) }
+func (a *avgAcc) result() Value {
+	if a.n == 0 {
+		return nil
+	}
+	return a.sum / float64(a.n)
+}
+
+type extremeAcc struct {
+	min  bool
+	best Value
+}
+
+func (a *extremeAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	if a.best == nil ||
+		(a.min && Compare(v, a.best) < 0) ||
+		(!a.min && Compare(v, a.best) > 0) {
+		a.best = v
+	}
+	return nil
+}
+func (a *extremeAcc) addStar()      {}
+func (a *extremeAcc) result() Value { return a.best }
+
+type momentMode int
+
+const (
+	momentVar momentMode = iota
+	momentStddev
+)
+
+// momentsAcc computes sample variance/stddev using Welford's algorithm.
+type momentsAcc struct {
+	mode momentMode
+	n    int64
+	mean float64
+	m2   float64
+}
+
+func (a *momentsAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	f, ok := ToFloat(v)
+	if !ok {
+		return fmt.Errorf("engine: variance of non-numeric %T", v)
+	}
+	a.n++
+	d := f - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (f - a.mean)
+	return nil
+}
+func (a *momentsAcc) addStar() {}
+func (a *momentsAcc) result() Value {
+	if a.n < 2 {
+		if a.n == 1 {
+			return 0.0
+		}
+		return nil
+	}
+	v := a.m2 / float64(a.n-1)
+	if a.mode == momentStddev {
+		return math.Sqrt(v)
+	}
+	return v
+}
+
+// percentileAcc computes an exact percentile by buffering values.
+type percentileAcc struct {
+	p    float64
+	vals []float64
+}
+
+func (a *percentileAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	f, ok := ToFloat(v)
+	if !ok {
+		return fmt.Errorf("engine: percentile of non-numeric %T", v)
+	}
+	a.vals = append(a.vals, f)
+	return nil
+}
+func (a *percentileAcc) addStar() {}
+func (a *percentileAcc) result() Value {
+	if len(a.vals) == 0 {
+		return nil
+	}
+	sort.Float64s(a.vals)
+	pos := a.p * float64(len(a.vals)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(a.vals) {
+		return a.vals[len(a.vals)-1]
+	}
+	return a.vals[lo]*(1-frac) + a.vals[lo+1]*frac
+}
+
+type sketchMedianAcc struct{ qs *sketch.QuantileSketch }
+
+func (a *sketchMedianAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	f, ok := ToFloat(v)
+	if !ok {
+		return fmt.Errorf("engine: approx_median of non-numeric %T", v)
+	}
+	a.qs.Add(f)
+	return nil
+}
+func (a *sketchMedianAcc) addStar() {}
+func (a *sketchMedianAcc) result() Value {
+	if a.qs.Count() == 0 {
+		return nil
+	}
+	return a.qs.Median()
+}
+
+type hllAcc struct{ h *sketch.HLL }
+
+func (a *hllAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	a.h.AddString(GroupKey(v))
+	return nil
+}
+func (a *hllAcc) addStar() {}
+func (a *hllAcc) result() Value {
+	return int64(math.Round(a.h.Estimate()))
+}
+
+type distinctCountAcc struct{ seen map[string]bool }
+
+func (a *distinctCountAcc) add(v Value) error {
+	if v != nil {
+		a.seen[GroupKey(v)] = true
+	}
+	return nil
+}
+func (a *distinctCountAcc) addStar()      {}
+func (a *distinctCountAcc) result() Value { return int64(len(a.seen)) }
+
+type distinctSumAcc struct {
+	name string
+	seen map[string]bool
+	sum  float64
+	n    int64
+}
+
+func (a *distinctSumAcc) add(v Value) error {
+	if v == nil {
+		return nil
+	}
+	k := GroupKey(v)
+	if a.seen[k] {
+		return nil
+	}
+	a.seen[k] = true
+	f, ok := ToFloat(v)
+	if !ok {
+		return fmt.Errorf("engine: %s distinct of non-numeric %T", a.name, v)
+	}
+	a.sum += f
+	a.n++
+	return nil
+}
+func (a *distinctSumAcc) addStar() {}
+func (a *distinctSumAcc) result() Value {
+	if a.n == 0 {
+		return nil
+	}
+	if a.name == "avg" {
+		return a.sum / float64(a.n)
+	}
+	return a.sum
+}
+
+// quantileLiteralArg extracts the constant second argument of
+// percentile(col, p); returns 0.5 when absent.
+func quantileLiteralArg(fc *sqlparser.FuncCall) (float64, error) {
+	if len(fc.Args) < 2 {
+		return 0.5, nil
+	}
+	lit, ok := fc.Args[1].(*sqlparser.Literal)
+	if !ok {
+		return 0, fmt.Errorf("engine: percentile fraction must be a literal")
+	}
+	f, ok := ToFloat(lit.Val)
+	if !ok || f < 0 || f > 1 {
+		return 0, fmt.Errorf("engine: percentile fraction must be in [0,1]")
+	}
+	return f, nil
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ImportCSV loads a CSV file (with a header row) into a new table. Column
+// types are inferred from the first data row: integers, floats, booleans,
+// and strings; empty cells become NULL. This is the loading path for
+// datasets produced by cmd/dbgen or exported from external systems.
+func (e *Engine) ImportCSV(table, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return e.ImportCSVReader(table, f)
+}
+
+// ImportCSVReader is ImportCSV over any reader.
+func (e *Engine) ImportCSVReader(table string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("engine: reading CSV header: %w", err)
+	}
+	cols := make([]string, len(header))
+	copy(cols, header)
+
+	var rows [][]Value
+	var types []ColType
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("engine: reading CSV row %d: %w", len(rows)+2, err)
+		}
+		row := make([]Value, len(rec))
+		for i, cell := range rec {
+			row[i] = parseCSVCell(cell)
+		}
+		if types == nil {
+			types = make([]ColType, len(row))
+			for i, v := range row {
+				types[i] = InferType(v)
+			}
+		}
+		rows = append(rows, row)
+	}
+	colDefs := make([]Column, len(cols))
+	for i, c := range cols {
+		t := TAny
+		if types != nil {
+			t = types[i]
+		}
+		colDefs[i] = Column{Name: c, Type: t}
+	}
+	if err := e.CreateTable(table, colDefs); err != nil {
+		return 0, err
+	}
+	if err := e.InsertRows(table, rows); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+func parseCSVCell(cell string) Value {
+	if cell == "" {
+		return nil
+	}
+	if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return i
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return f
+	}
+	switch strings.ToLower(cell) {
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	return cell
+}

@@ -1,0 +1,715 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// ResultSet is the output of a query: column names plus rows. RowsScanned
+// counts base-table rows read while answering, which the benchmark harness
+// uses as an engine-independent I/O measure.
+type ResultSet struct {
+	Cols        []string
+	Rows        [][]Value
+	RowsScanned int64
+}
+
+// ColIndex returns the index of the named output column, or -1.
+func (rs *ResultSet) ColIndex(name string) int {
+	for i, c := range rs.Cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Query parses and executes a SELECT statement.
+func (e *Engine) Query(sql string) (*ResultSet, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Query requires SELECT, got %T", stmt)
+	}
+	qc := &queryCtx{eng: e}
+	rs, err := execSelectWithOuter(qc, sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	rs.RowsScanned = qc.scanned
+	return rs, nil
+}
+
+// Exec parses and executes any statement. SELECTs return their result set;
+// DDL/DML return an empty result set.
+func (e *Engine) Exec(sql string) (*ResultSet, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt executes an already-parsed statement.
+func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*ResultSet, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		qc := &queryCtx{eng: e}
+		rs, err := execSelectWithOuter(qc, s, nil)
+		if err != nil {
+			return nil, err
+		}
+		rs.RowsScanned = qc.scanned
+		return rs, nil
+	case *sqlparser.CreateTableStmt:
+		if s.AsSelect != nil {
+			qc := &queryCtx{eng: e}
+			rs, err := execSelectWithOuter(qc, s.AsSelect, nil)
+			if err != nil {
+				return nil, err
+			}
+			cols := make([]Column, len(rs.Cols))
+			for i, c := range rs.Cols {
+				cols[i] = Column{Name: c, Type: inferColType(rs.Rows, i)}
+			}
+			if err := e.storeResult(s.Name, cols, rs.Rows, s.IfNotExists); err != nil {
+				return nil, err
+			}
+			return &ResultSet{RowsScanned: qc.scanned}, nil
+		}
+		cols := make([]Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = Column{Name: c.Name, Type: TypeFromSQL(c.Type)}
+		}
+		if s.IfNotExists && e.HasTable(s.Name) {
+			return &ResultSet{}, nil
+		}
+		if err := e.CreateTable(s.Name, cols); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
+	case *sqlparser.DropTableStmt:
+		if err := e.DropTable(s.Name, s.IfExists); err != nil {
+			return nil, err
+		}
+		return &ResultSet{}, nil
+	case *sqlparser.InsertStmt:
+		return e.execInsert(s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
+	t, err := e.Lookup(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Map insert columns to table positions.
+	var colIdx []int
+	if len(s.Columns) > 0 {
+		for _, c := range s.Columns {
+			idx := t.ColIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q in insert", c)
+			}
+			colIdx = append(colIdx, idx)
+		}
+	} else {
+		for i := range t.Cols {
+			colIdx = append(colIdx, i)
+		}
+	}
+	var srcRows [][]Value
+	if s.Select != nil {
+		qc := &queryCtx{eng: e}
+		rs, err := execSelectWithOuter(qc, s.Select, nil)
+		if err != nil {
+			return nil, err
+		}
+		srcRows = rs.Rows
+	} else {
+		qc := &queryCtx{eng: e}
+		ev := &env{qc: qc}
+		for _, exprRow := range s.Rows {
+			row := make([]Value, len(exprRow))
+			for i, ex := range exprRow {
+				v, err := ev.eval(ex)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			srcRows = append(srcRows, row)
+		}
+	}
+	out := make([][]Value, 0, len(srcRows))
+	for _, src := range srcRows {
+		if len(src) != len(colIdx) {
+			return nil, fmt.Errorf("engine: insert width mismatch: %d values for %d columns", len(src), len(colIdx))
+		}
+		row := make([]Value, len(t.Cols))
+		for i, idx := range colIdx {
+			row[idx] = src[i]
+		}
+		out = append(out, row)
+	}
+	if err := e.InsertRows(s.Table, out); err != nil {
+		return nil, err
+	}
+	return &ResultSet{}, nil
+}
+
+func inferColType(rows [][]Value, col int) ColType {
+	for _, r := range rows {
+		if r[col] != nil {
+			return InferType(r[col])
+		}
+	}
+	return TAny
+}
+
+// entry is one candidate output row before projection: the representative
+// underlying row plus computed aggregate/window values.
+type entry struct {
+	row     []Value
+	aggVals map[*sqlparser.FuncCall]Value
+	winVals map[*sqlparser.FuncCall]Value
+}
+
+// execSelectWithOuter runs one SELECT block. outer provides the enclosing
+// scope for correlated subqueries, or nil at top level.
+func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*ResultSet, error) {
+	rel, err := buildFrom(qc, sel.From, outer)
+	if err != nil {
+		return nil, err
+	}
+
+	baseEnv := &env{
+		qc:            qc,
+		rel:           rel,
+		outer:         outer,
+		subqueryCache: map[*sqlparser.SelectStmt]Value{},
+		inSetCache:    map[*sqlparser.SelectStmt]map[string]bool{},
+	}
+	if outer != nil {
+		baseEnv.subqueryCache = outer.subqueryCache
+		baseEnv.inSetCache = outer.inSetCache
+	}
+
+	// WHERE.
+	rows := rel.rows
+	if sel.Where != nil {
+		filtered := rows[:0:0]
+		for _, row := range rows {
+			baseEnv.row = row
+			v, err := baseEnv.eval(sel.Where)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := ToBool(v); ok && b {
+				filtered = append(filtered, row)
+			}
+		}
+		rows = filtered
+	}
+
+	// Collect aggregate and window calls from the output clauses.
+	aggCalls, winCalls := collectCalls(sel)
+	hasAgg := len(aggCalls) > 0 || len(sel.GroupBy) > 0
+
+	var entries []*entry
+	if hasAgg {
+		entries, err = aggregate(baseEnv, rel, rows, sel, aggCalls)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		entries = make([]*entry, len(rows))
+		for i, row := range rows {
+			entries[i] = &entry{row: row}
+		}
+	}
+
+	// HAVING.
+	if sel.Having != nil {
+		kept := entries[:0:0]
+		for _, en := range entries {
+			baseEnv.row = en.row
+			baseEnv.aggVals = en.aggVals
+			v, err := baseEnv.eval(sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := ToBool(v); ok && b {
+				kept = append(kept, en)
+			}
+		}
+		entries = kept
+	}
+	baseEnv.aggVals = nil
+
+	// Window functions over the (possibly aggregated) entries.
+	if len(winCalls) > 0 {
+		if err := computeWindows(baseEnv, entries, winCalls); err != nil {
+			return nil, err
+		}
+	}
+
+	// Projection.
+	cols, projRows, err := project(baseEnv, rel, entries, sel, hasAgg)
+	if err != nil {
+		return nil, err
+	}
+
+	// DISTINCT.
+	if sel.Distinct {
+		seen := map[string]bool{}
+		kept := projRows[:0:0]
+		keptEntries := entries[:0:0]
+		for i, pr := range projRows {
+			k := rowKey(pr)
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, pr)
+				if i < len(entries) {
+					keptEntries = append(keptEntries, entries[i])
+				}
+			}
+		}
+		projRows = kept
+		entries = keptEntries
+	}
+
+	// ORDER BY.
+	if len(sel.OrderBy) > 0 {
+		if err := orderRows(baseEnv, sel, cols, entries, projRows); err != nil {
+			return nil, err
+		}
+	}
+
+	// LIMIT.
+	if sel.Limit != nil {
+		baseEnv.row = nil
+		lv, err := baseEnv.eval(sel.Limit)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := ToInt(lv)
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("engine: bad LIMIT value %v", lv)
+		}
+		if int64(len(projRows)) > n {
+			projRows = projRows[:n]
+		}
+	}
+
+	rs := &ResultSet{Cols: cols, Rows: projRows}
+
+	// UNION continuation.
+	if sel.Union != nil {
+		rhs, err := execSelectWithOuter(qc, sel.Union, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(rhs.Cols) != len(rs.Cols) {
+			return nil, fmt.Errorf("engine: UNION column count mismatch (%d vs %d)", len(rs.Cols), len(rhs.Cols))
+		}
+		combined := append(rs.Rows, rhs.Rows...)
+		if !sel.UnionAll {
+			seen := map[string]bool{}
+			dedup := combined[:0:0]
+			for _, r := range combined {
+				k := rowKey(r)
+				if !seen[k] {
+					seen[k] = true
+					dedup = append(dedup, r)
+				}
+			}
+			combined = dedup
+		}
+		rs.Rows = combined
+	}
+	return rs, nil
+}
+
+func rowKey(row []Value) string {
+	var sb strings.Builder
+	for _, v := range row {
+		sb.WriteString(GroupKey(v))
+		sb.WriteByte('\x1f')
+	}
+	return sb.String()
+}
+
+// collectCalls gathers aggregate calls and window calls referenced by the
+// SELECT items, HAVING, and ORDER BY clauses.
+func collectCalls(sel *sqlparser.SelectStmt) (aggs, wins []*sqlparser.FuncCall) {
+	seenAgg := map[*sqlparser.FuncCall]bool{}
+	seenWin := map[*sqlparser.FuncCall]bool{}
+	visit := func(e sqlparser.Expr) {
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			fc, ok := x.(*sqlparser.FuncCall)
+			if !ok {
+				return true
+			}
+			if fc.Over != nil {
+				if !seenWin[fc] {
+					seenWin[fc] = true
+					wins = append(wins, fc)
+				}
+				return true // descend: args may contain aggregates
+			}
+			if sqlparser.AggregateFuncs[fc.Name] {
+				if !seenAgg[fc] {
+					seenAgg[fc] = true
+					aggs = append(aggs, fc)
+				}
+				return false // no nested aggregates
+			}
+			return true
+		})
+	}
+	for _, it := range sel.Items {
+		if it.Expr != nil {
+			visit(it.Expr)
+		}
+	}
+	if sel.Having != nil {
+		visit(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		visit(o.Expr)
+	}
+	return aggs, wins
+}
+
+// aggregate hash-groups rows and computes every aggregate call per group.
+func aggregate(baseEnv *env, rel *relation, rows [][]Value, sel *sqlparser.SelectStmt, aggCalls []*sqlparser.FuncCall) ([]*entry, error) {
+	type group struct {
+		repr []Value
+		accs []accumulator
+	}
+	newGroup := func(repr []Value) (*group, error) {
+		g := &group{repr: repr, accs: make([]accumulator, len(aggCalls))}
+		for i, fc := range aggCalls {
+			q, err := quantileLiteralArg(fc)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := newAccumulator(fc, q)
+			if err != nil {
+				return nil, err
+			}
+			g.accs[i] = acc
+		}
+		return g, nil
+	}
+
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range rows {
+		baseEnv.row = row
+		var kb strings.Builder
+		for _, ge := range sel.GroupBy {
+			v, err := baseEnv.eval(ge)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(GroupKey(v))
+			kb.WriteByte('\x1f')
+		}
+		key := kb.String()
+		g, ok := groups[key]
+		if !ok {
+			var err error
+			g, err = newGroup(row)
+			if err != nil {
+				return nil, err
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i, fc := range aggCalls {
+			acc := g.accs[i]
+			if fc.Star {
+				acc.addStar()
+				continue
+			}
+			if len(fc.Args) == 0 {
+				return nil, fmt.Errorf("engine: aggregate %s requires an argument", fc.Name)
+			}
+			v, err := baseEnv.eval(fc.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if err := acc.add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// A global aggregate over zero rows still yields one output row.
+	if len(groups) == 0 && len(sel.GroupBy) == 0 {
+		g, err := newGroup(make([]Value, rel.width()))
+		if err != nil {
+			return nil, err
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	entries := make([]*entry, 0, len(groups))
+	for _, key := range order {
+		g := groups[key]
+		av := make(map[*sqlparser.FuncCall]Value, len(aggCalls))
+		for i, fc := range aggCalls {
+			av[fc] = g.accs[i].result()
+		}
+		entries = append(entries, &entry{row: g.repr, aggVals: av})
+	}
+	return entries, nil
+}
+
+// computeWindows fills entry.winVals for every window call. Only aggregate
+// functions with OVER (PARTITION BY ...) are supported — the shape
+// VerdictDB's rewrites need.
+func computeWindows(baseEnv *env, entries []*entry, winCalls []*sqlparser.FuncCall) error {
+	for _, wc := range winCalls {
+		if !sqlparser.AggregateFuncs[wc.Name] {
+			return fmt.Errorf("engine: window function %s not supported", wc.Name)
+		}
+		// Partition entries.
+		parts := map[string][]*entry{}
+		var order []string
+		for _, en := range entries {
+			baseEnv.row = en.row
+			baseEnv.aggVals = en.aggVals
+			var kb strings.Builder
+			for _, pe := range wc.Over.PartitionBy {
+				v, err := baseEnv.eval(pe)
+				if err != nil {
+					return err
+				}
+				kb.WriteString(GroupKey(v))
+				kb.WriteByte('\x1f')
+			}
+			k := kb.String()
+			if _, ok := parts[k]; !ok {
+				order = append(order, k)
+			}
+			parts[k] = append(parts[k], en)
+		}
+		q, err := quantileLiteralArg(wc)
+		if err != nil {
+			return err
+		}
+		for _, k := range order {
+			members := parts[k]
+			acc, err := newAccumulator(&sqlparser.FuncCall{
+				Name: wc.Name, Distinct: wc.Distinct, Star: wc.Star, Args: wc.Args,
+			}, q)
+			if err != nil {
+				return err
+			}
+			for _, en := range members {
+				if wc.Star {
+					acc.addStar()
+					continue
+				}
+				baseEnv.row = en.row
+				baseEnv.aggVals = en.aggVals
+				v, err := baseEnv.eval(wc.Args[0])
+				if err != nil {
+					return err
+				}
+				if err := acc.add(v); err != nil {
+					return err
+				}
+			}
+			res := acc.result()
+			for _, en := range members {
+				if en.winVals == nil {
+					en.winVals = map[*sqlparser.FuncCall]Value{}
+				}
+				en.winVals[wc] = res
+			}
+		}
+	}
+	baseEnv.aggVals = nil
+	return nil
+}
+
+// project evaluates the select list for every entry.
+func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.SelectStmt, hasAgg bool) ([]string, [][]Value, error) {
+	// Determine output columns.
+	type outCol struct {
+		name string
+		expr sqlparser.Expr // nil means direct column copy
+		idx  int            // source index for star expansion
+	}
+	var outCols []outCol
+	for i, it := range sel.Items {
+		switch {
+		case it.Star:
+			for ci := range rel.names {
+				if it.StarTable != "" && !strings.EqualFold(rel.qualifiers[ci], it.StarTable) {
+					continue
+				}
+				outCols = append(outCols, outCol{name: rel.names[ci], expr: nil, idx: ci})
+			}
+			if it.StarTable != "" {
+				found := false
+				for ci := range rel.names {
+					if strings.EqualFold(rel.qualifiers[ci], it.StarTable) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return nil, nil, fmt.Errorf("engine: unknown table %q in %s.*", it.StarTable, it.StarTable)
+				}
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				name = deriveColName(it.Expr, i)
+			}
+			outCols = append(outCols, outCol{name: name, expr: it.Expr, idx: -1})
+		}
+	}
+
+	cols := make([]string, len(outCols))
+	for i, oc := range outCols {
+		cols[i] = oc.name
+	}
+	rowsOut := make([][]Value, len(entries))
+	for ei, en := range entries {
+		baseEnv.row = en.row
+		baseEnv.aggVals = en.aggVals
+		baseEnv.winVals = en.winVals
+		row := make([]Value, len(outCols))
+		for i, oc := range outCols {
+			if oc.expr == nil {
+				row[i] = en.row[oc.idx]
+				continue
+			}
+			v, err := baseEnv.eval(oc.expr)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[i] = v
+		}
+		rowsOut[ei] = row
+	}
+	baseEnv.aggVals = nil
+	baseEnv.winVals = nil
+	return cols, rowsOut, nil
+}
+
+func deriveColName(e sqlparser.Expr, pos int) string {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		return x.Name
+	case *sqlparser.FuncCall:
+		return x.Name
+	}
+	return fmt.Sprintf("_c%d", pos)
+}
+
+// orderRows sorts projRows (and entries, kept in lockstep) by the ORDER BY
+// terms. Terms may be output aliases, 1-based positions, or expressions over
+// the pre-projection row.
+func orderRows(baseEnv *env, sel *sqlparser.SelectStmt, cols []string, entries []*entry, projRows [][]Value) error {
+	n := len(projRows)
+	keys := make([][]Value, n)
+	aliasIdx := func(name string) int {
+		for i, c := range cols {
+			if strings.EqualFold(c, name) {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := 0; i < n; i++ {
+		key := make([]Value, len(sel.OrderBy))
+		for j, ob := range sel.OrderBy {
+			// Positional: ORDER BY 2.
+			if lit, ok := ob.Expr.(*sqlparser.Literal); ok {
+				if p, isInt := lit.Val.(int64); isInt && p >= 1 && int(p) <= len(cols) {
+					key[j] = projRows[i][p-1]
+					continue
+				}
+			}
+			// Output alias.
+			if cr, ok := ob.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+				if idx := aliasIdx(cr.Name); idx >= 0 {
+					key[j] = projRows[i][idx]
+					continue
+				}
+			}
+			if i >= len(entries) {
+				return fmt.Errorf("engine: cannot order by expression after DISTINCT")
+			}
+			baseEnv.row = entries[i].row
+			baseEnv.aggVals = entries[i].aggVals
+			baseEnv.winVals = entries[i].winVals
+			v, err := baseEnv.eval(ob.Expr)
+			if err != nil {
+				return err
+			}
+			key[j] = v
+		}
+		keys[i] = key
+	}
+	baseEnv.aggVals = nil
+	baseEnv.winVals = nil
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for j, ob := range sel.OrderBy {
+			va, vb := ka[j], kb[j]
+			var c int
+			switch {
+			case va == nil && vb == nil:
+				c = 0
+			case va == nil:
+				c = -1 // NULLs first ascending
+			case vb == nil:
+				c = 1
+			default:
+				c = Compare(va, vb)
+			}
+			if ob.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	permuted := make([][]Value, n)
+	for i, id := range idx {
+		permuted[i] = projRows[id]
+	}
+	copy(projRows, permuted)
+	if len(entries) == n {
+		pe := make([]*entry, n)
+		for i, id := range idx {
+			pe[i] = entries[id]
+		}
+		copy(entries, pe)
+	}
+	return nil
+}

@@ -1,0 +1,345 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// buildFrom materializes the FROM clause into a relation.
+func buildFrom(qc *queryCtx, from sqlparser.TableExpr, outer *env) (*relation, error) {
+	if from == nil {
+		// FROM-less select: a single empty row.
+		return newRelation(nil, nil, [][]Value{{}}), nil
+	}
+	switch t := from.(type) {
+	case *sqlparser.TableRef:
+		tbl, rows, err := qc.eng.snapshot(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		qc.scanned += int64(len(rows))
+		qual := t.Alias
+		if qual == "" {
+			qual = baseName(t.Name)
+		}
+		quals := make([]string, len(tbl.Cols))
+		names := make([]string, len(tbl.Cols))
+		for i, c := range tbl.Cols {
+			quals[i] = qual
+			names[i] = c.Name
+		}
+		return newRelation(quals, names, rows), nil
+	case *sqlparser.DerivedTable:
+		rs, err := execSelectWithOuter(qc, t.Select, nil)
+		if err != nil {
+			return nil, err
+		}
+		quals := make([]string, len(rs.Cols))
+		for i := range quals {
+			quals[i] = t.Alias
+		}
+		return newRelation(quals, rs.Cols, rs.Rows), nil
+	case *sqlparser.JoinExpr:
+		left, err := buildFrom(qc, t.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		right, err := buildFrom(qc, t.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		return joinRelations(qc, left, right, t, outer)
+	}
+	return nil, fmt.Errorf("engine: unsupported FROM element %T", from)
+}
+
+// baseName strips a schema qualifier: "verdict_meta.samples" -> "samples".
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// joinRelations implements hash-based equi-joins with residual predicates,
+// falling back to a nested-loop join when no equi-join pair exists.
+func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, outer *env) (*relation, error) {
+	combinedQuals := append(append([]string{}, left.qualifiers...), right.qualifiers...)
+	combinedNames := append(append([]string{}, left.names...), right.names...)
+	combined := newRelation(combinedQuals, combinedNames, nil)
+
+	on := je.On
+	// JOIN ... USING (c1, ...) is sugar for equality on the named columns.
+	if len(je.Using) > 0 {
+		for _, c := range je.Using {
+			eq := &sqlparser.BinaryExpr{
+				Op: "=",
+				L:  &sqlparser.ColumnRef{Table: qualifierFor(left, c), Name: c},
+				R:  &sqlparser.ColumnRef{Table: qualifierFor(right, c), Name: c},
+			}
+			if on == nil {
+				on = eq
+			} else {
+				on = &sqlparser.BinaryExpr{Op: "AND", L: on, R: eq}
+			}
+		}
+	}
+
+	leftKeys, rightKeys, residual := splitJoinCondition(left, right, on)
+
+	// Evaluation environments for key extraction.
+	lEnv := &env{qc: qc, rel: left, outer: outer}
+	rEnv := &env{qc: qc, rel: right, outer: outer}
+	combEnv := &env{qc: qc, rel: combined, outer: outer}
+
+	matches := func(lrow, rrow []Value) (bool, error) {
+		if residual == nil {
+			return true, nil
+		}
+		row := make([]Value, 0, len(lrow)+len(rrow))
+		row = append(row, lrow...)
+		row = append(row, rrow...)
+		combEnv.row = row
+		v, err := combEnv.eval(residual)
+		if err != nil {
+			return false, err
+		}
+		b, ok := ToBool(v)
+		return ok && b, nil
+	}
+
+	appendJoined := func(out [][]Value, lrow, rrow []Value) [][]Value {
+		row := make([]Value, 0, left.width()+right.width())
+		if lrow == nil {
+			lrow = make([]Value, left.width())
+		}
+		if rrow == nil {
+			rrow = make([]Value, right.width())
+		}
+		row = append(row, lrow...)
+		row = append(row, rrow...)
+		return append(out, row)
+	}
+
+	var out [][]Value
+
+	if len(leftKeys) == 0 {
+		// Nested-loop join (cross join or non-equi condition).
+		if je.Type == CrossJoinType() && residual == nil {
+			out = make([][]Value, 0, len(left.rows)*max(1, len(right.rows)))
+		}
+		switch je.Type {
+		case sqlparser.InnerJoin, sqlparser.CrossJoin:
+			for _, lrow := range left.rows {
+				for _, rrow := range right.rows {
+					ok, err := matches(lrow, rrow)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						out = appendJoined(out, lrow, rrow)
+					}
+				}
+			}
+		case sqlparser.LeftJoin:
+			for _, lrow := range left.rows {
+				matched := false
+				for _, rrow := range right.rows {
+					ok, err := matches(lrow, rrow)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matched = true
+						out = appendJoined(out, lrow, rrow)
+					}
+				}
+				if !matched {
+					out = appendJoined(out, lrow, nil)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("engine: %s requires an equi-join condition", je.Type)
+		}
+		combined.rows = out
+		return combined, nil
+	}
+
+	// Hash join: build on the right, probe from the left.
+	type bucket struct {
+		rows    [][]Value
+		matched []bool
+	}
+	build := make(map[string]*bucket, len(right.rows))
+	for _, rrow := range right.rows {
+		rEnv.row = rrow
+		key, null, err := evalKey(rEnv, rightKeys)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue // NULL join keys never match
+		}
+		b, ok := build[key]
+		if !ok {
+			b = &bucket{}
+			build[key] = b
+		}
+		b.rows = append(b.rows, rrow)
+		b.matched = append(b.matched, false)
+	}
+
+	for _, lrow := range left.rows {
+		lEnv.row = lrow
+		key, null, err := evalKey(lEnv, leftKeys)
+		if err != nil {
+			return nil, err
+		}
+		var matchedLeft bool
+		if !null {
+			if b, ok := build[key]; ok {
+				for i, rrow := range b.rows {
+					ok2, err := matches(lrow, rrow)
+					if err != nil {
+						return nil, err
+					}
+					if ok2 {
+						matchedLeft = true
+						b.matched[i] = true
+						out = appendJoined(out, lrow, rrow)
+					}
+				}
+			}
+		}
+		if !matchedLeft && (je.Type == sqlparser.LeftJoin || je.Type == sqlparser.FullJoin) {
+			out = appendJoined(out, lrow, nil)
+		}
+	}
+	if je.Type == sqlparser.RightJoin || je.Type == sqlparser.FullJoin {
+		for _, b := range build {
+			for i, rrow := range b.rows {
+				if !b.matched[i] {
+					out = appendJoined(out, nil, rrow)
+				}
+			}
+		}
+	}
+	combined.rows = out
+	return combined, nil
+}
+
+// CrossJoinType returns the cross-join tag (avoids exporting sqlparser in
+// signatures above).
+func CrossJoinType() sqlparser.JoinType { return sqlparser.CrossJoin }
+
+func qualifierFor(r *relation, col string) string {
+	for i, n := range r.names {
+		if strings.EqualFold(n, col) {
+			return r.qualifiers[i]
+		}
+	}
+	return ""
+}
+
+// splitJoinCondition decomposes an ON condition into hash-join key pairs
+// (expressions over the left and right inputs respectively) and a residual
+// predicate evaluated on combined rows.
+func splitJoinCondition(left, right *relation, on sqlparser.Expr) (leftKeys, rightKeys []sqlparser.Expr, residual sqlparser.Expr) {
+	if on == nil {
+		return nil, nil, nil
+	}
+	var conjuncts []sqlparser.Expr
+	var flatten func(e sqlparser.Expr)
+	flatten = func(e sqlparser.Expr) {
+		if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
+			flatten(be.L)
+			flatten(be.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	flatten(on)
+
+	sideOf := func(e sqlparser.Expr) int {
+		// 1 = resolves only in left, 2 = only in right, 0 = neither/both.
+		inLeft, inRight := true, true
+		anyCol := false
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if cr, ok := x.(*sqlparser.ColumnRef); ok {
+				anyCol = true
+				if !left.canResolve(cr.Table, cr.Name) {
+					inLeft = false
+				}
+				if !right.canResolve(cr.Table, cr.Name) {
+					inRight = false
+				}
+			}
+			if _, ok := x.(*sqlparser.SubqueryExpr); ok {
+				inLeft, inRight = false, false
+			}
+			return true
+		})
+		if !anyCol {
+			return 0
+		}
+		// A bare column name may resolve in both sides if names collide;
+		// such conditions stay residual.
+		switch {
+		case inLeft && !inRight:
+			return 1
+		case inRight && !inLeft:
+			return 2
+		}
+		return 0
+	}
+
+	for _, c := range conjuncts {
+		be, ok := c.(*sqlparser.BinaryExpr)
+		if ok && be.Op == "=" {
+			ls, rs := sideOf(be.L), sideOf(be.R)
+			switch {
+			case ls == 1 && rs == 2:
+				leftKeys = append(leftKeys, be.L)
+				rightKeys = append(rightKeys, be.R)
+				continue
+			case ls == 2 && rs == 1:
+				leftKeys = append(leftKeys, be.R)
+				rightKeys = append(rightKeys, be.L)
+				continue
+			}
+		}
+		if residual == nil {
+			residual = c
+		} else {
+			residual = &sqlparser.BinaryExpr{Op: "AND", L: residual, R: c}
+		}
+	}
+	return leftKeys, rightKeys, residual
+}
+
+// evalKey renders the join-key expressions into a composite hash key.
+// null is true when any component is NULL.
+func evalKey(ev *env, keys []sqlparser.Expr) (string, bool, error) {
+	var sb strings.Builder
+	for _, k := range keys {
+		v, err := ev.eval(k)
+		if err != nil {
+			return "", false, err
+		}
+		if v == nil {
+			return "", true, nil
+		}
+		sb.WriteString(GroupKey(v))
+		sb.WriteByte('\x1f')
+	}
+	return sb.String(), false, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Table is an in-memory row-store table. Rows are append-only; readers take
+// a snapshot of the row slice header under the engine lock, so concurrent
+// queries see a consistent prefix.
+type Table struct {
+	Name string
+	Cols []Column
+	Rows [][]Value
+}
+
+// ColIndex returns the index of the named column (case-insensitive), or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Engine is an in-memory SQL database. All access is through SQL via Exec
+// and Query, plus bulk-load helpers for test and workload data.
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	rngMu sync.Mutex
+	rng   rngSource
+}
+
+type rngSource interface {
+	Float64() float64
+	Int63n(int64) int64
+}
+
+// New returns an empty engine seeded deterministically.
+func New() *Engine { return NewSeeded(1) }
+
+// NewSeeded returns an empty engine whose rand() SQL function is driven by
+// the given seed. Deterministic seeds make experiments reproducible.
+func NewSeeded(seed int64) *Engine {
+	return &Engine{
+		tables: make(map[string]*Table),
+		rng:    newSplitMix(uint64(seed)),
+	}
+}
+
+// splitMix64 is a tiny, fast PRNG; good enough for Bernoulli sampling and
+// far cheaper than locking math/rand's global source.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed*0x9e3779b97f4a7c15 + 1} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitMix) Float64() float64 { return float64(s.next()>>11) / float64(uint64(1)<<53) }
+
+func (s *splitMix) Int63n(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(s.next() % uint64(n))
+}
+
+func (e *Engine) randFloat() float64 {
+	e.rngMu.Lock()
+	v := e.rng.Float64()
+	e.rngMu.Unlock()
+	return v
+}
+
+// CreateTable registers an empty table. It fails if the table exists.
+func (e *Engine) CreateTable(name string, cols []Column) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.tables[key]; ok {
+		return fmt.Errorf("engine: table %q already exists", name)
+	}
+	e.tables[key] = &Table{Name: name, Cols: append([]Column(nil), cols...)}
+	return nil
+}
+
+// DropTable removes a table. Missing tables error unless ifExists.
+func (e *Engine) DropTable(name string, ifExists bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("engine: table %q does not exist", name)
+	}
+	delete(e.tables, key)
+	return nil
+}
+
+// Lookup returns the named table, or an error.
+func (e *Engine) Lookup(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (e *Engine) HasTable(name string) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	_, ok := e.tables[strings.ToLower(name)]
+	return ok
+}
+
+// TableNames returns all table names, sorted.
+func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for _, t := range e.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RowCount returns the number of rows in the named table (0 if missing).
+func (e *Engine) RowCount(name string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if t, ok := e.tables[strings.ToLower(name)]; ok {
+		return len(t.Rows)
+	}
+	return 0
+}
+
+// InsertRows bulk-appends rows to a table, normalizing Go convenience types.
+// Row width must match the table's column count.
+func (e *Engine) InsertRows(name string, rows [][]Value) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("engine: unknown table %q", name)
+	}
+	for _, r := range rows {
+		if len(r) != len(t.Cols) {
+			return fmt.Errorf("engine: row width %d != %d columns of %q", len(r), len(t.Cols), name)
+		}
+		nr := make([]Value, len(r))
+		for i, v := range r {
+			nr[i] = Normalize(v)
+		}
+		t.Rows = append(t.Rows, nr)
+	}
+	return nil
+}
+
+// snapshot returns the table plus a stable view of its rows.
+func (e *Engine) snapshot(name string) (*Table, [][]Value, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, t.Rows, nil
+}
+
+// storeResult registers a table materialized from a query result (CTAS).
+func (e *Engine) storeResult(name string, cols []Column, rows [][]Value, ifNotExists bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := e.tables[key]; ok {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("engine: table %q already exists", name)
+	}
+	e.tables[key] = &Table{Name: name, Cols: cols, Rows: rows}
+	return nil
+}

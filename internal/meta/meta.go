@@ -1,0 +1,167 @@
+// Package meta maintains VerdictDB's sample metadata. As Section 2.3
+// requires, all metadata lives inside the underlying database itself (a
+// table named verdict_meta_samples), so a fresh VerdictDB connection to
+// the same database rediscovers previously built samples.
+package meta
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/sqlparser"
+)
+
+// MetaTable is the name of the metadata table inside the underlying DB.
+const MetaTable = "verdict_meta_samples"
+
+// SampleInfo describes one registered sample table.
+type SampleInfo struct {
+	SampleTable string
+	BaseTable   string
+	Type        sqlparser.SampleType
+	Ratio       float64  // requested sampling parameter tau
+	Columns     []string // ON columns for hashed/stratified samples
+	SampleRows  int64
+	BaseRows    int64
+	Subsamples  int64 // b: number of variational subsamples assigned
+	// UniverseKeys counts the distinct hash-column values in a hashed
+	// (universe) sample — tau * |domain|. The planner refuses degenerate
+	// universes (too few keys) per Appendix F's cardinality rule.
+	UniverseKeys int64
+}
+
+// EffectiveRatio is |sample| / |base| — what the planner scores with.
+func (s SampleInfo) EffectiveRatio() float64 {
+	if s.BaseRows == 0 {
+		return 0
+	}
+	return float64(s.SampleRows) / float64(s.BaseRows)
+}
+
+// ColumnSet returns the ON columns as a lower-cased set.
+func (s SampleInfo) ColumnSet() map[string]bool {
+	set := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		set[strings.ToLower(c)] = true
+	}
+	return set
+}
+
+// Catalog reads and writes sample metadata through the DB interface.
+type Catalog struct {
+	db drivers.DB
+}
+
+// Open returns a catalog bound to db, creating the metadata table if absent.
+func Open(db drivers.DB) (*Catalog, error) {
+	c := &Catalog{db: db}
+	err := db.Exec(fmt.Sprintf(`create table if not exists %s (
+		sample_table string, base_table string, sample_type string,
+		ratio double, on_columns string, sample_rows bigint,
+		base_rows bigint, subsamples bigint, universe_keys bigint)`, MetaTable))
+	if err != nil {
+		return nil, fmt.Errorf("meta: creating catalog table: %w", err)
+	}
+	return c, nil
+}
+
+// Register records a sample. Re-registering the same sample table replaces
+// the previous record.
+func (c *Catalog) Register(si SampleInfo) error {
+	if err := c.Drop(si.SampleTable); err != nil {
+		return err
+	}
+	sql := fmt.Sprintf(
+		"insert into %s values ('%s', '%s', '%s', %g, '%s', %d, %d, %d, %d)",
+		MetaTable,
+		escape(si.SampleTable), escape(strings.ToLower(si.BaseTable)), si.Type.String(),
+		si.Ratio, escape(strings.ToLower(strings.Join(si.Columns, ","))),
+		si.SampleRows, si.BaseRows, si.Subsamples, si.UniverseKeys)
+	return c.db.Exec(sql)
+}
+
+// Drop removes the record for a sample table (the table itself is the
+// caller's responsibility). The engine has no DELETE, so the catalog is
+// rewritten without the dropped row — metadata is tiny.
+func (c *Catalog) Drop(sampleTable string) error {
+	all, err := c.List()
+	if err != nil {
+		return err
+	}
+	keep := all[:0]
+	found := false
+	for _, si := range all {
+		if strings.EqualFold(si.SampleTable, sampleTable) {
+			found = true
+			continue
+		}
+		keep = append(keep, si)
+	}
+	if !found {
+		return nil
+	}
+	if err := c.db.Exec("drop table " + MetaTable); err != nil {
+		return err
+	}
+	if _, err := Open(c.db); err != nil {
+		return err
+	}
+	for _, si := range keep {
+		if err := c.Register(si); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// List returns all registered samples.
+func (c *Catalog) List() ([]SampleInfo, error) {
+	rs, err := c.db.Query("select sample_table, base_table, sample_type, ratio, on_columns, sample_rows, base_rows, subsamples, universe_keys from " + MetaTable)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SampleInfo, 0, len(rs.Rows))
+	for _, r := range rs.Rows {
+		si := SampleInfo{
+			SampleTable: engine.ToStr(r[0]),
+			BaseTable:   engine.ToStr(r[1]),
+		}
+		switch engine.ToStr(r[2]) {
+		case "uniform":
+			si.Type = sqlparser.UniformSample
+		case "hashed":
+			si.Type = sqlparser.HashedSample
+		case "stratified":
+			si.Type = sqlparser.StratifiedSample
+		}
+		si.Ratio, _ = engine.ToFloat(r[3])
+		if cols := engine.ToStr(r[4]); cols != "" {
+			si.Columns = strings.Split(cols, ",")
+		}
+		si.SampleRows, _ = engine.ToInt(r[5])
+		si.BaseRows, _ = engine.ToInt(r[6])
+		si.Subsamples, _ = engine.ToInt(r[7])
+		si.UniverseKeys, _ = engine.ToInt(r[8])
+		out = append(out, si)
+	}
+	return out, nil
+}
+
+// ForTable returns the samples registered for a base table.
+func (c *Catalog) ForTable(base string) ([]SampleInfo, error) {
+	all, err := c.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []SampleInfo
+	for _, si := range all {
+		if strings.EqualFold(si.BaseTable, base) {
+			out = append(out, si)
+		}
+	}
+	return out, nil
+}
+
+func escape(s string) string { return strings.ReplaceAll(s, "'", "''") }

@@ -1,0 +1,132 @@
+package meta
+
+import (
+	"testing"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/sqlparser"
+)
+
+func newCatalog(t *testing.T) (*Catalog, drivers.DB) {
+	t.Helper()
+	db := drivers.NewGeneric(engine.NewSeeded(1))
+	cat, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, db
+}
+
+func TestOpenIdempotent(t *testing.T) {
+	_, db := newCatalog(t)
+	// Re-opening over the same DB must not fail or wipe data.
+	cat2, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat2.Register(SampleInfo{
+		SampleTable: "s1", BaseTable: "t", Type: sqlparser.UniformSample,
+		Ratio: 0.01, SampleRows: 100, BaseRows: 10000, Subsamples: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cat3, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := cat3.List()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("list after reopen: %d, %v", len(all), err)
+	}
+}
+
+func TestRegisterRoundTripsAllFields(t *testing.T) {
+	cat, _ := newCatalog(t)
+	in := SampleInfo{
+		SampleTable: "orders_h", BaseTable: "Orders", Type: sqlparser.HashedSample,
+		Ratio: 0.025, Columns: []string{"user_id"},
+		SampleRows: 1234, BaseRows: 98765, Subsamples: 35, UniverseKeys: 321,
+	}
+	if err := cat.Register(in); err != nil {
+		t.Fatal(err)
+	}
+	all, err := cat.List()
+	if err != nil || len(all) != 1 {
+		t.Fatalf("%d %v", len(all), err)
+	}
+	got := all[0]
+	if got.SampleTable != "orders_h" || got.BaseTable != "orders" ||
+		got.Type != sqlparser.HashedSample || got.Ratio != 0.025 ||
+		len(got.Columns) != 1 || got.Columns[0] != "user_id" ||
+		got.SampleRows != 1234 || got.BaseRows != 98765 ||
+		got.Subsamples != 35 || got.UniverseKeys != 321 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestDropRemovesOnlyTarget(t *testing.T) {
+	cat, _ := newCatalog(t)
+	for _, name := range []string{"a", "b", "c"} {
+		if err := cat.Register(SampleInfo{
+			SampleTable: name, BaseTable: "t", Type: sqlparser.UniformSample,
+			Ratio: 0.01, SampleRows: 10, BaseRows: 1000, Subsamples: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Drop("b"); err != nil {
+		t.Fatal(err)
+	}
+	all, _ := cat.List()
+	if len(all) != 2 {
+		t.Fatalf("after drop: %d", len(all))
+	}
+	for _, si := range all {
+		if si.SampleTable == "b" {
+			t.Fatal("b still present")
+		}
+	}
+	// Dropping a missing sample is a no-op.
+	if err := cat.Drop("nope"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForTableCaseInsensitive(t *testing.T) {
+	cat, _ := newCatalog(t)
+	if err := cat.Register(SampleInfo{
+		SampleTable: "s", BaseTable: "Lineitem", Type: sqlparser.UniformSample,
+		Ratio: 0.01, SampleRows: 10, BaseRows: 1000, Subsamples: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cat.ForTable("LINEITEM")
+	if err != nil || len(got) != 1 {
+		t.Fatalf("case-insensitive lookup: %d %v", len(got), err)
+	}
+}
+
+func TestEffectiveRatio(t *testing.T) {
+	si := SampleInfo{SampleRows: 250, BaseRows: 10_000}
+	if r := si.EffectiveRatio(); r != 0.025 {
+		t.Fatalf("ratio %v", r)
+	}
+	if r := (SampleInfo{}).EffectiveRatio(); r != 0 {
+		t.Fatalf("zero base ratio %v", r)
+	}
+}
+
+func TestEscapedNames(t *testing.T) {
+	cat, _ := newCatalog(t)
+	if err := cat.Register(SampleInfo{
+		SampleTable: "weird's", BaseTable: "t", Type: sqlparser.UniformSample,
+		Ratio: 0.01, SampleRows: 1, BaseRows: 10, Subsamples: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := cat.List()
+	if err != nil || len(all) != 1 || all[0].SampleTable != "weird's" {
+		t.Fatalf("quote escaping: %+v %v", all, err)
+	}
+}

@@ -1,0 +1,101 @@
+package sampling
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/meta"
+	"verdictdb/internal/sqlparser"
+)
+
+// AppendBatch implements the incremental sample maintenance of Appendix D:
+// when a new batch of rows (already loaded into batchTable, same schema as
+// the base table) is appended to the base table, the sample is extended by
+// sampling the batch with the same parameters.
+//
+//   - uniform samples Bernoulli-sample the batch with the stored tau;
+//   - hashed samples apply the same hash predicate (so universe membership
+//     stays consistent);
+//   - stratified samples reuse each existing stratum's recorded inclusion
+//     probability (read back from the sample's verdict_prob column); rows of
+//     strata never seen before are taken whole (probability 1), matching the
+//     paper's "new sampling probabilities are generated" rule.
+//
+// The caller is responsible for also inserting the batch into the base
+// table; AppendBatch updates only the sample and its metadata.
+func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.SampleInfo, error) {
+	cols, err := b.db.Columns(si.BaseTable)
+	if err != nil {
+		return si, err
+	}
+	colList := strings.Join(cols, ", ")
+
+	var sql string
+	switch si.Type {
+	case sqlparser.UniformSample:
+		sql = fmt.Sprintf(
+			`insert into %s select %s, %.10g as %s, 1 + floor(rand() * %d) as %s from %s where rand() < %.10g`,
+			si.SampleTable, colList, si.Ratio, ProbCol, si.Subsamples, SidCol, batchTable, si.Ratio)
+	case sqlparser.HashedSample:
+		col := si.Columns[0]
+		sql = fmt.Sprintf(
+			`insert into %s select %s, %.10g as %s, 1 + hash_bucket(%s, %d) as %s from %s where hash01(%s) < %.10g`,
+			si.SampleTable, colList, si.Ratio, ProbCol, col, si.Subsamples, SidCol, batchTable, col, si.Ratio)
+	case sqlparser.StratifiedSample:
+		onConds := make([]string, len(si.Columns))
+		groupCols := make([]string, len(si.Columns))
+		for i, c := range si.Columns {
+			onConds[i] = fmt.Sprintf("verdict_b.%s = verdict_p.%s", c, c)
+			groupCols[i] = c
+		}
+		qualCols := make([]string, len(cols))
+		for i, c := range cols {
+			qualCols[i] = "verdict_b." + c
+		}
+		probs := fmt.Sprintf("(select %s, min(%s) as old_prob from %s group by %s)",
+			strings.Join(groupCols, ", "), ProbCol, si.SampleTable, strings.Join(groupCols, ", "))
+		sql = fmt.Sprintf(
+			`insert into %s select %s, coalesce(verdict_p.old_prob, 1.0) as %s, 1 + floor(rand() * %d) as %s `+
+				`from %s as verdict_b left join %s as verdict_p on %s `+
+				`where rand() < coalesce(verdict_p.old_prob, 1.0)`,
+			si.SampleTable, strings.Join(qualCols, ", "), ProbCol, si.Subsamples, SidCol,
+			batchTable, probs, strings.Join(onConds, " and "))
+	default:
+		return si, fmt.Errorf("sampling: cannot append to %s sample", si.Type)
+	}
+	if err := b.exec(sql); err != nil {
+		return si, err
+	}
+	// Refresh metadata counts.
+	rsB, err := b.db.Query("select count(*) from " + batchTable)
+	if err != nil {
+		return si, err
+	}
+	batchRows := int64(0)
+	if v, ok := toInt(rsB.Rows[0][0]); ok {
+		batchRows = v
+	}
+	si.BaseRows += batchRows
+	return b.register(si)
+}
+
+// IsStale reports whether a sample's recorded base-row count disagrees with
+// the base table's current cardinality — the cheap staleness check the
+// paper suggests for append-only workloads.
+func (b *Builder) IsStale(si meta.SampleInfo) (bool, error) {
+	n, err := b.baseRows(si.BaseTable)
+	if err != nil {
+		return false, err
+	}
+	return n != si.BaseRows, nil
+}
+
+func toInt(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case float64:
+		return int64(x), true
+	}
+	return 0, false
+}

@@ -1,0 +1,157 @@
+// Package sketch implements the streaming summaries that "native"
+// approximate aggregates in commercial engines rely on: HyperLogLog for
+// count-distinct (Impala's ndv, Redshift's approximate count) and a
+// reservoir-based quantile estimator (approx_median / percentile_disc).
+//
+// In the paper's Table 2 these native features are VerdictDB's comparators:
+// they are cheap in memory but must scan the entire table, whereas
+// VerdictDB's sampling-based answers scan 1-2%. The implementations here
+// preserve exactly that behaviour.
+package sketch
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// HLL is a HyperLogLog cardinality estimator with 2^p registers.
+// The standard-error of the estimate is roughly 1.04/sqrt(2^p).
+type HLL struct {
+	p         uint8
+	registers []uint8
+}
+
+// NewHLL returns a HyperLogLog sketch with precision p in [4, 18].
+// p=12 (4096 registers, ~1.6% error) matches common engine defaults.
+func NewHLL(p uint8) *HLL {
+	if p < 4 {
+		p = 4
+	}
+	if p > 18 {
+		p = 18
+	}
+	return &HLL{p: p, registers: make([]uint8, 1<<p)}
+}
+
+// AddString offers a string element to the sketch.
+//
+// The hash is domain-separated from Hash01/Hash64 (the sampling hashes):
+// without separation, ndv() over a universe sample collapses, because every
+// sampled key satisfies hash01(key) < tau and therefore occupies only the
+// first tau fraction of HLL registers.
+func (h *HLL) AddString(s string) { h.addHash(mix64(hash64str(s) ^ hllSalt)) }
+
+// hllSalt domain-separates the HLL's hash from the sampling hash.
+const hllSalt = 0x9e3779b97f4a7c15
+
+// AddInt64 offers an integer element to the sketch.
+func (h *HLL) AddInt64(v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.addHash(mix64(hash64bytes(buf[:]) ^ hllSalt))
+}
+
+// AddFloat64 offers a float element to the sketch.
+func (h *HLL) AddFloat64(v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	h.addHash(mix64(hash64bytes(buf[:]) ^ hllSalt))
+}
+
+func (h *HLL) addHash(x uint64) {
+	idx := x >> (64 - h.p)
+	rest := x<<h.p | 1<<(h.p-1) // ensure termination
+	rank := uint8(1)
+	for rest&(1<<63) == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Merge folds other into h. Both sketches must share the same precision.
+func (h *HLL) Merge(other *HLL) {
+	if other == nil || other.p != h.p {
+		return
+	}
+	for i, r := range other.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+}
+
+// Estimate returns the current cardinality estimate, with the small-range
+// (linear counting) and bias corrections from the original paper.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1.0 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := alphaM(len(h.registers))
+	raw := alpha * m * m / sum
+	if raw <= 2.5*m && zeros > 0 {
+		// Linear counting for small cardinalities.
+		return m * math.Log(m/float64(zeros))
+	}
+	if raw > (1.0/30.0)*math.Pow(2, 64) {
+		return -math.Pow(2, 64) * math.Log(1-raw/math.Pow(2, 64))
+	}
+	return raw
+}
+
+// StdError returns the theoretical relative standard error of the sketch.
+func (h *HLL) StdError() float64 { return 1.04 / math.Sqrt(float64(len(h.registers))) }
+
+func alphaM(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	}
+	return 0.7213 / (1 + 1.079/float64(m))
+}
+
+func hash64str(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+func hash64bytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return mix64(h.Sum64())
+}
+
+// mix64 is a finalizer (splitmix64) improving FNV's avalanche behaviour so
+// the leading bits used for register selection are well distributed.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Hash64 exposes the mixed 64-bit hash used by the sketches. The engine's
+// hash01() SQL function and hashed-sample creation reuse it so that hashed
+// samples and subdomain partitioning agree on bucket boundaries.
+func Hash64(s string) uint64 { return hash64str(s) }
+
+// Hash01 maps a string uniformly into [0, 1).
+func Hash01(s string) float64 {
+	return float64(hash64str(s)>>11) / float64(uint64(1)<<53)
+}

@@ -1,0 +1,77 @@
+package sketch
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// QuantileSketch estimates quantiles from a stream using bounded-size
+// reservoir sampling. This mirrors the behaviour of native approximate
+// median/percentile features (e.g. Redshift's approximate percentile_disc):
+// a full pass over the data feeding a bounded summary.
+type QuantileSketch struct {
+	capacity int
+	seen     int64
+	values   []float64
+	rng      *rand.Rand
+	sorted   bool
+}
+
+// NewQuantileSketch returns a sketch keeping at most capacity values.
+// A capacity of 4096 gives roughly 1-2% rank error in practice.
+func NewQuantileSketch(capacity int, seed int64) *QuantileSketch {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &QuantileSketch{
+		capacity: capacity,
+		values:   make([]float64, 0, capacity),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add offers one value to the sketch (reservoir sampling, Algorithm R).
+func (q *QuantileSketch) Add(v float64) {
+	q.seen++
+	q.sorted = false
+	if len(q.values) < q.capacity {
+		q.values = append(q.values, v)
+		return
+	}
+	j := q.rng.Int63n(q.seen)
+	if j < int64(q.capacity) {
+		q.values[j] = v
+	}
+}
+
+// Count returns the number of values offered so far.
+func (q *QuantileSketch) Count() int64 { return q.seen }
+
+// Quantile returns the estimated p-quantile (0 <= p <= 1) of the stream.
+// It returns 0 for an empty sketch.
+func (q *QuantileSketch) Quantile(p float64) float64 {
+	if len(q.values) == 0 {
+		return 0
+	}
+	if !q.sorted {
+		sort.Float64s(q.values)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.values[0]
+	}
+	if p >= 1 {
+		return q.values[len(q.values)-1]
+	}
+	// Linear interpolation between closest ranks.
+	pos := p * float64(len(q.values)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(q.values) {
+		return q.values[len(q.values)-1]
+	}
+	return q.values[lo]*(1-frac) + q.values[lo+1]*frac
+}
+
+// Median is Quantile(0.5).
+func (q *QuantileSketch) Median() float64 { return q.Quantile(0.5) }

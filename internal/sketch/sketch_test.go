@@ -1,0 +1,146 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{100, 1_000, 10_000, 100_000} {
+		h := NewHLL(12)
+		for i := 0; i < n; i++ {
+			h.AddString(fmt.Sprintf("key-%d", i))
+		}
+		est := h.Estimate()
+		rel := math.Abs(est-float64(n)) / float64(n)
+		if rel > 0.06 {
+			t.Errorf("n=%d: estimate %.0f (rel err %.3f)", n, est, rel)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := NewHLL(12)
+	for i := 0; i < 100_000; i++ {
+		h.AddString(fmt.Sprintf("key-%d", i%500))
+	}
+	est := h.Estimate()
+	if math.Abs(est-500)/500 > 0.1 {
+		t.Fatalf("estimate %.0f want ~500", est)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, b := NewHLL(12), NewHLL(12)
+	for i := 0; i < 5000; i++ {
+		a.AddInt64(int64(i))
+		b.AddInt64(int64(i + 2500)) // half overlap
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	if math.Abs(est-7500)/7500 > 0.06 {
+		t.Fatalf("merged estimate %.0f want ~7500", est)
+	}
+}
+
+func TestHLLTypedAdds(t *testing.T) {
+	h := NewHLL(12)
+	for i := 0; i < 1000; i++ {
+		h.AddFloat64(float64(i) + 0.5)
+	}
+	if est := h.Estimate(); math.Abs(est-1000)/1000 > 0.1 {
+		t.Fatalf("float adds: %.0f", est)
+	}
+}
+
+func TestHLLPrecisionClamping(t *testing.T) {
+	if got := len(NewHLL(2).registers); got != 16 {
+		t.Errorf("low precision clamp: %d registers", got)
+	}
+	if got := len(NewHLL(30).registers); got != 1<<18 {
+		t.Errorf("high precision clamp: %d registers", got)
+	}
+}
+
+func TestHash01Range(t *testing.T) {
+	f := func(s string) bool {
+		v := Hash01(s)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHash01Uniformity(t *testing.T) {
+	// Bucket 100k hashed integers into 10 bins; each should hold ~10%.
+	bins := make([]int, 10)
+	for i := 0; i < 100_000; i++ {
+		v := Hash01(fmt.Sprintf("i%d", i))
+		bins[int(v*10)]++
+	}
+	for b, c := range bins {
+		if c < 9_000 || c > 11_000 {
+			t.Errorf("bin %d holds %d of 100000", b, c)
+		}
+	}
+}
+
+func TestQuantileSketchExactUnderCapacity(t *testing.T) {
+	q := NewQuantileSketch(1024, 1)
+	for i := 1; i <= 101; i++ {
+		q.Add(float64(i))
+	}
+	if m := q.Median(); math.Abs(m-51) > 1e-9 {
+		t.Fatalf("median %v", m)
+	}
+	if p := q.Quantile(0.25); math.Abs(p-26) > 1 {
+		t.Fatalf("q25 %v", p)
+	}
+}
+
+func TestQuantileSketchLargeStream(t *testing.T) {
+	q := NewQuantileSketch(4096, 2)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500_000; i++ {
+		q.Add(rng.Float64() * 100)
+	}
+	if m := q.Median(); math.Abs(m-50) > 3 {
+		t.Fatalf("median %v want ~50", m)
+	}
+	if q.Count() != 500_000 {
+		t.Fatalf("count %d", q.Count())
+	}
+}
+
+func TestQuantileSketchEdges(t *testing.T) {
+	q := NewQuantileSketch(16, 1)
+	if q.Median() != 0 {
+		t.Error("empty sketch median")
+	}
+	q.Add(5)
+	if q.Quantile(0) != 5 || q.Quantile(1) != 5 {
+		t.Error("single-element quantiles")
+	}
+}
+
+func TestHLLIndependentOfSamplingHash(t *testing.T) {
+	// Keys pre-filtered by Hash01 (a universe sample) must still be counted
+	// accurately: the HLL hash is domain-separated from the sampling hash.
+	h := NewHLL(12)
+	kept := 0
+	for i := 0; i < 200_000; i++ {
+		key := fmt.Sprintf("i%d", i)
+		if Hash01(key) < 0.02 {
+			h.AddString(key)
+			kept++
+		}
+	}
+	est := h.Estimate()
+	if math.Abs(est-float64(kept))/float64(kept) > 0.06 {
+		t.Fatalf("ndv over universe sample: estimate %.0f want ~%d", est, kept)
+	}
+}

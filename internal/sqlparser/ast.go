@@ -1,0 +1,303 @@
+package sqlparser
+
+// Statement is any top-level SQL statement.
+type Statement interface{ stmtNode() }
+
+// SelectStmt is a SELECT query block, possibly with set operations chained
+// via Union.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableExpr // nil for FROM-less selects (e.g. SELECT 1)
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil if absent; must evaluate to a non-negative integer
+	// Union, if non-nil, is a UNION [ALL] continuation of this block.
+	Union    *SelectStmt
+	UnionAll bool
+}
+
+// SelectItem is one projection in a select list.
+type SelectItem struct {
+	Star      bool   // SELECT *
+	StarTable string // SELECT t.*  (table qualifier; empty for bare *)
+	Expr      Expr   // nil when Star
+	Alias     string // optional output name
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableExpr is a term in a FROM clause.
+type TableExpr interface{ tableNode() }
+
+// TableRef names a base table (or view) with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// DerivedTable is a parenthesized subquery in FROM; Alias is required by the
+// engine but optional at parse time.
+type DerivedTable struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// JoinType discriminates join flavors.
+type JoinType int
+
+// Join flavors.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	RightJoin
+	FullJoin
+	CrossJoin
+)
+
+func (j JoinType) String() string {
+	switch j {
+	case InnerJoin:
+		return "INNER JOIN"
+	case LeftJoin:
+		return "LEFT JOIN"
+	case RightJoin:
+		return "RIGHT JOIN"
+	case FullJoin:
+		return "FULL JOIN"
+	case CrossJoin:
+		return "CROSS JOIN"
+	}
+	return "JOIN"
+}
+
+// JoinExpr is a binary join between two table expressions.
+type JoinExpr struct {
+	Left, Right TableExpr
+	Type        JoinType
+	On          Expr     // nil for CROSS JOIN or USING
+	Using       []string // non-empty for JOIN ... USING (c1, c2)
+}
+
+func (*TableRef) tableNode()     {}
+func (*DerivedTable) tableNode() {}
+func (*JoinExpr) tableNode()     {}
+
+// Expr is any scalar (or aggregate) expression.
+type Expr interface{ exprNode() }
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Table string // may be empty
+	Name  string
+}
+
+// Literal is a constant. Val is one of int64, float64, string, bool, or nil.
+type Literal struct {
+	Val any
+}
+
+// BinaryExpr applies a binary operator. Op is one of:
+// + - * / % = <> < <= > >= AND OR ||
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies a unary operator: - or NOT.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// FuncCall is a scalar, aggregate, or window function application.
+type FuncCall struct {
+	Name     string // lower-cased
+	Distinct bool   // e.g. count(distinct x)
+	Star     bool   // count(*)
+	Args     []Expr
+	Over     *WindowSpec // non-nil for window functions
+}
+
+// WindowSpec is an OVER (...) clause. Only PARTITION BY is supported; that
+// is all VerdictDB's rewrites require.
+type WindowSpec struct {
+	PartitionBy []Expr
+}
+
+// When is a single WHEN ... THEN ... arm of a CASE expression.
+type When struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is either a searched CASE (Operand nil) or a simple CASE.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []When
+	Else    Expr // nil if absent
+}
+
+// SubqueryExpr is a scalar subquery usable wherever an expression is.
+type SubqueryExpr struct {
+	Select *SelectStmt
+}
+
+// InExpr is x [NOT] IN (list) or x [NOT] IN (subquery).
+type InExpr struct {
+	X        Expr
+	List     []Expr
+	Subquery *SelectStmt // nil if List used
+	Not      bool
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// LikeExpr is x [NOT] LIKE pattern with % and _ wildcards.
+type LikeExpr struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery). Parsed so that the middleware can
+// recognize and pass such queries through unchanged.
+type ExistsExpr struct {
+	Select *SelectStmt
+	Not    bool
+}
+
+// CastExpr is CAST(x AS type). The engine treats types loosely; the target
+// is kept for formatting fidelity.
+type CastExpr struct {
+	X    Expr
+	Type string
+}
+
+// IntervalExpr is INTERVAL 'n' unit, used in date arithmetic. The engine
+// folds date +/- interval on ISO-8601 date strings.
+type IntervalExpr struct {
+	Value string // the quoted quantity
+	Unit  string // day | month | year (lower-cased)
+}
+
+func (*ColumnRef) exprNode()    {}
+func (*Literal) exprNode()      {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*FuncCall) exprNode()     {}
+func (*CaseExpr) exprNode()     {}
+func (*SubqueryExpr) exprNode() {}
+func (*InExpr) exprNode()       {}
+func (*BetweenExpr) exprNode()  {}
+func (*LikeExpr) exprNode()     {}
+func (*IsNullExpr) exprNode()   {}
+func (*ExistsExpr) exprNode()   {}
+func (*CastExpr) exprNode()     {}
+func (*IntervalExpr) exprNode() {}
+
+func (*SelectStmt) stmtNode() {}
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type string // upper-cased type keyword; informational
+}
+
+// CreateTableStmt is CREATE TABLE [IF NOT EXISTS] name (cols) or
+// CREATE TABLE name AS SELECT ...
+type CreateTableStmt struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+	AsSelect    *SelectStmt
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS] name.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+// InsertStmt is INSERT INTO name [(cols)] VALUES (...),(...) or
+// INSERT INTO name [(cols)] SELECT ...
+type InsertStmt struct {
+	Table   string
+	Columns []string
+	Rows    [][]Expr
+	Select  *SelectStmt
+}
+
+func (*CreateTableStmt) stmtNode() {}
+func (*DropTableStmt) stmtNode()   {}
+func (*InsertStmt) stmtNode()      {}
+
+// SampleType enumerates VerdictDB sample flavors (Section 3.1).
+type SampleType int
+
+// Sample flavors.
+const (
+	UniformSample SampleType = iota
+	HashedSample
+	StratifiedSample
+)
+
+func (s SampleType) String() string {
+	switch s {
+	case UniformSample:
+		return "uniform"
+	case HashedSample:
+		return "hashed"
+	case StratifiedSample:
+		return "stratified"
+	}
+	return "irregular"
+}
+
+// CreateSampleStmt is the VerdictDB extension statement
+//
+//	CREATE [UNIFORM|HASHED|STRATIFIED] SAMPLE OF tbl [ON (c1, ...)] [RATIO r]
+//
+// It is handled entirely by the middleware, never forwarded to the engine.
+type CreateSampleStmt struct {
+	Type    SampleType
+	Table   string
+	Columns []string
+	Ratio   float64 // 0 means "use default"
+}
+
+// ShowSamplesStmt lists registered samples (middleware statement).
+type ShowSamplesStmt struct{}
+
+// BypassStmt forwards the wrapped statement verbatim to the engine.
+type BypassStmt struct {
+	Inner Statement
+	SQL   string
+}
+
+// ExplainStmt asks the middleware to describe how it would execute the
+// wrapped statement (sample plan, scores, rewritten SQL) without running it.
+type ExplainStmt struct {
+	Inner Statement
+	SQL   string
+}
+
+func (*CreateSampleStmt) stmtNode() {}
+func (*ShowSamplesStmt) stmtNode()  {}
+func (*BypassStmt) stmtNode()       {}
+func (*ExplainStmt) stmtNode()      {}

@@ -1,0 +1,201 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns a SQL string into a stream of tokens. It is case-insensitive
+// for keywords and preserves the original case of identifiers.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, advancing the lexer.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case c == '\'':
+		return l.lexString('\'')
+	case c == '`':
+		return l.lexQuotedIdent('`')
+	case c == '"':
+		return l.lexQuotedIdent('"')
+	case isIdentStart(c):
+		return l.lexWord()
+	}
+	// Operators and punctuation, longest match first.
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.pos += 2
+		return Token{Kind: TokOp, Text: two, Pos: start}
+	}
+	l.pos++
+	switch c {
+	case '+', '-', '*', '/', '%', '(', ')', ',', '=', '<', '>', '.', ';':
+		return Token{Kind: TokOp, Text: string(c), Pos: start}
+	case '?':
+		return Token{Kind: TokParam, Text: "?", Pos: start}
+	}
+	return Token{Kind: TokIllegal, Text: string(c), Pos: start}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexNumber() Token {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			// Exponent must be followed by digits or a sign.
+			if l.pos+1 < len(l.src) && (isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+				seenExp = true
+				l.pos++
+				if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+					l.pos++
+				}
+			} else {
+				goto done
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	kind := TokInt
+	if seenDot || seenExp {
+		kind = TokFloat
+	}
+	return Token{Kind: kind, Text: text, Pos: start}
+}
+
+func (l *Lexer) lexString(quote byte) Token {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// Doubled quote is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				sb.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			switch next {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteByte(next)
+			default:
+				sb.WriteByte(next)
+			}
+			l.pos += 2
+			continue
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{Kind: TokIllegal, Text: "unterminated string", Pos: start}
+}
+
+func (l *Lexer) lexQuotedIdent(quote byte) Token {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return Token{Kind: TokQuotedIdent, Text: sb.String(), Pos: start}
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{Kind: TokIllegal, Text: "unterminated quoted identifier", Pos: start}
+}
+
+func (l *Lexer) lexWord() Token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return Token{Kind: TokKeyword, Text: upper, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: word, Pos: start}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+// Tokenize returns all tokens in src, excluding the trailing EOF. It is a
+// convenience used by tests.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t := l.Next()
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+		if t.Kind == TokIllegal {
+			return nil, fmt.Errorf("sqlparser: illegal token %q at offset %d", t.Text, t.Pos)
+		}
+		out = append(out, t)
+	}
+}

@@ -1,0 +1,496 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Expression grammar (lowest to highest precedence):
+//
+//	orExpr     := andExpr (OR andExpr)*
+//	andExpr    := notExpr (AND notExpr)*
+//	notExpr    := NOT notExpr | predicate
+//	predicate  := addExpr (compOp addExpr | IN ... | BETWEEN ... | LIKE ... | IS [NOT] NULL)?
+//	addExpr    := mulExpr (('+'|'-'|'||') mulExpr)*
+//	mulExpr    := unary (('*'|'/'|'%') unary)*
+//	unary      := '-' unary | primary
+//	primary    := literal | caseExpr | cast | exists | funcCall | columnRef |
+//	              '(' expr ')' | '(' select ')' | interval
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *Parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	not := false
+	if p.tok.Kind == TokKeyword && p.tok.Text == "NOT" {
+		// NOT may prefix IN / BETWEEN / LIKE.
+		if pk := p.peekTok(); pk.Kind == TokKeyword &&
+			(pk.Text == "IN" || pk.Text == "BETWEEN" || pk.Text == "LIKE") {
+			p.advance()
+			not = true
+		}
+	}
+	switch {
+	case p.tok.Kind == TokOp && isCompOp(p.tok.Text):
+		op := p.tok.Text
+		if op == "!=" {
+			op = "<>"
+		}
+		p.advance()
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, L: left, R: right}, nil
+	case p.acceptKeyword("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokKeyword && p.tok.Text == "SELECT" {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &InExpr{X: left, Subquery: sel, Not: not}, nil
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.accept(TokOp, ",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{X: left, List: list, Not: not}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{X: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &LikeExpr{X: left, Pattern: pat, Not: not}, nil
+	case p.acceptKeyword("IS"):
+		isNot := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{X: left, Not: isNot}, nil
+	}
+	return left, nil
+}
+
+func isCompOp(op string) bool {
+	switch op {
+	case "=", "<>", "!=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokOp && (p.tok.Text == "+" || p.tok.Text == "-" || p.tok.Text == "||") {
+		op := p.tok.Text
+		p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokOp && (p.tok.Text == "*" || p.tok.Text == "/" || p.tok.Text == "%") {
+		op := p.tok.Text
+		p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.tok.Kind == TokOp && p.tok.Text == "-" {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative numeric literals.
+		if lit, ok := x.(*Literal); ok {
+			switch v := lit.Val.(type) {
+			case int64:
+				return &Literal{Val: -v}, nil
+			case float64:
+				return &Literal{Val: -v}, nil
+			}
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	if p.tok.Kind == TokOp && p.tok.Text == "+" {
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokInt:
+		v, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			// Out-of-range integer literal: fall back to float.
+			f, ferr := strconv.ParseFloat(p.tok.Text, 64)
+			if ferr != nil {
+				return nil, p.errf("bad integer literal: %v", err)
+			}
+			p.advance()
+			return &Literal{Val: f}, nil
+		}
+		p.advance()
+		return &Literal{Val: v}, nil
+	case TokFloat:
+		f, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal: %v", err)
+		}
+		p.advance()
+		return &Literal{Val: f}, nil
+	case TokString:
+		s := p.tok.Text
+		p.advance()
+		return &Literal{Val: s}, nil
+	case TokKeyword:
+		switch p.tok.Text {
+		case "NULL":
+			p.advance()
+			return &Literal{Val: nil}, nil
+		case "TRUE":
+			p.advance()
+			return &Literal{Val: true}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{Val: false}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "EXISTS":
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &ExistsExpr{Select: sel}, nil
+		case "NOT":
+			p.advance()
+			if p.acceptKeyword("EXISTS") {
+				if err := p.expectOp("("); err != nil {
+					return nil, err
+				}
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &ExistsExpr{Select: sel, Not: true}, nil
+			}
+			x, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: "NOT", X: x}, nil
+		case "DATE":
+			// DATE 'YYYY-MM-DD' literal: dates are ISO strings in the engine.
+			p.advance()
+			if p.tok.Kind != TokString {
+				// "date" used as an identifier (column named date).
+				return p.columnOrCall("date")
+			}
+			s := p.tok.Text
+			p.advance()
+			return &Literal{Val: s}, nil
+		case "INTERVAL":
+			p.advance()
+			if p.tok.Kind != TokString && p.tok.Kind != TokInt {
+				return nil, p.errf("expected interval quantity")
+			}
+			val := p.tok.Text
+			p.advance()
+			unit, err := p.identifier()
+			if err != nil {
+				return nil, err
+			}
+			return &IntervalExpr{Value: val, Unit: strings.ToLower(strings.TrimSuffix(unit, "s"))}, nil
+		case "IF":
+			// if(cond, a, b) function form.
+			p.advance()
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			args, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: "if", Args: args}, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", p.tok.Text)
+	case TokIdent, TokQuotedIdent:
+		name := p.tok.Text
+		p.advance()
+		return p.columnOrCall(name)
+	case TokOp:
+		if p.tok.Text == "(" {
+			p.advance()
+			if p.tok.Kind == TokKeyword && p.tok.Text == "SELECT" {
+				sel, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return &SubqueryExpr{Select: sel}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if p.tok.Text == "*" {
+			// Bare * only valid as count(*) argument; handled in columnOrCall.
+			return nil, p.errf("unexpected *")
+		}
+	}
+	return nil, p.errf("unexpected token in expression")
+}
+
+// columnOrCall handles an identifier already consumed: it may be a bare
+// column, a qualified column (t.c), or a function call f(...).
+func (p *Parser) columnOrCall(name string) (Expr, error) {
+	if p.tok.Kind == TokOp && p.tok.Text == "." {
+		p.advance()
+		col, err := p.identifier()
+		if err != nil {
+			return nil, err
+		}
+		return &ColumnRef{Table: name, Name: col}, nil
+	}
+	if p.tok.Kind == TokOp && p.tok.Text == "(" {
+		p.advance()
+		fc := &FuncCall{Name: strings.ToLower(name)}
+		if p.tok.Kind == TokOp && p.tok.Text == "*" {
+			p.advance()
+			fc.Star = true
+		} else if !(p.tok.Kind == TokOp && p.tok.Text == ")") {
+			if p.acceptKeyword("DISTINCT") {
+				fc.Distinct = true
+			}
+			args, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = args
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("OVER") {
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			spec := &WindowSpec{}
+			if p.acceptKeyword("PARTITION") {
+				if err := p.expectKeyword("BY"); err != nil {
+					return nil, err
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					spec.PartitionBy = append(spec.PartitionBy, e)
+					if p.accept(TokOp, ",") {
+						continue
+					}
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			fc.Over = spec
+		}
+		return fc, nil
+	}
+	return &ColumnRef{Name: name}, nil
+}
+
+func (p *Parser) parseExprList() ([]Expr, error) {
+	var args []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.accept(TokOp, ",") {
+			continue
+		}
+		return args, nil
+	}
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	p.advance() // CASE
+	ce := &CaseExpr{}
+	if !(p.tok.Kind == TokKeyword && (p.tok.Text == "WHEN" || p.tok.Text == "END")) {
+		operand, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = operand
+	}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, When{Cond: cond, Then: then})
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	return ce, nil
+}
+
+func (p *Parser) parseCast() (Expr, error) {
+	p.advance() // CAST
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return &CastExpr{X: x, Type: typ}, nil
+}

@@ -1,0 +1,367 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustSelect(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	sel, err := ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", sql, err)
+	}
+	return sel
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT a, 1.5e3 FROM t WHERE x <> 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokenKind{TokKeyword, TokIdent, TokOp, TokFloat, TokKeyword, TokIdent,
+		TokKeyword, TokIdent, TokOp, TokString}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got kind %v want %v (%v)", i, kinds[i], want[i], toks[i])
+		}
+	}
+	if toks[9].Text != "it's" {
+		t.Errorf("string literal: got %q want %q", toks[9].Text, "it's")
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := Tokenize("SELECT -- line comment\n 1 /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens %v, want 4", len(toks), toks)
+	}
+}
+
+func TestLexerBacktickIdent(t *testing.T) {
+	toks, err := Tokenize("select `weird name` from `t`")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokQuotedIdent || toks[1].Text != "weird name" {
+		t.Fatalf("quoted ident: %v", toks[1])
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "select city, count(*) as c from orders where price > 100 group by city having count(*) > 5 order by c desc limit 10")
+	if len(sel.Items) != 2 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "c" {
+		t.Errorf("alias: %q", sel.Items[1].Alias)
+	}
+	fc, ok := sel.Items[1].Expr.(*FuncCall)
+	if !ok || !fc.Star || fc.Name != "count" {
+		t.Errorf("count(*): %#v", sel.Items[1].Expr)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil ||
+		len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc || sel.Limit == nil {
+		t.Errorf("clauses missing: %+v", sel)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, `select * from a inner join b on a.id = b.id left join c on b.x = c.x`)
+	j, ok := sel.From.(*JoinExpr)
+	if !ok || j.Type != LeftJoin {
+		t.Fatalf("outer join: %#v", sel.From)
+	}
+	inner, ok := j.Left.(*JoinExpr)
+	if !ok || inner.Type != InnerJoin {
+		t.Fatalf("inner join: %#v", j.Left)
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := mustSelect(t, "select avg(sales) from (select city, sum(price) as sales from orders group by city) as t")
+	dt, ok := sel.From.(*DerivedTable)
+	if !ok || dt.Alias != "t" {
+		t.Fatalf("derived: %#v", sel.From)
+	}
+	if len(dt.Select.GroupBy) != 1 {
+		t.Errorf("inner group by")
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	sel := mustSelect(t, "select sum(count(*)) over (partition by g) from t group by g")
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if fc.Over == nil || len(fc.Over.PartitionBy) != 1 {
+		t.Fatalf("window: %#v", fc)
+	}
+	inner, ok := fc.Args[0].(*FuncCall)
+	if !ok || inner.Name != "count" {
+		t.Fatalf("window arg: %#v", fc.Args[0])
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	sel := mustSelect(t, "select case when a > 1 then 'x' when a > 0 then 'y' else 'z' end from t")
+	ce, ok := sel.Items[0].Expr.(*CaseExpr)
+	if !ok || len(ce.Whens) != 2 || ce.Else == nil || ce.Operand != nil {
+		t.Fatalf("case: %#v", sel.Items[0].Expr)
+	}
+	sel2 := mustSelect(t, "select case x when 1 then 'a' end from t")
+	ce2 := sel2.Items[0].Expr.(*CaseExpr)
+	if ce2.Operand == nil {
+		t.Fatal("simple case operand missing")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	sel := mustSelect(t, `select * from t where a in (1,2,3) and b not like 'x%' and c between 1 and 2 and d is not null and not e = 1`)
+	if sel.Where == nil {
+		t.Fatal("where missing")
+	}
+	s := FormatExpr(sel.Where)
+	for _, want := range []string{"IN (1, 2, 3)", "NOT LIKE", "BETWEEN 1 AND 2", "IS NOT NULL", "NOT "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("formatted where %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParseScalarSubquery(t *testing.T) {
+	sel := mustSelect(t, "select * from t where price > (select avg(price) from t)")
+	be := sel.Where.(*BinaryExpr)
+	if _, ok := be.R.(*SubqueryExpr); !ok {
+		t.Fatalf("subquery: %#v", be.R)
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	sel := mustSelect(t, "select * from t where id in (select id from s)")
+	ie := sel.Where.(*InExpr)
+	if ie.Subquery == nil {
+		t.Fatal("in subquery missing")
+	}
+}
+
+func TestParseExists(t *testing.T) {
+	sel := mustSelect(t, "select * from t where exists (select 1 from s where s.id = t.id)")
+	if _, ok := sel.Where.(*ExistsExpr); !ok {
+		t.Fatalf("exists: %#v", sel.Where)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse("create table if not exists foo (a int, b double, c varchar(10))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if !ct.IfNotExists || ct.Name != "foo" || len(ct.Columns) != 3 {
+		t.Fatalf("create: %+v", ct)
+	}
+	if ct.Columns[2].Type != "VARCHAR" {
+		t.Errorf("type: %q", ct.Columns[2].Type)
+	}
+}
+
+func TestParseCTAS(t *testing.T) {
+	stmt, err := Parse("create table s as select * from t where rand() < 0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTableStmt)
+	if ct.AsSelect == nil {
+		t.Fatal("AS SELECT missing")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse("insert into t (a, b) values (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Fatalf("insert: %+v", ins)
+	}
+	stmt2, err := Parse("insert into t select * from s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt2.(*InsertStmt).Select == nil {
+		t.Fatal("insert-select missing")
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	stmt, err := Parse("drop table if exists t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.(*DropTableStmt).IfExists {
+		t.Fatal("if exists")
+	}
+}
+
+func TestParseCreateSample(t *testing.T) {
+	stmt, err := Parse("create stratified sample of orders on (city, state) ratio 0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := stmt.(*CreateSampleStmt)
+	if cs.Type != StratifiedSample || cs.Table != "orders" || len(cs.Columns) != 2 || cs.Ratio != 0.01 {
+		t.Fatalf("sample: %+v", cs)
+	}
+}
+
+func TestParseDateLiteralAndInterval(t *testing.T) {
+	sel := mustSelect(t, "select * from t where d >= date '1994-01-01' and d < date '1994-01-01' + interval '1' year")
+	s := FormatExpr(sel.Where)
+	if !strings.Contains(s, "'1994-01-01'") || !strings.Contains(s, "INTERVAL '1' year") {
+		t.Errorf("format: %s", s)
+	}
+}
+
+func TestParseStarQualified(t *testing.T) {
+	sel := mustSelect(t, "select t.*, 1 as one from t")
+	if !sel.Items[0].Star || sel.Items[0].StarTable != "t" {
+		t.Fatalf("t.*: %+v", sel.Items[0])
+	}
+	// Rewind path: t.col should still parse after lookahead.
+	sel2 := mustSelect(t, "select t.a, t.b from t")
+	if cr, ok := sel2.Items[0].Expr.(*ColumnRef); !ok || cr.Table != "t" || cr.Name != "a" {
+		t.Fatalf("qualified col: %#v", sel2.Items[0].Expr)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	sel := mustSelect(t, "select a from t union all select a from s")
+	if sel.Union == nil || !sel.UnionAll {
+		t.Fatalf("union: %+v", sel)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	sel := mustSelect(t, "select count(distinct user_id) from t")
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if !fc.Distinct || len(fc.Args) != 1 {
+		t.Fatalf("count distinct: %#v", fc)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"select city, count(*) as c from orders group by city",
+		"select * from a inner join b on a.id = b.id where a.x > 5",
+		"select avg(s) from (select sum(p) as s from t group by g) as d",
+		"select case when a = 1 then 2 else 3 end from t",
+		"select sum(x) over (partition by g), g from t",
+		"select * from t where a in (1, 2) or b like 'x%'",
+		"create table x as select * from y limit 5",
+		"select count(distinct a) from t where b between 1 and 10",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		out := Format(stmt)
+		stmt2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", out, q, err)
+		}
+		out2 := Format(stmt2)
+		if out != out2 {
+			t.Errorf("format not stable:\n  first:  %s\n  second: %s", out, out2)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	sel := mustSelect(t, "select a + b from t where c = 1")
+	clone := CloneSelect(sel)
+	// Mutate the clone; the original must not change.
+	clone.Items[0].Expr.(*BinaryExpr).Op = "-"
+	if sel.Items[0].Expr.(*BinaryExpr).Op != "+" {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestAggregateDetection(t *testing.T) {
+	sel := mustSelect(t, "select sum(x) + 1 from t")
+	if !HasAggregates(sel) {
+		t.Fatal("sum not detected")
+	}
+	sel2 := mustSelect(t, "select x + 1 from t")
+	if HasAggregates(sel2) {
+		t.Fatal("false positive")
+	}
+	sel3 := mustSelect(t, "select x from t group by x")
+	if !HasAggregates(sel3) {
+		t.Fatal("group by not detected")
+	}
+	// A window application of an aggregate is not a plain aggregate.
+	sel4 := mustSelect(t, "select sum(x) over () from t")
+	if IsAggregate(sel4.Items[0].Expr) {
+		t.Fatal("window counted as aggregate")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"select",
+		"select * from",
+		"select * from t where",
+		"select a from t group by",
+		"create table",
+		"select * from t join s", // missing ON
+		"select case end from t",
+		"insert into t values (1",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestParseErrorsHaveContext(t *testing.T) {
+	_, err := Parse("select * from t where ???")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error lacks position: %v", err)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	sel := mustSelect(t, "select -5, -2.5, 1 - -2 from t")
+	if v := sel.Items[0].Expr.(*Literal).Val; v != int64(-5) {
+		t.Fatalf("neg int: %v", v)
+	}
+	if v := sel.Items[1].Expr.(*Literal).Val; v != -2.5 {
+		t.Fatalf("neg float: %v", v)
+	}
+}
+
+func TestParseBypassAndShow(t *testing.T) {
+	stmt, err := Parse("bypass select * from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := stmt.(*BypassStmt)
+	if bp.SQL != "select * from t" {
+		t.Fatalf("bypass sql: %q", bp.SQL)
+	}
+	if _, err := Parse("show samples"); err != nil {
+		t.Fatal(err)
+	}
+}

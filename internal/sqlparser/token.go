@@ -1,0 +1,74 @@
+// Package sqlparser implements a lexer, an abstract syntax tree, and a
+// recursive-descent parser for the analytic SQL subset used by VerdictDB:
+// SELECT with projections, equi- and theta-joins, derived tables, WHERE,
+// GROUP BY, HAVING, ORDER BY, LIMIT, window functions, CASE expressions,
+// scalar subqueries, plus CREATE TABLE [AS SELECT], INSERT, and DROP TABLE.
+//
+// The parser is dialect-neutral; dialect rendering differences are handled
+// by the formatter (see format.go) together with internal/drivers.
+package sqlparser
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokQuotedIdent // `ident` or "ident"
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokOp    // operators and punctuation
+	TokParam // ? placeholder (parsed, not executed)
+	TokIllegal
+)
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; for keywords, upper-cased
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "EOF"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the set of reserved words recognized by the lexer. Words not
+// in this set lex as identifiers.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "ON": true, "AND": true, "OR": true, "NOT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "USING": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "ALL": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"NULL": true, "TRUE": true, "FALSE": true,
+	"IN": true, "BETWEEN": true, "LIKE": true, "IS": true, "EXISTS": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "IF": true,
+	"OVER": true, "PARTITION": true,
+	"UNION": true, "INTERSECT": true, "EXCEPT": true,
+	"INT": true, "BIGINT": true, "DOUBLE": true, "FLOAT": true,
+	"VARCHAR": true, "STRING": true, "BOOLEAN": true, "DATE": true,
+	"DECIMAL": true, "CHAR": true, "TEXT": true,
+	"CAST": true, "INTERVAL": true,
+	// VerdictDB extension statements (handled by the middleware, not engines).
+	"SAMPLE": true, "UNIFORM": true, "HASHED": true, "STRATIFIED": true,
+	"SHOW": true, "SAMPLES": true, "BYPASS": true, "EXPLAIN": true,
+}
+
+// IsKeyword reports whether the upper-cased word is reserved.
+func IsKeyword(word string) bool { return keywords[word] }

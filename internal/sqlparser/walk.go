@@ -1,0 +1,254 @@
+package sqlparser
+
+// WalkExpr calls fn on e and every sub-expression in pre-order. If fn
+// returns false, children of that node are not visited. Subqueries inside
+// expressions are not descended into (the caller decides how to handle
+// nested query blocks).
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *UnaryExpr:
+		WalkExpr(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+		if x.Over != nil {
+			for _, pe := range x.Over.PartitionBy {
+				WalkExpr(pe, fn)
+			}
+		}
+	case *CaseExpr:
+		WalkExpr(x.Operand, fn)
+		for _, w := range x.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Then, fn)
+		}
+		WalkExpr(x.Else, fn)
+	case *InExpr:
+		WalkExpr(x.X, fn)
+		for _, le := range x.List {
+			WalkExpr(le, fn)
+		}
+	case *BetweenExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Lo, fn)
+		WalkExpr(x.Hi, fn)
+	case *LikeExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Pattern, fn)
+	case *IsNullExpr:
+		WalkExpr(x.X, fn)
+	case *CastExpr:
+		WalkExpr(x.X, fn)
+	}
+}
+
+// CloneExpr returns a deep copy of e. Subqueries are cloned too.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		c := *x
+		return &c
+	case *Literal:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, X: CloneExpr(x.X)}
+	case *FuncCall:
+		c := &FuncCall{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		if x.Over != nil {
+			spec := &WindowSpec{}
+			for _, pe := range x.Over.PartitionBy {
+				spec.PartitionBy = append(spec.PartitionBy, CloneExpr(pe))
+			}
+			c.Over = spec
+		}
+		return c
+	case *CaseExpr:
+		c := &CaseExpr{Operand: CloneExpr(x.Operand), Else: CloneExpr(x.Else)}
+		for _, w := range x.Whens {
+			c.Whens = append(c.Whens, When{Cond: CloneExpr(w.Cond), Then: CloneExpr(w.Then)})
+		}
+		return c
+	case *SubqueryExpr:
+		return &SubqueryExpr{Select: CloneSelect(x.Select)}
+	case *InExpr:
+		c := &InExpr{X: CloneExpr(x.X), Not: x.Not}
+		for _, le := range x.List {
+			c.List = append(c.List, CloneExpr(le))
+		}
+		if x.Subquery != nil {
+			c.Subquery = CloneSelect(x.Subquery)
+		}
+		return c
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(x.X), Lo: CloneExpr(x.Lo), Hi: CloneExpr(x.Hi), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{X: CloneExpr(x.X), Pattern: CloneExpr(x.Pattern), Not: x.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(x.X), Not: x.Not}
+	case *ExistsExpr:
+		return &ExistsExpr{Select: CloneSelect(x.Select), Not: x.Not}
+	case *CastExpr:
+		return &CastExpr{X: CloneExpr(x.X), Type: x.Type}
+	case *IntervalExpr:
+		c := *x
+		return &c
+	}
+	return e
+}
+
+// CloneSelect returns a deep copy of a select statement.
+func CloneSelect(s *SelectStmt) *SelectStmt {
+	if s == nil {
+		return nil
+	}
+	c := &SelectStmt{Distinct: s.Distinct, UnionAll: s.UnionAll}
+	for _, it := range s.Items {
+		ci := SelectItem{Star: it.Star, StarTable: it.StarTable, Alias: it.Alias}
+		if it.Expr != nil {
+			ci.Expr = CloneExpr(it.Expr)
+		}
+		c.Items = append(c.Items, ci)
+	}
+	c.From = CloneTable(s.From)
+	c.Where = CloneExpr(s.Where)
+	for _, g := range s.GroupBy {
+		c.GroupBy = append(c.GroupBy, CloneExpr(g))
+	}
+	c.Having = CloneExpr(s.Having)
+	for _, o := range s.OrderBy {
+		c.OrderBy = append(c.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	c.Limit = CloneExpr(s.Limit)
+	c.Union = CloneSelect(s.Union)
+	return c
+}
+
+// CloneTable returns a deep copy of a table expression.
+func CloneTable(t TableExpr) TableExpr {
+	switch tt := t.(type) {
+	case nil:
+		return nil
+	case *TableRef:
+		c := *tt
+		return &c
+	case *DerivedTable:
+		return &DerivedTable{Select: CloneSelect(tt.Select), Alias: tt.Alias}
+	case *JoinExpr:
+		c := &JoinExpr{
+			Left:  CloneTable(tt.Left),
+			Right: CloneTable(tt.Right),
+			Type:  tt.Type,
+			On:    CloneExpr(tt.On),
+		}
+		c.Using = append(c.Using, tt.Using...)
+		return c
+	}
+	return t
+}
+
+// RewriteExpr applies fn bottom-up, replacing each node with fn's return
+// value. fn must not return nil for non-nil input.
+func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		x.L = RewriteExpr(x.L, fn)
+		x.R = RewriteExpr(x.R, fn)
+	case *UnaryExpr:
+		x.X = RewriteExpr(x.X, fn)
+	case *FuncCall:
+		for i, a := range x.Args {
+			x.Args[i] = RewriteExpr(a, fn)
+		}
+		if x.Over != nil {
+			for i, pe := range x.Over.PartitionBy {
+				x.Over.PartitionBy[i] = RewriteExpr(pe, fn)
+			}
+		}
+	case *CaseExpr:
+		x.Operand = RewriteExpr(x.Operand, fn)
+		for i := range x.Whens {
+			x.Whens[i].Cond = RewriteExpr(x.Whens[i].Cond, fn)
+			x.Whens[i].Then = RewriteExpr(x.Whens[i].Then, fn)
+		}
+		x.Else = RewriteExpr(x.Else, fn)
+	case *InExpr:
+		x.X = RewriteExpr(x.X, fn)
+		for i, le := range x.List {
+			x.List[i] = RewriteExpr(le, fn)
+		}
+	case *BetweenExpr:
+		x.X = RewriteExpr(x.X, fn)
+		x.Lo = RewriteExpr(x.Lo, fn)
+		x.Hi = RewriteExpr(x.Hi, fn)
+	case *LikeExpr:
+		x.X = RewriteExpr(x.X, fn)
+		x.Pattern = RewriteExpr(x.Pattern, fn)
+	case *IsNullExpr:
+		x.X = RewriteExpr(x.X, fn)
+	case *CastExpr:
+		x.X = RewriteExpr(x.X, fn)
+	}
+	return fn(e)
+}
+
+// AggregateFuncs is the set of aggregate function names the engine and the
+// middleware both understand.
+var AggregateFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"stddev": true, "stddev_samp": true, "var": true, "variance": true,
+	"var_samp": true, "percentile": true, "quantile": true, "median": true,
+	"ndv": true, "approx_median": true, "approx_count_distinct": true,
+}
+
+// IsAggregate reports whether e is an aggregate function call (not a window
+// application of one).
+func IsAggregate(e Expr) bool {
+	fc, ok := e.(*FuncCall)
+	return ok && fc.Over == nil && AggregateFuncs[fc.Name]
+}
+
+// ContainsAggregate reports whether any node inside e (excluding subqueries)
+// is an aggregate function call.
+func ContainsAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if IsAggregate(x) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// HasAggregates reports whether the select block computes any aggregate or
+// uses GROUP BY.
+func HasAggregates(s *SelectStmt) bool {
+	if len(s.GroupBy) > 0 {
+		return true
+	}
+	for _, it := range s.Items {
+		if it.Expr != nil && ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return s.Having != nil && ContainsAggregate(s.Having)
+}

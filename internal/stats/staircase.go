@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file implements Lemma 1 and the staircase function of Section 3.2:
+// VerdictDB builds stratified samples with a single Bernoulli-sampled
+// SELECT, choosing each stratum's sampling probability so that at least m
+// tuples survive with probability 1-delta.
+
+// GFunc is g(p; n) from Lemma 1: the (1-delta)-lower-confidence count of a
+// Binomial(n, p) under the normal approximation,
+//
+//	g(p; n) = sqrt(2 n p (1-p)) * erfcinv(2 (1-delta)) + n p.
+//
+// Sampling with probability p yields at least g(p;n) tuples out of n with
+// probability 1-delta.
+func GFunc(p float64, n int64, delta float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return float64(n)
+	}
+	nf := float64(n)
+	return math.Sqrt(2*nf*p*(1-p))*ErfcInv(2*(1-delta)) + nf*p
+}
+
+// MinSamplingProb returns f_m(n) = g^{-1}(m; n): the smallest sampling
+// probability p such that Bernoulli(p) sampling of n tuples yields at least
+// m tuples with probability 1-delta. It returns 1 when no p < 1 suffices.
+func MinSamplingProb(m, n int64, delta float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if m >= n {
+		return 1
+	}
+	// g(p; n) is monotonically increasing in p over (0,1) for the
+	// probabilities of interest; bisect.
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if GFunc(mid, n, delta) >= float64(m) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	if hi > 1 {
+		return 1
+	}
+	return hi
+}
+
+// StaircaseStep is one rung of the staircase function: strata with at least
+// MinSize tuples are sampled with probability Prob.
+type StaircaseStep struct {
+	MinSize int64
+	Prob    float64
+}
+
+// Staircase builds the descending staircase upper-bounding f_m(n) used in
+// the stratified-sample CASE expression: for a stratum of size s, use the
+// probability of the first step whose MinSize <= s (steps are ordered by
+// decreasing MinSize); strata smaller than m are taken whole (prob 1).
+//
+// m is the minimum tuples required per stratum, maxSize the largest stratum
+// size to cover, and levels the number of rungs between m and maxSize
+// (log-spaced, since f_m(n) ~ m/n decays geometrically).
+func Staircase(m, maxSize int64, delta float64, levels int) []StaircaseStep {
+	if levels < 2 {
+		levels = 2
+	}
+	if maxSize <= m {
+		return []StaircaseStep{{MinSize: 0, Prob: 1}}
+	}
+	steps := make([]StaircaseStep, 0, levels+1)
+	logLo, logHi := math.Log(float64(m)), math.Log(float64(maxSize))
+	// Descend from the largest stratum size to m. Each rung's probability
+	// is f_m evaluated at the rung's *lower* boundary, which upper-bounds
+	// f_m(n) for every n in the rung (f_m decreases in n).
+	for i := levels; i >= 1; i-- {
+		frac := float64(i) / float64(levels)
+		boundary := int64(math.Round(math.Exp(logLo + (logHi-logLo)*frac)))
+		prev := int64(math.Round(math.Exp(logLo + (logHi-logLo)*float64(i-1)/float64(levels))))
+		if boundary <= prev {
+			continue
+		}
+		p := MinSamplingProb(m, prev, delta)
+		if p > 1 {
+			p = 1
+		}
+		steps = append(steps, StaircaseStep{MinSize: prev, Prob: p})
+	}
+	steps = append(steps, StaircaseStep{MinSize: 0, Prob: 1})
+	return steps
+}
+
+// StaircaseCaseSQL renders the staircase into the CASE expression used in
+// the stratified sampling query (Section 3.2):
+//
+//	case when strata_size >= 2000 then 0.011 when ... else 1 end
+//
+// sizeCol is the column holding the stratum size.
+func StaircaseCaseSQL(steps []StaircaseStep, sizeCol string) string {
+	var sb strings.Builder
+	sb.WriteString("case")
+	for _, s := range steps {
+		if s.MinSize <= 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, " when %s >= %d then %.10g", sizeCol, s.MinSize, s.Prob)
+	}
+	sb.WriteString(" else 1 end")
+	return sb.String()
+}
+
+// StaircaseProb returns the probability the staircase assigns to a stratum
+// of the given size (mirrors the CASE expression in Go, for tests and for
+// the integrated baseline).
+func StaircaseProb(steps []StaircaseStep, size int64) float64 {
+	for _, s := range steps {
+		if size >= s.MinSize && s.MinSize > 0 {
+			return s.Prob
+		}
+	}
+	return 1
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// These tests check Theorem 2 empirically: the empirical distribution
+// L_n(x) built from variational subsamples converges to the true sampling
+// distribution J_n(x) of the estimator.
+
+// ksDistance computes the Kolmogorov-Smirnov distance between two sorted
+// samples' empirical CDFs.
+func ksDistance(a, b []float64) float64 {
+	sort.Float64s(a)
+	sort.Float64s(b)
+	i, j := 0, 0
+	worst := 0.0
+	for i < len(a) && j < len(b) {
+		var x float64
+		if a[i] <= b[j] {
+			x = a[i]
+			i++
+		} else {
+			x = b[j]
+			j++
+		}
+		fa := float64(i) / float64(len(a))
+		fb := float64(j) / float64(len(b))
+		if d := math.Abs(fa - fb); d > worst {
+			worst = d
+		}
+		_ = x
+	}
+	return worst
+}
+
+// variationalDeviations draws one sample of size n from a N(mu, sigma)
+// population and returns the scaled per-subsample deviations
+// sqrt(ns_i) * (g_i - g_0) — the terms of L_n(x) in Theorem 2.
+func variationalDeviations(n, ns int, mu, sigma float64, rng *rand.Rand) []float64 {
+	xs := make([]float64, n)
+	var sum float64
+	for i := range xs {
+		xs[i] = mu + sigma*rng.NormFloat64()
+		sum += xs[i]
+	}
+	g0 := sum / float64(n)
+	b := n / ns
+	sums := make([]float64, b)
+	counts := make([]int64, b)
+	for _, x := range xs {
+		sid := rng.Intn(b)
+		sums[sid] += x
+		counts[sid]++
+	}
+	var out []float64
+	for i := 0; i < b; i++ {
+		if counts[i] == 0 {
+			continue
+		}
+		gi := sums[i] / float64(counts[i])
+		out = append(out, math.Sqrt(float64(counts[i]))*(gi-g0))
+	}
+	return out
+}
+
+func TestTheorem2Convergence(t *testing.T) {
+	// The scaled deviations sqrt(ns_i)(g_i - g_0) should be distributed as
+	// sqrt(n)(g_0 - mu) is — i.e. both approach N(0, sigma^2). Compare the
+	// empirical L_n against the true sampling distribution (many fresh
+	// samples) via KS distance, which must shrink as n grows.
+	rng := rand.New(rand.NewSource(11))
+	const mu, sigma = 10.0, 10.0
+
+	ksAt := func(n int) float64 {
+		ns := int(math.Sqrt(float64(n)))
+		// L_n from a few sample draws (each contributes b deviations).
+		var ln []float64
+		for trial := 0; trial < 10; trial++ {
+			ln = append(ln, variationalDeviations(n, ns, mu, sigma, rng)...)
+		}
+		// True distribution of sqrt(n)(mean - mu): exactly N(0, sigma^2).
+		truth := make([]float64, len(ln))
+		for i := range truth {
+			truth[i] = sigma * rng.NormFloat64()
+		}
+		return ksDistance(ln, truth)
+	}
+
+	small := ksAt(1_000)
+	large := ksAt(100_000)
+	if large > 0.12 {
+		t.Errorf("L_n far from true distribution at n=100k: KS=%.3f", large)
+	}
+	if large > small+0.05 {
+		t.Errorf("KS distance grew with n: %.3f -> %.3f", small, large)
+	}
+}
+
+func TestTheorem2QuantilesMatchNormal(t *testing.T) {
+	// The 2.5% and 97.5% quantiles of the scaled deviations should sit near
+	// ±1.96 sigma, which is exactly what the middleware's error expression
+	// relies on.
+	rng := rand.New(rand.NewSource(12))
+	var devs []float64
+	for trial := 0; trial < 20; trial++ {
+		devs = append(devs, variationalDeviations(50_000, 224, 10, 10, rng)...)
+	}
+	sort.Float64s(devs)
+	lo := Quantile(devs, 0.025)
+	hi := Quantile(devs, 0.975)
+	if math.Abs(hi-19.6) > 3 || math.Abs(lo+19.6) > 3 {
+		t.Errorf("quantiles [%.2f, %.2f] far from ±19.6", lo, hi)
+	}
+}
+
+func TestSubsampleSizesBinomial(t *testing.T) {
+	// Definition 1: subsample sizes follow Binomial(n, ns/n); their mean
+	// must be ~ns and the empty-subsample fraction negligible for ns >> 1.
+	rng := rand.New(rand.NewSource(13))
+	const n, ns = 40_000, 200
+	b := n / ns
+	counts := make([]int, b)
+	for i := 0; i < n; i++ {
+		counts[rng.Intn(b)]++
+	}
+	var sum float64
+	empty := 0
+	for _, c := range counts {
+		sum += float64(c)
+		if c == 0 {
+			empty++
+		}
+	}
+	mean := sum / float64(b)
+	if math.Abs(mean-ns) > 1 {
+		t.Errorf("mean subsample size %.1f want %d", mean, ns)
+	}
+	if empty > 0 {
+		t.Errorf("%d empty subsamples at ns=%d", empty, ns)
+	}
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"verdictdb/internal/engine"
+)
+
+// The insta dataset mirrors the Instacart grocery schema the paper scales
+// 100x (Section 6.1): orders, order_products, products, aisles, departments.
+// Row proportions follow the public dataset (roughly 10 order_products rows
+// per order); absolute counts scale linearly.
+
+const (
+	instaOrdersBase        = 100_000
+	instaOrderProductsBase = 1_000_000
+	instaProductsBase      = 5_000
+	instaAisles            = 134
+	instaDepartments       = 21
+)
+
+var departmentNames = []string{
+	"frozen", "other", "bakery", "produce", "alcohol", "international",
+	"beverages", "pets", "dry goods pasta", "bulk", "personal care",
+	"meat seafood", "pantry", "breakfast", "canned goods", "dairy eggs",
+	"household", "babies", "snacks", "deli", "missing",
+}
+
+// LoadInsta creates and populates the insta-like grocery schema.
+func LoadInsta(e *engine.Engine, scale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	nOrders := int(float64(instaOrdersBase) * scale)
+	nOP := int(float64(instaOrderProductsBase) * scale)
+	nProducts := instaProductsBase
+	if nOrders < 10 {
+		return fmt.Errorf("workload: insta scale %v too small", scale)
+	}
+	nUsers := nOrders / 8
+	if nUsers < 2 {
+		nUsers = 2
+	}
+
+	col := func(n string, t engine.ColType) engine.Column { return engine.Column{Name: n, Type: t} }
+	if err := e.CreateTable("departments",
+		[]engine.Column{col("department_id", engine.TInt), col("department", engine.TString)}); err != nil {
+		return err
+	}
+	if err := e.CreateTable("aisles",
+		[]engine.Column{col("aisle_id", engine.TInt), col("aisle", engine.TString)}); err != nil {
+		return err
+	}
+	if err := e.CreateTable("products", []engine.Column{
+		col("product_id", engine.TInt), col("product_name", engine.TString),
+		col("aisle_id", engine.TInt), col("department_id", engine.TInt),
+		col("price", engine.TFloat),
+	}); err != nil {
+		return err
+	}
+	if err := e.CreateTable("orders", []engine.Column{
+		col("order_id", engine.TInt), col("user_id", engine.TInt),
+		col("order_dow", engine.TInt), col("order_hour", engine.TInt),
+		col("days_since_prior", engine.TInt),
+	}); err != nil {
+		return err
+	}
+	if err := e.CreateTable("order_products", []engine.Column{
+		col("order_id", engine.TInt), col("product_id", engine.TInt),
+		col("add_to_cart_order", engine.TInt), col("reordered", engine.TInt),
+		col("quantity", engine.TInt), col("price", engine.TFloat),
+	}); err != nil {
+		return err
+	}
+
+	var rows [][]engine.Value
+	for i := 0; i < instaDepartments; i++ {
+		rows = append(rows, []engine.Value{int64(i + 1), departmentNames[i%len(departmentNames)]})
+	}
+	if err := e.InsertRows("departments", rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	for i := 1; i <= instaAisles; i++ {
+		rows = append(rows, []engine.Value{int64(i), fmt.Sprintf("aisle-%d", i)})
+	}
+	if err := e.InsertRows("aisles", rows); err != nil {
+		return err
+	}
+
+	prodPrice := make([]float64, nProducts+1)
+	rows = make([][]engine.Value, 0, nProducts)
+	for i := 1; i <= nProducts; i++ {
+		price := 1 + rng.Float64()*24
+		prodPrice[i] = price
+		rows = append(rows, []engine.Value{
+			int64(i), fmt.Sprintf("product-%d", i),
+			int64(1 + rng.Intn(instaAisles)), int64(1 + rng.Intn(instaDepartments)),
+			price,
+		})
+	}
+	if err := e.InsertRows("products", rows); err != nil {
+		return err
+	}
+
+	// Orders: hour-of-day and day-of-week follow a plausible skew.
+	rows = make([][]engine.Value, 0, nOrders)
+	for i := 1; i <= nOrders; i++ {
+		hour := int64(8 + rng.Intn(14)) // daytime-heavy
+		if rng.Float64() < 0.15 {
+			hour = int64(rng.Intn(24))
+		}
+		rows = append(rows, []engine.Value{
+			int64(i), int64(1 + rng.Intn(nUsers)),
+			int64(rng.Intn(7)), hour, int64(rng.Intn(31)),
+		})
+	}
+	if err := e.InsertRows("orders", rows); err != nil {
+		return err
+	}
+
+	// Order products: product popularity is Zipf-ish.
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(nProducts-1))
+	rows = make([][]engine.Value, 0, nOP)
+	for i := 0; i < nOP; i++ {
+		pid := int64(zipf.Uint64() + 1)
+		qty := int64(1 + rng.Intn(4))
+		rows = append(rows, []engine.Value{
+			int64(1 + rng.Intn(nOrders)), pid,
+			int64(1 + i%12), int64(rng.Intn(2)),
+			qty, prodPrice[pid] * float64(qty),
+		})
+	}
+	return e.InsertRows("order_products", rows)
+}
+
+// InstaFactTables lists the tables VerdictDB samples for the iq workload.
+var InstaFactTables = []string{"orders", "order_products"}
+
+// LoadSynthetic creates the controlled dataset of Section 6.5: n rows with
+// attribute values of mean 10.0 and standard deviation 10.0, a uniform
+// selectivity column u in [0,1), and a low-cardinality group column.
+func LoadSynthetic(e *engine.Engine, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	if err := e.CreateTable("syn", []engine.Column{
+		{Name: "x", Type: engine.TFloat},
+		{Name: "u", Type: engine.TFloat},
+		{Name: "g", Type: engine.TInt},
+	}); err != nil {
+		return err
+	}
+	rows := make([][]engine.Value, 0, n)
+	for i := 0; i < n; i++ {
+		rows = append(rows, []engine.Value{
+			10.0 + 10.0*rng.NormFloat64(),
+			rng.Float64(),
+			int64(i % 10),
+		})
+	}
+	return e.InsertRows("syn", rows)
+}

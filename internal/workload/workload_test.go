@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"verdictdb/internal/engine"
+	"verdictdb/internal/sqlparser"
+)
+
+func TestLoadTPCHShapes(t *testing.T) {
+	e := engine.NewSeeded(1)
+	if err := LoadTPCH(e, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.RowCount("lineitem"); n != 30_000 {
+		t.Errorf("lineitem rows %d", n)
+	}
+	if n := e.RowCount("orders"); n != 7_500 {
+		t.Errorf("orders rows %d", n)
+	}
+	// Dimension floors hold at small scale.
+	if n := e.RowCount("supplier"); n < 1000 {
+		t.Errorf("supplier rows %d below floor", n)
+	}
+	if n := e.RowCount("nation"); n != 25 {
+		t.Errorf("nation rows %d", n)
+	}
+	if n := e.RowCount("region"); n != 5 {
+		t.Errorf("region rows %d", n)
+	}
+}
+
+func TestTPCHLineitemJoinsTotal(t *testing.T) {
+	e := engine.NewSeeded(2)
+	if err := LoadTPCH(e, 0.02, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Every lineitem row must join orders and partsupp (TPC-H invariant).
+	rs, err := e.Query(`select count(*) from lineitem l
+		inner join orders o on l.l_orderkey = o.o_orderkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := engine.ToInt(rs.Rows[0][0]); got != int64(e.RowCount("lineitem")) {
+		t.Errorf("lineitem-orders join lost rows: %d of %d", got, e.RowCount("lineitem"))
+	}
+	rs2, err := e.Query(`select count(*) from lineitem l
+		inner join partsupp ps on ps.ps_partkey = l.l_partkey and ps.ps_suppkey = l.l_suppkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := engine.ToInt(rs2.Rows[0][0]); got < int64(e.RowCount("lineitem")) {
+		t.Errorf("lineitem-partsupp join lost rows: %d of %d", got, e.RowCount("lineitem"))
+	}
+}
+
+func TestTPCHDeterministic(t *testing.T) {
+	a := engine.NewSeeded(3)
+	b := engine.NewSeeded(3)
+	if err := LoadTPCH(a, 0.02, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTPCH(b, 0.02, 9); err != nil {
+		t.Fatal(err)
+	}
+	qa, _ := a.Query("select sum(l_extendedprice) from lineitem")
+	qb, _ := b.Query("select sum(l_extendedprice) from lineitem")
+	if engine.ToStr(qa.Rows[0][0]) != engine.ToStr(qb.Rows[0][0]) {
+		t.Fatal("same seed, different data")
+	}
+}
+
+func TestLoadInstaShapes(t *testing.T) {
+	e := engine.NewSeeded(1)
+	if err := LoadInsta(e, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.RowCount("order_products"); n != 50_000 {
+		t.Errorf("order_products rows %d", n)
+	}
+	if n := e.RowCount("orders"); n != 5_000 {
+		t.Errorf("orders rows %d", n)
+	}
+	// Every order_products row joins a product and an order.
+	rs, err := e.Query(`select count(*) from order_products op
+		inner join products p on op.product_id = p.product_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := engine.ToInt(rs.Rows[0][0]); got != 50_000 {
+		t.Errorf("op-products join: %d", got)
+	}
+	// dow domain is 0..6.
+	rs2, _ := e.Query("select min(order_dow), max(order_dow) from orders")
+	lo, _ := engine.ToInt(rs2.Rows[0][0])
+	hi, _ := engine.ToInt(rs2.Rows[0][1])
+	if lo != 0 || hi != 6 {
+		t.Errorf("dow range [%d,%d]", lo, hi)
+	}
+}
+
+func TestLoadSyntheticMoments(t *testing.T) {
+	e := engine.NewSeeded(1)
+	if err := LoadSynthetic(e, 50_000, 5); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.Query("select avg(x), stddev(x), min(u), max(u) from syn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := engine.ToFloat(rs.Rows[0][0])
+	sd, _ := engine.ToFloat(rs.Rows[0][1])
+	if mean < 9.5 || mean > 10.5 {
+		t.Errorf("mean %v", mean)
+	}
+	if sd < 9.5 || sd > 10.5 {
+		t.Errorf("sd %v", sd)
+	}
+	umin, _ := engine.ToFloat(rs.Rows[0][2])
+	umax, _ := engine.ToFloat(rs.Rows[0][3])
+	if umin < 0 || umax >= 1 {
+		t.Errorf("u range [%v,%v]", umin, umax)
+	}
+}
+
+func TestAllQueriesParse(t *testing.T) {
+	for _, q := range AllQueries() {
+		if _, err := sqlparser.Parse(q.SQL); err != nil {
+			t.Errorf("%s does not parse: %v", q.ID, err)
+		}
+	}
+	if len(AllQueries()) != 33 {
+		t.Errorf("query count %d, want 33 (18 tq + 15 iq)", len(AllQueries()))
+	}
+}
+
+func TestAllQueriesExecuteExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := engine.NewSeeded(4)
+	if err := LoadTPCH(e, 0.02, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range TPCHQueries {
+		if _, err := e.Query(q.SQL); err != nil {
+			t.Errorf("%s failed exactly: %v", q.ID, err)
+		}
+	}
+	e2 := engine.NewSeeded(5)
+	if err := LoadInsta(e2, 0.02, 5); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range InstaQueries {
+		if _, err := e2.Query(q.SQL); err != nil {
+			t.Errorf("%s failed exactly: %v", q.ID, err)
+		}
+	}
+}
+
+func TestQueryIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, q := range AllQueries() {
+		if seen[q.ID] {
+			t.Errorf("duplicate id %s", q.ID)
+		}
+		seen[q.ID] = true
+		if !strings.HasPrefix(q.ID, "tq-") && !strings.HasPrefix(q.ID, "iq-") {
+			t.Errorf("bad id %s", q.ID)
+		}
+	}
+}

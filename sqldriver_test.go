@@ -1,0 +1,117 @@
+package verdictdb
+
+import (
+	"database/sql"
+	"testing"
+)
+
+func openSQL(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open("verdictdb", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSQLDriverBasicQuery(t *testing.T) {
+	db := openSQL(t, "dataset=insta;scale=0.05;seed=7;samples=auto")
+	rows, err := db.Query("select order_dow, count(*) as c from orders group by order_dow order by order_dow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil || len(cols) != 2 {
+		t.Fatalf("columns: %v %v", cols, err)
+	}
+	n := 0
+	var total int64
+	for rows.Next() {
+		var dow int64
+		var c float64 // approximate counts come back as floats
+		if err := rows.Scan(&dow, &c); err != nil {
+			t.Fatal(err)
+		}
+		total += int64(c)
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("dow groups: %d", n)
+	}
+	// ~5000 orders at scale 0.05.
+	if total < 3500 || total > 6500 {
+		t.Fatalf("total approx count %d", total)
+	}
+}
+
+func TestSQLDriverExecAndDDL(t *testing.T) {
+	db := openSQL(t, "dataset=none;seed=3")
+	if _, err := db.Exec("create table kv (k string, v double)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("insert into kv values ('a', 1.5), ('b', 2.5)"); err != nil {
+		t.Fatal(err)
+	}
+	row := db.QueryRow("bypass select sum(v) from kv")
+	var s float64
+	if err := row.Scan(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s != 4.0 {
+		t.Fatalf("sum %v", s)
+	}
+}
+
+func TestSQLDriverSharedDSN(t *testing.T) {
+	// Two sql.DB handles on the same DSN share one engine.
+	db1 := openSQL(t, "dataset=none;seed=5")
+	db2 := openSQL(t, "dataset=none;seed=5")
+	if _, err := db1.Exec("create table shared (x int)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Exec("insert into shared values (1)"); err != nil {
+		t.Fatalf("second handle does not share engine: %v", err)
+	}
+}
+
+func TestSQLDriverErrCols(t *testing.T) {
+	db := openSQL(t, "dataset=insta;scale=0.05;seed=9;samples=auto;errcols=1")
+	rows, err := db.Query("select count(*) as c from order_products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, _ := rows.Columns()
+	found := false
+	for _, c := range cols {
+		if c == "c_err" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("errcols=1 but columns are %v", cols)
+	}
+}
+
+func TestSQLDriverBadDSN(t *testing.T) {
+	db, err := sql.Open("verdictdb", "nonsense")
+	if err == nil {
+		// sql.Open defers driver errors to first use.
+		if _, err := db.Query("select 1"); err == nil {
+			t.Fatal("bad DSN accepted")
+		}
+		db.Close()
+	}
+}
+
+func TestSQLDriverNoTransactions(t *testing.T) {
+	db := openSQL(t, "dataset=none;seed=11")
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("Begin should fail")
+	}
+}

@@ -1,0 +1,225 @@
+// Package verdictdb is a Go implementation of VerdictDB (Park, Mozafari,
+// Sorenson, Wang — SIGMOD 2018): a database-agnostic approximate query
+// processing (AQP) middleware. It never touches database internals;
+// everything — sample construction, query approximation, and error
+// estimation via the paper's variational subsampling — is expressed as
+// standard SQL executed by the underlying engine.
+//
+// Quickstart:
+//
+//	eng := engine.NewSeeded(1)              // or any drivers.DB backend
+//	// ... load data into eng ...
+//	conn, _ := verdictdb.Open(drivers.NewGeneric(eng), verdictdb.Defaults())
+//	conn.Exec("create uniform sample of lineitem ratio 0.01")
+//	answer, _ := conn.Query("select l_returnflag, count(*) c from lineitem group by l_returnflag")
+//	lo, hi, _ := answer.ConfidenceInterval(0, 1)
+//
+// Queries VerdictDB cannot speed up (Table 1 of the paper) pass through to
+// the underlying engine unchanged.
+package verdictdb
+
+import (
+	"fmt"
+	"strings"
+
+	"verdictdb/internal/core"
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/meta"
+	"verdictdb/internal/sampling"
+	"verdictdb/internal/sqlparser"
+)
+
+// Answer re-exports the middleware answer type: approximate (or exact)
+// rows plus standard errors, confidence intervals, and provenance.
+type Answer = core.Answer
+
+// Options re-exports the middleware options (I/O budget, confidence,
+// accuracy contract, error-estimation method).
+type Options = core.Options
+
+// SampleInfo re-exports sample metadata.
+type SampleInfo = meta.SampleInfo
+
+// Defaults returns the paper's default options: 2% I/O budget, 95%
+// confidence, variational subsampling.
+func Defaults() Options { return core.DefaultOptions() }
+
+// Conn is a VerdictDB connection: a middleware bound to one underlying
+// database.
+type Conn struct {
+	db      drivers.DB
+	catalog *meta.Catalog
+	builder *sampling.Builder
+	mw      *core.Middleware
+	opts    Options
+}
+
+// Open connects VerdictDB to an underlying database. Sample metadata is
+// stored inside that database, so reconnecting rediscovers prior samples.
+func Open(db drivers.DB, opts Options) (*Conn, error) {
+	cat, err := meta.Open(db)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{
+		db:      db,
+		catalog: cat,
+		builder: sampling.NewBuilder(db, cat),
+		mw:      core.New(db, cat, opts),
+		opts:    opts,
+	}, nil
+}
+
+// OpenInMemory builds a fresh in-memory engine with the generic driver —
+// the quickest way to try the library.
+func OpenInMemory(seed int64, opts Options) (*Conn, *engine.Engine, error) {
+	eng := engine.NewSeeded(seed)
+	conn, err := Open(drivers.NewGeneric(eng), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return conn, eng, nil
+}
+
+// DB exposes the underlying database handle.
+func (c *Conn) DB() drivers.DB { return c.db }
+
+// Builder exposes the sample builder for advanced control (staircase
+// parameters, append maintenance).
+func (c *Conn) Builder() *sampling.Builder { return c.builder }
+
+// Middleware exposes the core middleware (benchmarks use it directly).
+func (c *Conn) Middleware() *core.Middleware { return c.mw }
+
+// Samples lists all registered samples.
+func (c *Conn) Samples() ([]SampleInfo, error) { return c.catalog.List() }
+
+// Query runs SQL through the AQP pipeline. SELECT statements with supported
+// aggregates are answered approximately from samples; everything else is
+// passed through to the underlying database. The VerdictDB extension
+// statements are handled here:
+//
+//	CREATE [UNIFORM|HASHED|STRATIFIED] SAMPLE OF tbl [ON (cols)] [RATIO r]
+//	SHOW SAMPLES
+//	BYPASS <sql>          -- force exact execution
+func (c *Conn) Query(sql string) (*Answer, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sqlparser.CreateSampleStmt:
+		return c.createSample(s)
+	case *sqlparser.ShowSamplesStmt:
+		return c.showSamples()
+	case *sqlparser.ExplainStmt:
+		if sel, ok := s.Inner.(*sqlparser.SelectStmt); ok {
+			return c.mw.Explain(sel)
+		}
+		return &Answer{
+			Cols:       []string{"step", "detail"},
+			Rows:       [][]engine.Value{{"support", "only SELECT statements are explained"}},
+			Confidence: c.opts.Confidence,
+		}, nil
+	case *sqlparser.BypassStmt:
+		if sel, ok := s.Inner.(*sqlparser.SelectStmt); ok {
+			_ = sel
+			rs, err := c.db.Query(s.SQL)
+			if err != nil {
+				return nil, err
+			}
+			return exactToAnswer(rs, c.opts.Confidence), nil
+		}
+		if err := c.db.Exec(s.SQL); err != nil {
+			return nil, err
+		}
+		return &Answer{Confidence: c.opts.Confidence}, nil
+	case *sqlparser.SelectStmt:
+		return c.mw.QuerySelect(s, sql)
+	default:
+		if err := c.db.Exec(sql); err != nil {
+			return nil, err
+		}
+		return &Answer{Confidence: c.opts.Confidence}, nil
+	}
+}
+
+// Exec is Query for statements whose result the caller ignores.
+func (c *Conn) Exec(sql string) error {
+	_, err := c.Query(sql)
+	return err
+}
+
+// CreateUniformSample builds a uniform sample with parameter tau.
+func (c *Conn) CreateUniformSample(table string, tau float64) (SampleInfo, error) {
+	return c.builder.CreateUniform(table, tau)
+}
+
+// CreateHashedSample builds a universe sample on a column.
+func (c *Conn) CreateHashedSample(table, column string, tau float64) (SampleInfo, error) {
+	return c.builder.CreateHashed(table, column, tau)
+}
+
+// CreateStratifiedSample builds a stratified sample on a column set.
+func (c *Conn) CreateStratifiedSample(table string, columns []string, tau float64) (SampleInfo, error) {
+	return c.builder.CreateStratified(table, columns, tau)
+}
+
+// CreateAutoSamples applies the default sampling policy (Appendix F).
+func (c *Conn) CreateAutoSamples(table string) ([]SampleInfo, error) {
+	return c.builder.CreateAuto(table)
+}
+
+func (c *Conn) createSample(s *sqlparser.CreateSampleStmt) (*Answer, error) {
+	ratio := s.Ratio
+	if ratio == 0 {
+		ratio = 0.01 // the paper's default tau
+	}
+	var si SampleInfo
+	var err error
+	switch s.Type {
+	case sqlparser.UniformSample:
+		si, err = c.builder.CreateUniform(s.Table, ratio)
+	case sqlparser.HashedSample:
+		if len(s.Columns) != 1 {
+			return nil, fmt.Errorf("verdictdb: hashed sample needs exactly one ON column")
+		}
+		si, err = c.builder.CreateHashed(s.Table, s.Columns[0], ratio)
+	case sqlparser.StratifiedSample:
+		si, err = c.builder.CreateStratified(s.Table, s.Columns, ratio)
+	default:
+		return nil, fmt.Errorf("verdictdb: unknown sample type")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{
+		Cols:       []string{"sample_table", "rows"},
+		Rows:       [][]engine.Value{{si.SampleTable, si.SampleRows}},
+		Confidence: c.opts.Confidence,
+	}, nil
+}
+
+func (c *Conn) showSamples() (*Answer, error) {
+	infos, err := c.catalog.List()
+	if err != nil {
+		return nil, err
+	}
+	a := &Answer{
+		Cols:       []string{"sample_table", "base_table", "type", "ratio", "columns", "sample_rows", "base_rows", "subsamples"},
+		Confidence: c.opts.Confidence,
+	}
+	for _, si := range infos {
+		a.Rows = append(a.Rows, []engine.Value{
+			si.SampleTable, si.BaseTable, si.Type.String(), si.Ratio,
+			strings.Join(si.Columns, ","), si.SampleRows, si.BaseRows, si.Subsamples,
+		})
+	}
+	return a, nil
+}
+
+func exactToAnswer(rs *engine.ResultSet, confidence float64) *Answer {
+	a := &Answer{Cols: rs.Cols, Rows: rs.Rows, Confidence: confidence, RowsScanned: rs.RowsScanned}
+	return a
+}

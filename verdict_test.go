@@ -1,0 +1,174 @@
+package verdictdb
+
+import (
+	"math"
+	"testing"
+
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+func newConn(t testing.TB) (*Conn, *engine.Engine) {
+	t.Helper()
+	conn, eng, err := OpenInMemory(7, Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.LoadInsta(eng, 0.05, 7); err != nil {
+		t.Fatal(err)
+	}
+	return conn, eng
+}
+
+func TestPublicAPISampleStatements(t *testing.T) {
+	conn, _ := newConn(t)
+	if err := conn.Exec("create uniform sample of order_products ratio 0.02"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Exec("create stratified sample of orders on (order_dow) ratio 0.02"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Exec("create hashed sample of orders on (user_id) ratio 0.02"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := conn.Query("show samples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 3 {
+		t.Fatalf("show samples rows: %d", len(a.Rows))
+	}
+	samples, err := conn.Samples()
+	if err != nil || len(samples) != 3 {
+		t.Fatalf("Samples(): %d, %v", len(samples), err)
+	}
+}
+
+func TestPublicAPIApproximateQuery(t *testing.T) {
+	conn, eng := newConn(t)
+	if err := conn.Exec("create uniform sample of order_products ratio 0.02"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := conn.Query("select count(*) as c, sum(price) as rev from order_products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Approximate {
+		t.Fatalf("status: %v", a.Status)
+	}
+	truth := float64(eng.RowCount("order_products"))
+	if math.Abs(a.Float(0, "c")-truth)/truth > 0.1 {
+		t.Fatalf("count %v want ~%v", a.Float(0, "c"), truth)
+	}
+	if lo, hi, ok := a.ConfidenceInterval(0, 0); !ok || lo >= hi {
+		t.Fatalf("interval: %v %v %v", lo, hi, ok)
+	}
+}
+
+func TestPublicAPIBypass(t *testing.T) {
+	conn, _ := newConn(t)
+	if err := conn.Exec("create uniform sample of order_products ratio 0.02"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := conn.Query("bypass select count(*) as c from order_products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Approximate {
+		t.Fatal("bypass was approximated")
+	}
+	if a.Float(0, "c") == 0 {
+		t.Fatal("bypass returned nothing")
+	}
+}
+
+func TestPublicAPIPassthroughDDL(t *testing.T) {
+	conn, eng := newConn(t)
+	if err := conn.Exec("create table note (id int, body string)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Exec("insert into note values (1, 'hello')"); err != nil {
+		t.Fatal(err)
+	}
+	if eng.RowCount("note") != 1 {
+		t.Fatal("DDL/DML did not reach engine")
+	}
+}
+
+func TestSamplesSurviveReconnect(t *testing.T) {
+	conn, eng := newConn(t)
+	if err := conn.Exec("create uniform sample of orders ratio 0.05"); err != nil {
+		t.Fatal(err)
+	}
+	// A new connection over the same engine rediscovers metadata.
+	conn2, err := Open(conn.DB(), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := conn2.Samples()
+	if err != nil || len(samples) != 1 {
+		t.Fatalf("reconnect lost samples: %d, %v", len(samples), err)
+	}
+	a, err := conn2.Query("select count(*) as c from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Approximate {
+		t.Fatal("reconnected conn did not use samples")
+	}
+	_ = eng
+}
+
+func TestDefaultRatioApplied(t *testing.T) {
+	conn, _ := newConn(t)
+	if err := conn.Exec("create uniform sample of order_products"); err != nil {
+		t.Fatal(err)
+	}
+	samples, _ := conn.Samples()
+	if len(samples) != 1 || samples[0].Ratio != 0.01 {
+		t.Fatalf("default ratio: %+v", samples)
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	conn, _ := newConn(t)
+	if err := conn.Exec("create uniform sample of order_products ratio 0.02"); err != nil {
+		t.Fatal(err)
+	}
+	a, err := conn.Query("explain select count(*) as c from order_products")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for _, r := range a.Rows {
+		out += r[0].(string) + ": " + r[1].(string) + "\n"
+	}
+	for _, want := range []string{"support: supported", "plan 1", "verdict_sid", "variational subsampling"} {
+		if !containsStr(out, want) {
+			t.Errorf("explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Unsupported query explains the passthrough.
+	a2, err := conn.Query("explain select * from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range a2.Rows {
+		if r[0] == "execution" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("explain of unsupported query lacks execution row")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
