@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test bench bench-json race vet
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/engine ./internal/core
+
+vet:
+	$(GO) vet ./...
+
+# Engine hot-path microbenchmarks (compare against a previous checkout with
+# benchstat, or diff the JSON from `make bench-json`).
+bench:
+	$(GO) test -run=- -bench 'E1' -benchmem ./internal/engine
+
+# Machine-readable engine perf numbers for cross-PR diffs.
+bench-json:
+	$(GO) run ./cmd/benchrunner -exp engine -benchout BENCH_engine.json

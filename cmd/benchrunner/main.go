@@ -19,6 +19,8 @@
 //	tradeoff-b   Figure 13 (accuracy/latency vs b)
 //	ns-sweep     Figure 14 (subsample-size choice)
 //	ablation     design-choice ablations (sample type, Lemma 1 delta, top-k)
+//	engine       engine hot-path microbenchmarks; writes BENCH_engine.json
+//	             (-benchout) so successive PRs can diff perf
 package main
 
 import (
@@ -36,6 +38,7 @@ func main() {
 	instaScale := flag.Float64("insta", 0, "insta scale override (1.0 = 1M order_products)")
 	trials := flag.Int("trials", 200, "Monte Carlo trials for correctness experiments")
 	seed := flag.Int64("seed", 42, "random seed")
+	benchOut := flag.String("benchout", "BENCH_engine.json", "engine microbenchmark JSON output (empty to skip)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -112,6 +115,10 @@ func main() {
 	run("ns-sweep", func() error {
 		bench.NsSweep(w, 500_000, maxInt(5, *trials/10), cfg.Seed)
 		return nil
+	})
+	run("engine", func() error {
+		_, err := bench.EngineBench(w, *benchOut, 5)
+		return err
 	})
 	run("ablation", func() error {
 		if _, err := bench.AblationSampleType(w, cfg.Seed); err != nil {

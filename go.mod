@@ -1,0 +1,3 @@
+module verdictdb
+
+go 1.24

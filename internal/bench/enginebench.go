@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"verdictdb/internal/engine"
+)
+
+// Engine microbenchmarks: the same E1-style scan→filter→aggregate queries
+// as internal/engine's BenchmarkE1* functions, run outside the testing
+// framework so cmd/benchrunner can persist machine-readable numbers
+// (BENCH_engine.json) for cross-PR perf diffs.
+
+// EngineBenchResult is one measured query.
+type EngineBenchResult struct {
+	Name    string  `json:"name"`
+	Rows    int     `json:"rows"`
+	Iters   int     `json:"iters"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// EngineBenchReport is the BENCH_engine.json payload.
+type EngineBenchReport struct {
+	Timestamp   string              `json:"timestamp"`
+	GoMaxProcs  int                 `json:"go_max_procs"`
+	Parallelism int                 `json:"parallelism"`
+	Benchmarks  []EngineBenchResult `json:"benchmarks"`
+}
+
+const engineBenchRows = 200_000
+
+var engineBenchQueries = []struct{ name, sql string }{
+	{"E1GroupedAgg", `
+		select g, flag, sum(x) as sx, sum(x * (1 - y)) as sxy,
+		       avg(x) as ax, count(*) as c
+		from fact where d <= '1998-09-02' group by g, flag`},
+	{"E1FilterAgg", `
+		select sum(x * y) as revenue from fact
+		where d >= '1994-01-01' and d < '1995-01-01'
+		  and y between 0.05 and 0.07 and x < 24`},
+	{"E1Project", `
+		select g, x * (1 - y) as net, substr(d, 1, 4) as yr
+		from fact where flag <> 'N'`},
+}
+
+// EngineBench measures the engine hot path and writes the report to
+// outPath ("" skips the file).
+func EngineBench(w io.Writer, outPath string, iters int) (*EngineBenchReport, error) {
+	if iters < 1 {
+		iters = 5
+	}
+	eng := engine.NewSeeded(7)
+	if err := eng.CreateTable("fact", []engine.Column{
+		{Name: "g", Type: engine.TInt},
+		{Name: "flag", Type: engine.TString},
+		{Name: "x", Type: engine.TFloat},
+		{Name: "y", Type: engine.TFloat},
+		{Name: "d", Type: engine.TString},
+	}); err != nil {
+		return nil, err
+	}
+	flags := []string{"A", "N", "R"}
+	rows := make([][]engine.Value, engineBenchRows)
+	for i := range rows {
+		rows[i] = []engine.Value{
+			int64(i % 25),
+			flags[i%3],
+			float64((i*7919)%100000) / 1000,
+			float64((i*104729)%1000) / 1000,
+			fmt.Sprintf("1994-%02d-%02d", i%12+1, i%28+1),
+		}
+	}
+	if err := eng.InsertRows("fact", rows); err != nil {
+		return nil, err
+	}
+
+	rep := &EngineBenchReport{
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: eng.Parallelism(),
+	}
+	fmt.Fprintf(w, "## Engine scan→filter→aggregate microbenchmarks (%d rows, %d iters)\n",
+		engineBenchRows, iters)
+	for _, q := range engineBenchQueries {
+		if _, err := eng.Query(q.sql); err != nil { // warmup
+			return nil, fmt.Errorf("%s: %w", q.name, err)
+		}
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := eng.Query(q.sql); err != nil {
+				return nil, fmt.Errorf("%s: %w", q.name, err)
+			}
+		}
+		perOp := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		rep.Benchmarks = append(rep.Benchmarks, EngineBenchResult{
+			Name: q.name, Rows: engineBenchRows, Iters: iters, NsPerOp: perOp,
+		})
+		fmt.Fprintf(w, "%-16s %12.0f ns/op\n", q.name, perOp)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return rep, nil
+}

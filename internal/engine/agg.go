@@ -15,6 +15,14 @@ type accumulator interface {
 	add(v Value) error
 	addStar() // count(*) path: count the row regardless of value
 	result() Value
+	// merge folds another accumulator of the same concrete type into this
+	// one. The morsel-parallel scan builds per-worker partial aggregates
+	// and merges them in worker order.
+	merge(other accumulator) error
+}
+
+func errMergeMismatch(a, b accumulator) error {
+	return fmt.Errorf("engine: cannot merge %T into %T", b, a)
 }
 
 // newAccumulator builds an accumulator for the aggregate call fc.
@@ -24,7 +32,7 @@ func newAccumulator(fc *sqlparser.FuncCall, quantileArg float64) (accumulator, e
 		case "count":
 			return &distinctCountAcc{seen: map[string]bool{}}, nil
 		case "sum", "avg":
-			return &distinctSumAcc{name: fc.Name, seen: map[string]bool{}}, nil
+			return &distinctSumAcc{name: fc.Name, seen: map[string]float64{}}, nil
 		}
 		return nil, fmt.Errorf("engine: DISTINCT not supported for %s", fc.Name)
 	}
@@ -65,6 +73,14 @@ func (a *countAcc) add(v Value) error {
 }
 func (a *countAcc) addStar()      { a.n++ }
 func (a *countAcc) result() Value { return a.n }
+func (a *countAcc) merge(other accumulator) error {
+	o, ok := other.(*countAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	a.n += o.n
+	return nil
+}
 
 type sumAcc struct {
 	sum     float64
@@ -102,6 +118,23 @@ func (a *sumAcc) result() Value {
 	}
 	return a.sum
 }
+func (a *sumAcc) merge(other accumulator) error {
+	o, ok := other.(*sumAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	if !o.started {
+		return nil
+	}
+	if !a.started {
+		*a = *o
+		return nil
+	}
+	a.sum += o.sum
+	a.sawAny = a.sawAny || o.sawAny
+	a.intOnly = a.intOnly && o.intOnly
+	return nil
+}
 
 type avgAcc struct {
 	sum float64
@@ -127,6 +160,15 @@ func (a *avgAcc) result() Value {
 	}
 	return a.sum / float64(a.n)
 }
+func (a *avgAcc) merge(other accumulator) error {
+	o, ok := other.(*avgAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	a.sum += o.sum
+	a.n += o.n
+	return nil
+}
 
 type extremeAcc struct {
 	min  bool
@@ -146,6 +188,16 @@ func (a *extremeAcc) add(v Value) error {
 }
 func (a *extremeAcc) addStar()      {}
 func (a *extremeAcc) result() Value { return a.best }
+func (a *extremeAcc) merge(other accumulator) error {
+	o, ok := other.(*extremeAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	if o.best != nil {
+		return a.add(o.best)
+	}
+	return nil
+}
 
 type momentMode int
 
@@ -191,6 +243,28 @@ func (a *momentsAcc) result() Value {
 	return v
 }
 
+// merge combines two Welford states with the parallel-variance formula
+// (Chan et al.): m2 = m2a + m2b + delta^2 * na*nb/n.
+func (a *momentsAcc) merge(other accumulator) error {
+	o, ok := other.(*momentsAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	if o.n == 0 {
+		return nil
+	}
+	if a.n == 0 {
+		a.n, a.mean, a.m2 = o.n, o.mean, o.m2
+		return nil
+	}
+	n := a.n + o.n
+	delta := o.mean - a.mean
+	a.m2 += o.m2 + delta*delta*float64(a.n)*float64(o.n)/float64(n)
+	a.mean += delta * float64(o.n) / float64(n)
+	a.n = n
+	return nil
+}
+
 // percentileAcc computes an exact percentile by buffering values.
 type percentileAcc struct {
 	p    float64
@@ -222,6 +296,14 @@ func (a *percentileAcc) result() Value {
 	}
 	return a.vals[lo]*(1-frac) + a.vals[lo+1]*frac
 }
+func (a *percentileAcc) merge(other accumulator) error {
+	o, ok := other.(*percentileAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	a.vals = append(a.vals, o.vals...)
+	return nil
+}
 
 type sketchMedianAcc struct{ qs *sketch.QuantileSketch }
 
@@ -243,6 +325,14 @@ func (a *sketchMedianAcc) result() Value {
 	}
 	return a.qs.Median()
 }
+func (a *sketchMedianAcc) merge(other accumulator) error {
+	o, ok := other.(*sketchMedianAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	a.qs.Merge(o.qs)
+	return nil
+}
 
 type hllAcc struct{ h *sketch.HLL }
 
@@ -257,6 +347,14 @@ func (a *hllAcc) addStar() {}
 func (a *hllAcc) result() Value {
 	return int64(math.Round(a.h.Estimate()))
 }
+func (a *hllAcc) merge(other accumulator) error {
+	o, ok := other.(*hllAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	a.h.Merge(o.h)
+	return nil
+}
 
 type distinctCountAcc struct{ seen map[string]bool }
 
@@ -268,12 +366,27 @@ func (a *distinctCountAcc) add(v Value) error {
 }
 func (a *distinctCountAcc) addStar()      {}
 func (a *distinctCountAcc) result() Value { return int64(len(a.seen)) }
+func (a *distinctCountAcc) merge(other accumulator) error {
+	o, ok := other.(*distinctCountAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	for k := range o.seen {
+		a.seen[k] = true
+	}
+	return nil
+}
 
+// distinctSumAcc remembers each distinct key's numeric value (in first-seen
+// order) so that per-worker partial states can be unioned without
+// double-counting — and deterministically: merging in map order would
+// reassociate float additions differently on every run.
 type distinctSumAcc struct {
-	name string
-	seen map[string]bool
-	sum  float64
-	n    int64
+	name  string
+	seen  map[string]float64
+	order []string
+	sum   float64
+	n     int64
 }
 
 func (a *distinctSumAcc) add(v Value) error {
@@ -281,19 +394,37 @@ func (a *distinctSumAcc) add(v Value) error {
 		return nil
 	}
 	k := GroupKey(v)
-	if a.seen[k] {
+	if _, dup := a.seen[k]; dup {
 		return nil
 	}
-	a.seen[k] = true
 	f, ok := ToFloat(v)
 	if !ok {
 		return fmt.Errorf("engine: %s distinct of non-numeric %T", a.name, v)
 	}
+	a.seen[k] = f
+	a.order = append(a.order, k)
 	a.sum += f
 	a.n++
 	return nil
 }
 func (a *distinctSumAcc) addStar() {}
+func (a *distinctSumAcc) merge(other accumulator) error {
+	o, ok := other.(*distinctSumAcc)
+	if !ok {
+		return errMergeMismatch(a, other)
+	}
+	for _, k := range o.order {
+		if _, dup := a.seen[k]; dup {
+			continue
+		}
+		f := o.seen[k]
+		a.seen[k] = f
+		a.order = append(a.order, k)
+		a.sum += f
+		a.n++
+	}
+	return nil
+}
 func (a *distinctSumAcc) result() Value {
 	if a.n == 0 {
 		return nil

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// E1-style engine microbenchmarks: the scan→filter→aggregate hot path that
+// dominates every latency figure the bench harness regenerates (Figures 4/9).
+// cmd/benchrunner's "engine" experiment runs the same queries and writes
+// BENCH_engine.json so successive PRs can diff perf.
+
+const e1Rows = 200_000
+
+func e1Engine(b *testing.B) *Engine {
+	b.Helper()
+	e := NewSeeded(7)
+	if err := e.CreateTable("fact", []Column{
+		{Name: "g", Type: TInt},
+		{Name: "flag", Type: TString},
+		{Name: "x", Type: TFloat},
+		{Name: "y", Type: TFloat},
+		{Name: "d", Type: TString},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	flags := []string{"A", "N", "R"}
+	rng := newSplitMix(99)
+	rows := make([][]Value, e1Rows)
+	for i := range rows {
+		rows[i] = []Value{
+			rng.Int63n(25),
+			flags[rng.Int63n(3)],
+			rng.Float64() * 100,
+			rng.Float64(),
+			fmt.Sprintf("1994-%02d-%02d", rng.Int63n(12)+1, rng.Int63n(28)+1),
+		}
+	}
+	if err := e.InsertRows("fact", rows); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func benchE1Query(b *testing.B, e *Engine, sql string) {
+	b.Helper()
+	if _, err := e.Query(sql); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1GroupedAgg is the tq-1 shape: scan, date filter, group by two
+// low-cardinality columns, several sums/avgs.
+func BenchmarkE1GroupedAgg(b *testing.B) {
+	benchE1Query(b, e1Engine(b), `
+		select g, flag, sum(x) as sx, sum(x * (1 - y)) as sxy,
+		       avg(x) as ax, count(*) as c
+		from fact where d <= '1998-09-02' group by g, flag`)
+}
+
+// BenchmarkE1FilterAgg is the tq-6 shape: selective filter, global sum.
+func BenchmarkE1FilterAgg(b *testing.B) {
+	benchE1Query(b, e1Engine(b), `
+		select sum(x * y) as revenue from fact
+		where d >= '1994-01-01' and d < '1995-01-01'
+		  and y between 0.05 and 0.07 and x < 24`)
+}
+
+// BenchmarkE1Project is a CTAS-style full-table projection with computed
+// columns (the sample-creation shape, minus rand()).
+func BenchmarkE1Project(b *testing.B) {
+	benchE1Query(b, e1Engine(b), `
+		select g, x * (1 - y) as net, substr(d, 1, 4) as yr
+		from fact where flag <> 'N'`)
+}

@@ -1,0 +1,598 @@
+package engine
+
+import (
+	"strings"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// This file lowers sqlparser.Expr trees into closure chains once per query,
+// replacing the per-row tree walk of env.eval on the scan hot path. A
+// compiled expression resolves every column reference at compile time (so
+// row access is a direct index), bakes operators into per-op closures, and
+// records purity. Pure compiled expressions may be evaluated concurrently
+// by the morsel-parallel scan in parallel.go; impure ones (rand and
+// friends) still benefit from compilation but run on the serial path so
+// sampling stays deterministic.
+//
+// Anything the compiler cannot handle — subqueries (correlated or not),
+// aggregate or window references, columns that only resolve in an
+// enclosing scope — reports ok=false and execution falls back to the
+// interpreted env.eval path unchanged.
+
+// compiledExpr evaluates one expression against a row of the relation it
+// was compiled for. Implementations must be reentrant: pure compiled
+// expressions are called concurrently by parallel scan workers.
+type compiledExpr func(row []Value) (Value, error)
+
+// impureFuncs are the scalar functions whose result depends on engine RNG
+// state. Queries containing them never take the parallel path.
+var impureFuncs = map[string]bool{
+	"rand": true, "random": true, "rand_poisson1": true,
+}
+
+type compiler struct {
+	eng  *Engine
+	rel  *relation
+	pure bool
+}
+
+// compileExpr lowers e for rows of rel. ok=false means the expression needs
+// the interpreted path; pure=false means the closure draws from the engine
+// RNG and must run serially in row order.
+func compileExpr(eng *Engine, rel *relation, e sqlparser.Expr) (fn compiledExpr, pure, ok bool) {
+	c := &compiler{eng: eng, rel: rel, pure: true}
+	fn, ok = c.compile(e)
+	return fn, c.pure, ok
+}
+
+func (c *compiler) compile(e sqlparser.Expr) (compiledExpr, bool) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		v := x.Val
+		return func([]Value) (Value, error) { return v, nil }, true
+	case *sqlparser.ColumnRef:
+		idx, err := c.rel.resolve(x.Table, x.Name)
+		if err != nil {
+			// May resolve in an enclosing scope (or not at all: the
+			// interpreted path owns the error in either case).
+			return nil, false
+		}
+		return func(row []Value) (Value, error) { return row[idx], nil }, true
+	case *sqlparser.BinaryExpr:
+		return c.compileBinary(x)
+	case *sqlparser.UnaryExpr:
+		return c.compileUnary(x)
+	case *sqlparser.FuncCall:
+		return c.compileFunc(x)
+	case *sqlparser.CaseExpr:
+		return c.compileCase(x)
+	case *sqlparser.InExpr:
+		return c.compileIn(x)
+	case *sqlparser.BetweenExpr:
+		xf, ok1 := c.compile(x.X)
+		lo, ok2 := c.compile(x.Lo)
+		hi, ok3 := c.compile(x.Hi)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, false
+		}
+		not := x.Not
+		return func(row []Value) (Value, error) {
+			v, err := xf(row)
+			if err != nil {
+				return nil, err
+			}
+			lv, err := lo(row)
+			if err != nil {
+				return nil, err
+			}
+			hv, err := hi(row)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil || lv == nil || hv == nil {
+				return nil, nil
+			}
+			in := Compare(v, lv) >= 0 && Compare(v, hv) <= 0
+			return in != not, nil
+		}, true
+	case *sqlparser.LikeExpr:
+		xf, ok1 := c.compile(x.X)
+		pf, ok2 := c.compile(x.Pattern)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		not := x.Not
+		return func(row []Value) (Value, error) {
+			v, err := xf(row)
+			if err != nil {
+				return nil, err
+			}
+			p, err := pf(row)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil || p == nil {
+				return nil, nil
+			}
+			return likeMatch(ToStr(v), ToStr(p)) != not, nil
+		}, true
+	case *sqlparser.IsNullExpr:
+		xf, ok1 := c.compile(x.X)
+		if !ok1 {
+			return nil, false
+		}
+		not := x.Not
+		return func(row []Value) (Value, error) {
+			v, err := xf(row)
+			if err != nil {
+				return nil, err
+			}
+			return (v == nil) != not, nil
+		}, true
+	case *sqlparser.CastExpr:
+		xf, ok1 := c.compile(x.X)
+		if !ok1 {
+			return nil, false
+		}
+		typ := x.Type
+		return func(row []Value) (Value, error) {
+			v, err := xf(row)
+			if err != nil {
+				return nil, err
+			}
+			return castValue(v, typ)
+		}, true
+	}
+	// SubqueryExpr, ExistsExpr, IntervalExpr, anything unknown: interpreted.
+	return nil, false
+}
+
+func (c *compiler) compileUnary(x *sqlparser.UnaryExpr) (compiledExpr, bool) {
+	xf, ok := c.compile(x.X)
+	if !ok {
+		return nil, false
+	}
+	switch x.Op {
+	case "-":
+		return func(row []Value) (Value, error) {
+			v, err := xf(row)
+			if err != nil {
+				return nil, err
+			}
+			switch n := v.(type) {
+			case nil:
+				return nil, nil
+			case int64:
+				return -n, nil
+			case float64:
+				return -n, nil
+			}
+			return nil, errCannotNegate(v)
+		}, true
+	case "NOT":
+		return func(row []Value) (Value, error) {
+			v, err := xf(row)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				return nil, nil
+			}
+			b, ok := ToBool(v)
+			if !ok {
+				return nil, errNotNonBool(v)
+			}
+			return !b, nil
+		}, true
+	}
+	return nil, false
+}
+
+func (c *compiler) compileBinary(x *sqlparser.BinaryExpr) (compiledExpr, bool) {
+	switch x.Op {
+	case "AND", "OR":
+		lf, ok1 := c.compile(x.L)
+		rf, ok2 := c.compile(x.R)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		if x.Op == "AND" {
+			return func(row []Value) (Value, error) {
+				l, err := lf(row)
+				if err != nil {
+					return nil, err
+				}
+				if lb, ok := ToBool(l); ok && !lb {
+					return false, nil
+				}
+				r, err := rf(row)
+				if err != nil {
+					return nil, err
+				}
+				if rb, ok := ToBool(r); ok && !rb {
+					return false, nil
+				}
+				if l == nil || r == nil {
+					return nil, nil
+				}
+				return true, nil
+			}, true
+		}
+		return func(row []Value) (Value, error) {
+			l, err := lf(row)
+			if err != nil {
+				return nil, err
+			}
+			if lb, ok := ToBool(l); ok && lb {
+				return true, nil
+			}
+			r, err := rf(row)
+			if err != nil {
+				return nil, err
+			}
+			if rb, ok := ToBool(r); ok && rb {
+				return true, nil
+			}
+			if l == nil || r == nil {
+				return nil, nil
+			}
+			return false, nil
+		}, true
+	}
+
+	// Date +/- INTERVAL.
+	if iv, ok := x.R.(*sqlparser.IntervalExpr); ok && (x.Op == "+" || x.Op == "-") {
+		lf, ok1 := c.compile(x.L)
+		if !ok1 {
+			return nil, false
+		}
+		neg := x.Op == "-"
+		return func(row []Value) (Value, error) {
+			l, err := lf(row)
+			if err != nil {
+				return nil, err
+			}
+			if l == nil {
+				return nil, nil
+			}
+			return shiftDate(ToStr(l), iv, neg)
+		}, true
+	}
+
+	lf, ok1 := c.compile(x.L)
+	rf, ok2 := c.compile(x.R)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return c.compileCompare(x, lf, rf), true
+	case "||":
+		return func(row []Value) (Value, error) {
+			l, err := lf(row)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rf(row)
+			if err != nil {
+				return nil, err
+			}
+			if l == nil || r == nil {
+				return nil, nil
+			}
+			return ToStr(l) + ToStr(r), nil
+		}, true
+	case "+", "-", "*", "/", "%":
+		op := x.Op
+		return func(row []Value) (Value, error) {
+			l, err := lf(row)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rf(row)
+			if err != nil {
+				return nil, err
+			}
+			if l == nil || r == nil {
+				return nil, nil
+			}
+			return arith(op, l, r)
+		}, true
+	}
+	return nil, false
+}
+
+// compileCompare builds a comparison closure. When the right side is a
+// literal the common column-vs-constant shape gets a type-specialized fast
+// path that skips the generic Compare dispatch.
+func (c *compiler) compileCompare(x *sqlparser.BinaryExpr, lf, rf compiledExpr) compiledExpr {
+	op := x.Op
+	test := cmpTest(op)
+	if lit, isLit := x.R.(*sqlparser.Literal); isLit && lit.Val != nil {
+		switch rv := lit.Val.(type) {
+		case string:
+			return func(row []Value) (Value, error) {
+				l, err := lf(row)
+				if err != nil {
+					return nil, err
+				}
+				if l == nil {
+					return nil, nil
+				}
+				if ls, ok := l.(string); ok {
+					return test(strings.Compare(ls, rv)), nil
+				}
+				return test(Compare(l, rv)), nil
+			}
+		case int64:
+			// Compare coerces int64 through float64, so the fast path must
+			// too: exact int64 comparison would diverge from the interpreted
+			// path for magnitudes >= 2^53.
+			rfloat := float64(rv)
+			return func(row []Value) (Value, error) {
+				l, err := lf(row)
+				if err != nil {
+					return nil, err
+				}
+				switch lv := l.(type) {
+				case nil:
+					return nil, nil
+				case int64:
+					return test(cmpFloat64(float64(lv), rfloat)), nil
+				case float64:
+					return test(cmpFloat64(lv, rfloat)), nil
+				}
+				return test(Compare(l, rv)), nil
+			}
+		case float64:
+			return func(row []Value) (Value, error) {
+				l, err := lf(row)
+				if err != nil {
+					return nil, err
+				}
+				switch lv := l.(type) {
+				case nil:
+					return nil, nil
+				case int64:
+					return test(cmpFloat64(float64(lv), rv)), nil
+				case float64:
+					return test(cmpFloat64(lv, rv)), nil
+				}
+				return test(Compare(l, rv)), nil
+			}
+		}
+	}
+	return func(row []Value) (Value, error) {
+		l, err := lf(row)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rf(row)
+		if err != nil {
+			return nil, err
+		}
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		return test(Compare(l, r)), nil
+	}
+}
+
+func cmpTest(op string) func(int) bool {
+	switch op {
+	case "=":
+		return func(c int) bool { return c == 0 }
+	case "<>":
+		return func(c int) bool { return c != 0 }
+	case "<":
+		return func(c int) bool { return c < 0 }
+	case "<=":
+		return func(c int) bool { return c <= 0 }
+	case ">":
+		return func(c int) bool { return c > 0 }
+	default: // ">="
+		return func(c int) bool { return c >= 0 }
+	}
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func (c *compiler) compileFunc(x *sqlparser.FuncCall) (compiledExpr, bool) {
+	if x.Over != nil || sqlparser.AggregateFuncs[x.Name] || x.Star {
+		return nil, false
+	}
+	if impureFuncs[x.Name] {
+		c.pure = false
+	}
+	args := make([]compiledExpr, len(x.Args))
+	for i, a := range x.Args {
+		af, ok := c.compile(a)
+		if !ok {
+			return nil, false
+		}
+		args[i] = af
+	}
+
+	// Fast paths for the hottest scan functions (substr over date columns is
+	// all over the TPC-H group-by keys).
+	switch x.Name {
+	case "substr", "substring":
+		if len(x.Args) == 3 {
+			start, okS := literalInt(x.Args[1])
+			length, okL := literalInt(x.Args[2])
+			if okS && okL && start >= 1 && length >= 0 {
+				sf := args[0]
+				return func(row []Value) (Value, error) {
+					v, err := sf(row)
+					if err != nil {
+						return nil, err
+					}
+					if v == nil {
+						return nil, nil
+					}
+					s := ToStr(v)
+					if int(start) > len(s) {
+						return "", nil
+					}
+					rest := s[start-1:]
+					if int(length) < len(rest) {
+						rest = rest[:length]
+					}
+					return rest, nil
+				}, true
+			}
+		}
+	case "year":
+		if len(x.Args) == 1 {
+			sf := args[0]
+			return func(row []Value) (Value, error) {
+				v, err := sf(row)
+				if err != nil {
+					return nil, err
+				}
+				if v == nil {
+					return nil, nil
+				}
+				s := ToStr(v)
+				if len(s) >= 4 {
+					if y, ok := ToInt(s[:4]); ok {
+						return y, nil
+					}
+				}
+				return nil, nil
+			}, true
+		}
+	}
+
+	name := x.Name
+	eng := c.eng
+	return func(row []Value) (Value, error) {
+		vals := make([]Value, len(args))
+		for i, af := range args {
+			v, err := af(row)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		return callScalar(eng, name, vals)
+	}, true
+}
+
+func literalInt(e sqlparser.Expr) (int64, bool) {
+	lit, ok := e.(*sqlparser.Literal)
+	if !ok {
+		return 0, false
+	}
+	i, ok := lit.Val.(int64)
+	return i, ok
+}
+
+func (c *compiler) compileCase(x *sqlparser.CaseExpr) (compiledExpr, bool) {
+	type when struct{ cond, then compiledExpr }
+	whens := make([]when, len(x.Whens))
+	for i, w := range x.Whens {
+		cf, ok1 := c.compile(w.Cond)
+		tf, ok2 := c.compile(w.Then)
+		if !ok1 || !ok2 {
+			return nil, false
+		}
+		whens[i] = when{cond: cf, then: tf}
+	}
+	var elseF compiledExpr
+	if x.Else != nil {
+		ef, ok := c.compile(x.Else)
+		if !ok {
+			return nil, false
+		}
+		elseF = ef
+	}
+	if x.Operand != nil {
+		opF, ok := c.compile(x.Operand)
+		if !ok {
+			return nil, false
+		}
+		return func(row []Value) (Value, error) {
+			op, err := opF(row)
+			if err != nil {
+				return nil, err
+			}
+			for _, w := range whens {
+				wv, err := w.cond(row)
+				if err != nil {
+					return nil, err
+				}
+				if op != nil && wv != nil && Compare(op, wv) == 0 {
+					return w.then(row)
+				}
+			}
+			if elseF != nil {
+				return elseF(row)
+			}
+			return nil, nil
+		}, true
+	}
+	return func(row []Value) (Value, error) {
+		for _, w := range whens {
+			cv, err := w.cond(row)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := ToBool(cv); ok && b {
+				return w.then(row)
+			}
+		}
+		if elseF != nil {
+			return elseF(row)
+		}
+		return nil, nil
+	}, true
+}
+
+func (c *compiler) compileIn(x *sqlparser.InExpr) (compiledExpr, bool) {
+	if x.Subquery != nil {
+		return nil, false
+	}
+	xf, ok := c.compile(x.X)
+	if !ok {
+		return nil, false
+	}
+	list := make([]compiledExpr, len(x.List))
+	for i, le := range x.List {
+		lf, ok := c.compile(le)
+		if !ok {
+			return nil, false
+		}
+		list[i] = lf
+	}
+	not := x.Not
+	return func(row []Value) (Value, error) {
+		v, err := xf(row)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			return nil, nil
+		}
+		for _, lf := range list {
+			lv, err := lf(row)
+			if err != nil {
+				return nil, err
+			}
+			if lv != nil && Compare(v, lv) == 0 {
+				return !not, nil
+			}
+		}
+		return not, nil
+	}, true
+}

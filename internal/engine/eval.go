@@ -128,6 +128,14 @@ func (ev *env) lookupColumn(table, name string) (Value, error) {
 	return nil, fmt.Errorf("engine: unknown column %s", joinName(table, name))
 }
 
+func errCannotNegate(v Value) error {
+	return fmt.Errorf("engine: cannot negate %T", v)
+}
+
+func errNotNonBool(v Value) error {
+	return fmt.Errorf("engine: NOT applied to non-boolean %T", v)
+}
+
 func joinName(table, name string) string {
 	if table == "" {
 		return name
@@ -159,14 +167,14 @@ func (ev *env) eval(e sqlparser.Expr) (Value, error) {
 			case float64:
 				return -n, nil
 			}
-			return nil, fmt.Errorf("engine: cannot negate %T", v)
+			return nil, errCannotNegate(v)
 		case "NOT":
 			if v == nil {
 				return nil, nil
 			}
 			b, ok := ToBool(v)
 			if !ok {
-				return nil, fmt.Errorf("engine: NOT applied to non-boolean %T", v)
+				return nil, errNotNonBool(v)
 			}
 			return !b, nil
 		}

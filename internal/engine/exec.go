@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"verdictdb/internal/sqlparser"
 )
@@ -15,14 +16,19 @@ type ResultSet struct {
 	Cols        []string
 	Rows        [][]Value
 	RowsScanned int64
+
+	colOnce sync.Once
+	colIdx  map[string]int
 }
 
-// ColIndex returns the index of the named output column, or -1.
+// ColIndex returns the index of the named output column, or -1. The
+// lowercase lookup map is built once on first use.
 func (rs *ResultSet) ColIndex(name string) int {
-	for i, c := range rs.Cols {
-		if strings.EqualFold(c, name) {
-			return i
-		}
+	rs.colOnce.Do(func() {
+		rs.colIdx = buildLowerIndex(rs.Cols)
+	})
+	if i, ok := rs.colIdx[strings.ToLower(name)]; ok {
+		return i
 	}
 	return -1
 }
@@ -203,21 +209,16 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 		baseEnv.inSetCache = outer.inSetCache
 	}
 
-	// WHERE.
+	// Compile the WHERE predicate once per query; uncompilable predicates
+	// (subqueries, outer references) leave wherePred nil and use the
+	// interpreted loop.
 	rows := rel.rows
+	var wherePred compiledExpr
+	wherePure := true
 	if sel.Where != nil {
-		filtered := rows[:0:0]
-		for _, row := range rows {
-			baseEnv.row = row
-			v, err := baseEnv.eval(sel.Where)
-			if err != nil {
-				return nil, err
-			}
-			if b, ok := ToBool(v); ok && b {
-				filtered = append(filtered, row)
-			}
+		if fn, pure, ok := compileExpr(qc.eng, rel, sel.Where); ok {
+			wherePred, wherePure = fn, pure
 		}
-		rows = filtered
 	}
 
 	// Collect aggregate and window calls from the output clauses.
@@ -226,11 +227,29 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 
 	var entries []*entry
 	if hasAgg {
-		entries, err = aggregate(baseEnv, rel, rows, sel, aggCalls)
+		// Fused compiled scan→filter→aggregate; morsel-parallel when every
+		// expression is pure, serial otherwise. Falls back to the
+		// interpreted pipeline when anything fails to compile.
+		if plan, ok := buildScanPlan(qc.eng, rel, sel, aggCalls, wherePred, wherePure); ok {
+			entries, err = plan.run(rows)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			rows, err = filterRows(qc, baseEnv, rows, sel.Where, wherePred, wherePure)
+			if err != nil {
+				return nil, err
+			}
+			entries, err = aggregate(baseEnv, rel, rows, sel, aggCalls)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		rows, err = filterRows(qc, baseEnv, rows, sel.Where, wherePred, wherePure)
 		if err != nil {
 			return nil, err
 		}
-	} else {
 		entries = make([]*entry, len(rows))
 		for i, row := range rows {
 			entries[i] = &entry{row: row}
@@ -273,10 +292,11 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 		seen := map[string]bool{}
 		kept := projRows[:0:0]
 		keptEntries := entries[:0:0]
+		var buf []byte
 		for i, pr := range projRows {
-			k := rowKey(pr)
-			if !seen[k] {
-				seen[k] = true
+			buf = appendRowKey(buf[:0], pr)
+			if !seen[string(buf)] {
+				seen[string(buf)] = true
 				kept = append(kept, pr)
 				if i < len(entries) {
 					keptEntries = append(keptEntries, entries[i])
@@ -325,10 +345,11 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 		if !sel.UnionAll {
 			seen := map[string]bool{}
 			dedup := combined[:0:0]
+			var buf []byte
 			for _, r := range combined {
-				k := rowKey(r)
-				if !seen[k] {
-					seen[k] = true
+				buf = appendRowKey(buf[:0], r)
+				if !seen[string(buf)] {
+					seen[string(buf)] = true
 					dedup = append(dedup, r)
 				}
 			}
@@ -339,13 +360,42 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 	return rs, nil
 }
 
-func rowKey(row []Value) string {
-	var sb strings.Builder
+// appendRowKey renders a whole row into one reusable dedup-key buffer.
+func appendRowKey(buf []byte, row []Value) []byte {
 	for _, v := range row {
-		sb.WriteString(GroupKey(v))
-		sb.WriteByte('\x1f')
+		buf = appendGroupKey(buf, v)
+		buf = append(buf, keySep)
 	}
-	return sb.String()
+	return buf
+}
+
+// filterRows applies the WHERE clause: morsel-parallel for pure compiled
+// predicates over large snapshots, serial compiled when impure or small,
+// interpreted when the predicate did not compile.
+func filterRows(qc *queryCtx, ev *env, rows [][]Value, where sqlparser.Expr, pred compiledExpr, pure bool) ([][]Value, error) {
+	if where == nil {
+		return rows, nil
+	}
+	if pred != nil {
+		if pure {
+			if nw := qc.eng.scanWorkers(len(rows)); nw > 1 {
+				return parallelFilter(qc.eng, rows, pred, nw)
+			}
+		}
+		return serialFilter(rows, pred)
+	}
+	filtered := rows[:0:0]
+	for _, row := range rows {
+		ev.row = row
+		v, err := ev.eval(where)
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := ToBool(v); ok && b {
+			filtered = append(filtered, row)
+		}
+	}
+	return filtered, nil
 }
 
 // collectCalls gathers aggregate calls and window calls referenced by the
@@ -414,25 +464,26 @@ func aggregate(baseEnv *env, rel *relation, rows [][]Value, sel *sqlparser.Selec
 
 	groups := map[string]*group{}
 	var order []string
+	var kb []byte
 	for _, row := range rows {
 		baseEnv.row = row
-		var kb strings.Builder
+		kb = kb[:0]
 		for _, ge := range sel.GroupBy {
 			v, err := baseEnv.eval(ge)
 			if err != nil {
 				return nil, err
 			}
-			kb.WriteString(GroupKey(v))
-			kb.WriteByte('\x1f')
+			kb = appendGroupKey(kb, v)
+			kb = append(kb, keySep)
 		}
-		key := kb.String()
-		g, ok := groups[key]
+		g, ok := groups[string(kb)]
 		if !ok {
 			var err error
 			g, err = newGroup(row)
 			if err != nil {
 				return nil, err
 			}
+			key := string(kb)
 			groups[key] = g
 			order = append(order, key)
 		}
@@ -488,19 +539,20 @@ func computeWindows(baseEnv *env, entries []*entry, winCalls []*sqlparser.FuncCa
 		// Partition entries.
 		parts := map[string][]*entry{}
 		var order []string
+		var kb []byte
 		for _, en := range entries {
 			baseEnv.row = en.row
 			baseEnv.aggVals = en.aggVals
-			var kb strings.Builder
+			kb = kb[:0]
 			for _, pe := range wc.Over.PartitionBy {
 				v, err := baseEnv.eval(pe)
 				if err != nil {
 					return err
 				}
-				kb.WriteString(GroupKey(v))
-				kb.WriteByte('\x1f')
+				kb = appendGroupKey(kb, v)
+				kb = append(kb, keySep)
 			}
-			k := kb.String()
+			k := string(kb)
 			if _, ok := parts[k]; !ok {
 				order = append(order, k)
 			}
@@ -589,6 +641,34 @@ func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.Selec
 	for i, oc := range outCols {
 		cols[i] = oc.name
 	}
+
+	// Compile each projection item once. Items referencing aggregates,
+	// windows, or subqueries stay interpreted; when every item compiles
+	// pure, large projections fan out across workers.
+	items := make([]projCol, len(outCols))
+	allCompiled, allPure := true, true
+	for i, oc := range outCols {
+		if oc.expr == nil {
+			items[i] = projCol{idx: oc.idx}
+			continue
+		}
+		if fn, pure, ok := compileExpr(baseEnv.qc.eng, rel, oc.expr); ok {
+			items[i] = projCol{fn: fn}
+			allPure = allPure && pure
+		} else {
+			allCompiled = false
+		}
+	}
+	if allCompiled && allPure {
+		if nw := baseEnv.qc.eng.scanWorkers(len(entries)); nw > 1 {
+			rowsOut, err := parallelProject(baseEnv.qc.eng, entries, items, nw)
+			if err != nil {
+				return nil, nil, err
+			}
+			return cols, rowsOut, nil
+		}
+	}
+
 	rowsOut := make([][]Value, len(entries))
 	for ei, en := range entries {
 		baseEnv.row = en.row
@@ -598,6 +678,14 @@ func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.Selec
 		for i, oc := range outCols {
 			if oc.expr == nil {
 				row[i] = en.row[oc.idx]
+				continue
+			}
+			if fn := items[i].fn; fn != nil {
+				v, err := fn(en.row)
+				if err != nil {
+					return nil, nil, err
+				}
+				row[i] = v
 				continue
 			}
 			v, err := baseEnv.eval(oc.expr)

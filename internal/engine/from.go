@@ -94,15 +94,30 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	rEnv := &env{qc: qc, rel: right, outer: outer}
 	combEnv := &env{qc: qc, rel: combined, outer: outer}
 
+	// The residual predicate is probed once per candidate pair: reuse one
+	// combined-row buffer instead of allocating per probe, and evaluate a
+	// compiled form when the expression supports it.
+	var residualFn compiledExpr
+	if residual != nil {
+		if fn, _, ok := compileExpr(qc.eng, combined, residual); ok {
+			residualFn = fn
+		}
+	}
+	combinedBuf := make([]Value, left.width()+right.width())
 	matches := func(lrow, rrow []Value) (bool, error) {
 		if residual == nil {
 			return true, nil
 		}
-		row := make([]Value, 0, len(lrow)+len(rrow))
-		row = append(row, lrow...)
-		row = append(row, rrow...)
-		combEnv.row = row
-		v, err := combEnv.eval(residual)
+		copy(combinedBuf, lrow)
+		copy(combinedBuf[left.width():], rrow)
+		var v Value
+		var err error
+		if residualFn != nil {
+			v, err = residualFn(combinedBuf)
+		} else {
+			combEnv.row = combinedBuf
+			v, err = combEnv.eval(residual)
+		}
 		if err != nil {
 			return false, err
 		}
@@ -167,39 +182,49 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 		return combined, nil
 	}
 
-	// Hash join: build on the right, probe from the left.
+	// Hash join: build on the right, probe from the left. Key expressions
+	// are compiled once per join when possible, and composite keys are
+	// rendered into a reusable byte buffer (the map only materializes a key
+	// string when a new bucket is inserted).
+	lKeyFns := compileKeyFns(qc.eng, left, leftKeys)
+	rKeyFns := compileKeyFns(qc.eng, right, rightKeys)
 	type bucket struct {
 		rows    [][]Value
 		matched []bool
 	}
 	build := make(map[string]*bucket, len(right.rows))
+	var buildOrder []*bucket // insertion order, so outer-join fill is deterministic
+	var kbuf []byte
 	for _, rrow := range right.rows {
-		rEnv.row = rrow
-		key, null, err := evalKey(rEnv, rightKeys)
+		var null bool
+		var err error
+		kbuf, null, err = appendJoinKey(kbuf[:0], rEnv, rrow, rightKeys, rKeyFns)
 		if err != nil {
 			return nil, err
 		}
 		if null {
 			continue // NULL join keys never match
 		}
-		b, ok := build[key]
+		b, ok := build[string(kbuf)]
 		if !ok {
 			b = &bucket{}
-			build[key] = b
+			build[string(kbuf)] = b
+			buildOrder = append(buildOrder, b)
 		}
 		b.rows = append(b.rows, rrow)
 		b.matched = append(b.matched, false)
 	}
 
 	for _, lrow := range left.rows {
-		lEnv.row = lrow
-		key, null, err := evalKey(lEnv, leftKeys)
+		var null bool
+		var err error
+		kbuf, null, err = appendJoinKey(kbuf[:0], lEnv, lrow, leftKeys, lKeyFns)
 		if err != nil {
 			return nil, err
 		}
 		var matchedLeft bool
 		if !null {
-			if b, ok := build[key]; ok {
+			if b, ok := build[string(kbuf)]; ok {
 				for i, rrow := range b.rows {
 					ok2, err := matches(lrow, rrow)
 					if err != nil {
@@ -218,7 +243,7 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 		}
 	}
 	if je.Type == sqlparser.RightJoin || je.Type == sqlparser.FullJoin {
-		for _, b := range build {
+		for _, b := range buildOrder {
 			for i, rrow := range b.rows {
 				if !b.matched[i] {
 					out = appendJoined(out, nil, rrow)
@@ -319,22 +344,42 @@ func splitJoinCondition(left, right *relation, on sqlparser.Expr) (leftKeys, rig
 	return leftKeys, rightKeys, residual
 }
 
-// evalKey renders the join-key expressions into a composite hash key.
+// compileKeyFns compiles every join-key expression against its input
+// relation, or returns nil when any of them needs the interpreted path.
+func compileKeyFns(eng *Engine, rel *relation, keys []sqlparser.Expr) []compiledExpr {
+	fns := make([]compiledExpr, len(keys))
+	for i, k := range keys {
+		fn, _, ok := compileExpr(eng, rel, k)
+		if !ok {
+			return nil
+		}
+		fns[i] = fn
+	}
+	return fns
+}
+
+// appendJoinKey renders the join-key expressions for one row into buf.
 // null is true when any component is NULL.
-func evalKey(ev *env, keys []sqlparser.Expr) (string, bool, error) {
-	var sb strings.Builder
-	for _, k := range keys {
-		v, err := ev.eval(k)
+func appendJoinKey(buf []byte, ev *env, row []Value, keys []sqlparser.Expr, fns []compiledExpr) ([]byte, bool, error) {
+	for i, k := range keys {
+		var v Value
+		var err error
+		if fns != nil {
+			v, err = fns[i](row)
+		} else {
+			ev.row = row
+			v, err = ev.eval(k)
+		}
 		if err != nil {
-			return "", false, err
+			return buf, false, err
 		}
 		if v == nil {
-			return "", true, nil
+			return buf, true, nil
 		}
-		sb.WriteString(GroupKey(v))
-		sb.WriteByte('\x1f')
+		buf = appendGroupKey(buf, v)
+		buf = append(buf, keySep)
 	}
-	return sb.String(), false, nil
+	return buf, false, nil
 }
 
 func max(a, b int) int {

@@ -10,12 +10,10 @@ import (
 	"verdictdb/internal/sqlparser"
 )
 
-// evalScalarFunc dispatches non-aggregate function calls. Function names
-// arrive lower-cased from the parser. Several aliases exist so the dialect
-// shims (Impala/Spark/Redshift spellings) all land on the same
-// implementation — that is what lets the Syntax Changer stay thin.
+// evalScalarFunc dispatches non-aggregate function calls on the interpreted
+// path: it evaluates the arguments and hands off to callScalar, which the
+// compiled path (compile.go) shares.
 func (ev *env) evalScalarFunc(x *sqlparser.FuncCall) (Value, error) {
-	name := x.Name
 	args := make([]Value, len(x.Args))
 	for i, a := range x.Args {
 		v, err := ev.eval(a)
@@ -24,19 +22,27 @@ func (ev *env) evalScalarFunc(x *sqlparser.FuncCall) (Value, error) {
 		}
 		args[i] = v
 	}
+	return callScalar(ev.qc.eng, x.Name, args)
+}
+
+// callScalar applies a scalar function to already-evaluated arguments.
+// Function names arrive lower-cased from the parser. Several aliases exist
+// so the dialect shims (Impala/Spark/Redshift spellings) all land on the
+// same implementation — that is what lets the Syntax Changer stay thin.
+func callScalar(eng *Engine, name string, args []Value) (Value, error) {
 	switch name {
 	case "rand", "random":
-		return ev.qc.eng.randFloat(), nil
+		return eng.randFloat(), nil
 	case "rand_poisson1":
 		// Poisson(1) variate via Knuth's product method (cheap at mean 1):
 		// used by the consolidated-bootstrap baseline to draw per-resample
 		// tuple multiplicities.
 		const invE = 0.36787944117144233 // e^-1
 		k := int64(0)
-		prod := ev.qc.eng.randFloat()
+		prod := eng.randFloat()
 		for prod > invE {
 			k++
-			prod *= ev.qc.eng.randFloat()
+			prod *= eng.randFloat()
 		}
 		return k, nil
 	case "floor":

@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"sync"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// Morsel-parallel scan execution. The snapshot row slice is partitioned
+// into contiguous per-worker chunks; each worker runs the compiled
+// filter + partial aggregation over its chunk with a private group map,
+// and the partial states merge in chunk order. Because morsels are
+// contiguous and merged in order, the output group order equals the serial
+// first-seen scan order, so parallel execution is deterministic for a fixed
+// parallelism level. Exact float aggregates may differ from serial in the
+// last bits (partial sums reassociate); approximate sketch aggregates
+// (approx_median's reservoir) resample on merge and may differ from serial
+// by up to the sketch's rank error.
+//
+// Only plans whose every expression compiled pure take this path; impure
+// plans (rand()) and uncompilable ones run serially so that RNG draws
+// happen in exactly the interpreted order — sample scrambles stay
+// byte-identical.
+
+const (
+	// parallelMinRows is the snapshot size below which scans stay serial;
+	// goroutine fan-out costs more than it saves on small tables.
+	parallelMinRows = 4096
+	// parallelChunkMin bounds how finely a scan is split.
+	parallelChunkMin = 2048
+)
+
+// scanWorkers returns how many workers a scan of n rows should use (1 =
+// serial).
+func (e *Engine) scanWorkers(n int) int {
+	if n < parallelMinRows {
+		return 1
+	}
+	p := e.Parallelism()
+	if byChunk := n / parallelChunkMin; byChunk < p {
+		p = byChunk
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// runChunks splits [0,n) into nw contiguous chunks and runs fn on each
+// concurrently. The returned error is the one from the earliest chunk, so
+// error identity matches a serial scan.
+func runChunks(nw, n int, fn func(w, lo, hi int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, nw)
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serialFilter applies a compiled predicate in row order.
+func serialFilter(rows [][]Value, pred compiledExpr) ([][]Value, error) {
+	out := rows[:0:0]
+	for _, row := range rows {
+		v, err := pred(row)
+		if err != nil {
+			return nil, err
+		}
+		if b, ok := ToBool(v); ok && b {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// parallelFilter applies a pure compiled predicate across workers,
+// preserving row order by concatenating per-chunk keeps.
+func parallelFilter(e *Engine, rows [][]Value, pred compiledExpr, nw int) ([][]Value, error) {
+	outs := make([][][]Value, nw)
+	err := runChunks(nw, len(rows), func(w, lo, hi int) error {
+		var kept [][]Value
+		for _, row := range rows[lo:hi] {
+			v, err := pred(row)
+			if err != nil {
+				return err
+			}
+			if b, ok := ToBool(v); ok && b {
+				kept = append(kept, row)
+			}
+		}
+		outs[w] = kept
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	res := make([][]Value, 0, total)
+	for _, o := range outs {
+		res = append(res, o...)
+	}
+	e.parallelScans.Add(1)
+	return res, nil
+}
+
+// aggSpec is one aggregate call with its compiled argument (nil for
+// count(*)-style star calls).
+type aggSpec struct {
+	fc  *sqlparser.FuncCall
+	arg compiledExpr
+}
+
+// scanPlan is a fully compiled scan→filter→aggregate pipeline for one
+// SELECT block.
+type scanPlan struct {
+	eng    *Engine
+	rel    *relation
+	where  compiledExpr // nil when the query has no WHERE
+	keyFns []compiledExpr
+	specs  []aggSpec
+	pure   bool
+}
+
+// buildScanPlan compiles WHERE, GROUP BY keys, and aggregate arguments.
+// ok=false sends the query to the interpreted path (which also owns
+// reporting any expression errors, e.g. a bad percentile fraction).
+func buildScanPlan(eng *Engine, rel *relation, sel *sqlparser.SelectStmt, aggCalls []*sqlparser.FuncCall, wherePred compiledExpr, wherePure bool) (*scanPlan, bool) {
+	if sel.Where != nil && wherePred == nil {
+		return nil, false
+	}
+	p := &scanPlan{eng: eng, rel: rel, where: wherePred}
+	pure := sel.Where == nil || wherePure
+	for _, ge := range sel.GroupBy {
+		fn, pu, ok := compileExpr(eng, rel, ge)
+		if !ok {
+			return nil, false
+		}
+		pure = pure && pu
+		p.keyFns = append(p.keyFns, fn)
+	}
+	for _, fc := range aggCalls {
+		if fc.Star {
+			p.specs = append(p.specs, aggSpec{fc: fc})
+			continue
+		}
+		if len(fc.Args) == 0 {
+			return nil, false
+		}
+		fn, pu, ok := compileExpr(eng, rel, fc.Args[0])
+		if !ok {
+			return nil, false
+		}
+		pure = pure && pu
+		p.specs = append(p.specs, aggSpec{fc: fc, arg: fn})
+	}
+	// No upfront accumulator validation: newAccumulator errors (unknown
+	// aggregate, bad percentile fraction) surface from run() with exactly
+	// the message the interpreted path would produce, and validating here
+	// would allocate sketch state (reservoirs, HLL registers) just to throw
+	// it away.
+	p.pure = pure
+	return p, true
+}
+
+func (p *scanPlan) newAccs() ([]accumulator, error) {
+	accs := make([]accumulator, len(p.specs))
+	for i, sp := range p.specs {
+		q, err := quantileLiteralArg(sp.fc)
+		if err != nil {
+			return nil, err
+		}
+		acc, err := newAccumulator(sp.fc, q)
+		if err != nil {
+			return nil, err
+		}
+		accs[i] = acc
+	}
+	return accs, nil
+}
+
+// groupAcc is one group's partial state: the representative row plus one
+// accumulator per aggregate call.
+type groupAcc struct {
+	repr []Value
+	accs []accumulator
+}
+
+// chunkGroups is one worker's hash-aggregation state, with insertion order
+// preserved for deterministic output.
+type chunkGroups struct {
+	m     map[string]*groupAcc
+	order []string
+}
+
+// scanChunk filters (when applyWhere) and partially aggregates one morsel.
+func (p *scanPlan) scanChunk(rows [][]Value, applyWhere bool) (*chunkGroups, error) {
+	cg := &chunkGroups{m: map[string]*groupAcc{}}
+	var buf []byte
+	for _, row := range rows {
+		if applyWhere && p.where != nil {
+			v, err := p.where(row)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := ToBool(v); !ok || !b {
+				continue
+			}
+		}
+		buf = buf[:0]
+		for _, kf := range p.keyFns {
+			v, err := kf(row)
+			if err != nil {
+				return nil, err
+			}
+			buf = appendGroupKey(buf, v)
+			buf = append(buf, keySep)
+		}
+		g, ok := cg.m[string(buf)]
+		if !ok {
+			accs, err := p.newAccs()
+			if err != nil {
+				return nil, err
+			}
+			g = &groupAcc{repr: row, accs: accs}
+			key := string(buf)
+			cg.m[key] = g
+			cg.order = append(cg.order, key)
+		}
+		for i, sp := range p.specs {
+			if sp.arg == nil {
+				g.accs[i].addStar()
+				continue
+			}
+			v, err := sp.arg(row)
+			if err != nil {
+				return nil, err
+			}
+			if err := g.accs[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return cg, nil
+}
+
+// mergeChunkGroups folds per-worker states together in chunk order, which
+// reproduces the global first-seen group order of a serial scan.
+func mergeChunkGroups(results []*chunkGroups) (*chunkGroups, error) {
+	dst := results[0]
+	for _, src := range results[1:] {
+		if src == nil {
+			continue
+		}
+		for _, key := range src.order {
+			sg := src.m[key]
+			dg, ok := dst.m[key]
+			if !ok {
+				dst.m[key] = sg
+				dst.order = append(dst.order, key)
+				continue
+			}
+			for i := range dg.accs {
+				if err := dg.accs[i].merge(sg.accs[i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return dst, nil
+}
+
+// run executes the plan: morsel-parallel when pure and the snapshot is
+// large, otherwise serial with the same two-phase (filter, then aggregate)
+// structure as the interpreted path so impure expressions draw from the
+// engine RNG in the identical order.
+func (p *scanPlan) run(rows [][]Value) ([]*entry, error) {
+	nw := 1
+	if p.pure {
+		nw = p.eng.scanWorkers(len(rows))
+	}
+	var cg *chunkGroups
+	if nw > 1 {
+		results := make([]*chunkGroups, nw)
+		err := runChunks(nw, len(rows), func(w, lo, hi int) error {
+			g, err := p.scanChunk(rows[lo:hi], true)
+			results[w] = g
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		cg, err = mergeChunkGroups(results)
+		if err != nil {
+			return nil, err
+		}
+		p.eng.parallelScans.Add(1)
+	} else {
+		if p.where != nil {
+			var err error
+			rows, err = serialFilter(rows, p.where)
+			if err != nil {
+				return nil, err
+			}
+		}
+		var err error
+		cg, err = p.scanChunk(rows, false)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// A global aggregate over zero rows still yields one output row.
+	if len(cg.order) == 0 && len(p.keyFns) == 0 {
+		accs, err := p.newAccs()
+		if err != nil {
+			return nil, err
+		}
+		cg.m[""] = &groupAcc{repr: make([]Value, p.rel.width()), accs: accs}
+		cg.order = append(cg.order, "")
+	}
+
+	entries := make([]*entry, 0, len(cg.order))
+	for _, key := range cg.order {
+		g := cg.m[key]
+		av := make(map[*sqlparser.FuncCall]Value, len(p.specs))
+		for i, sp := range p.specs {
+			av[sp.fc] = g.accs[i].result()
+		}
+		entries = append(entries, &entry{row: g.repr, aggVals: av})
+	}
+	return entries, nil
+}
+
+// projCol is one compiled projection column: either a direct copy of a
+// source column (fn nil) or a compiled expression.
+type projCol struct {
+	fn  compiledExpr
+	idx int
+}
+
+// parallelProject computes the output rows for all entries across workers;
+// output order is positional, so the result is identical to a serial pass.
+func parallelProject(e *Engine, entries []*entry, items []projCol, nw int) ([][]Value, error) {
+	out := make([][]Value, len(entries))
+	err := runChunks(nw, len(entries), func(w, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			en := entries[i]
+			row := make([]Value, len(items))
+			for j, it := range items {
+				if it.fn == nil {
+					row[j] = en.row[it.idx]
+					continue
+				}
+				v, err := it.fn(en.row)
+				if err != nil {
+					return err
+				}
+				row[j] = v
+			}
+			out[i] = row
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.parallelScans.Add(1)
+	return out, nil
+}

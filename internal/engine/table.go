@@ -2,9 +2,11 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Column describes one table column.
@@ -20,10 +22,41 @@ type Table struct {
 	Name string
 	Cols []Column
 	Rows [][]Value
+
+	// colIdx maps lowercase column names to positions. The engine builds it
+	// when it registers a table (columns are immutable afterwards); tables
+	// constructed by hand fall back to a linear scan.
+	colIdx map[string]int
+}
+
+// buildLowerIndex maps lowercase names to their first position.
+func buildLowerIndex(names []string) map[string]int {
+	m := make(map[string]int, len(names))
+	for i, n := range names {
+		low := strings.ToLower(n)
+		if _, dup := m[low]; !dup {
+			m[low] = i
+		}
+	}
+	return m
+}
+
+func (t *Table) initColIndex() {
+	names := make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		names[i] = c.Name
+	}
+	t.colIdx = buildLowerIndex(names)
 }
 
 // ColIndex returns the index of the named column (case-insensitive), or -1.
 func (t *Table) ColIndex(name string) int {
+	if t.colIdx != nil {
+		if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+			return i
+		}
+		return -1
+	}
 	for i, c := range t.Cols {
 		if strings.EqualFold(c.Name, name) {
 			return i
@@ -40,7 +73,35 @@ type Engine struct {
 
 	rngMu sync.Mutex
 	rng   rngSource
+
+	// maxPar caps scan parallelism; 0 means GOMAXPROCS. parallelScans
+	// counts scans that actually fanned out (tests assert the fallback).
+	maxPar        atomic.Int32
+	parallelScans atomic.Int64
 }
+
+// SetParallelism caps the number of workers a single scan may use. n = 1
+// forces every query onto the serial path; n <= 0 restores the default
+// (GOMAXPROCS).
+func (e *Engine) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.maxPar.Store(int32(n))
+}
+
+// Parallelism reports the current scan-parallelism cap.
+func (e *Engine) Parallelism() int {
+	if p := e.maxPar.Load(); p > 0 {
+		return int(p)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelScans returns how many scans have run morsel-parallel since the
+// engine was created. Impure queries (rand()) and subquery-bearing ones
+// never increment it — they take the serial fallback.
+func (e *Engine) ParallelScans() int64 { return e.parallelScans.Load() }
 
 type rngSource interface {
 	Float64() float64
@@ -97,7 +158,9 @@ func (e *Engine) CreateTable(name string, cols []Column) error {
 	if _, ok := e.tables[key]; ok {
 		return fmt.Errorf("engine: table %q already exists", name)
 	}
-	e.tables[key] = &Table{Name: name, Cols: append([]Column(nil), cols...)}
+	t := &Table{Name: name, Cols: append([]Column(nil), cols...)}
+	t.initColIndex()
+	e.tables[key] = t
 	return nil
 }
 
@@ -201,6 +264,8 @@ func (e *Engine) storeResult(name string, cols []Column, rows [][]Value, ifNotEx
 		}
 		return fmt.Errorf("engine: table %q already exists", name)
 	}
-	e.tables[key] = &Table{Name: name, Cols: cols, Rows: rows}
+	t := &Table{Name: name, Cols: cols, Rows: rows}
+	t.initColIndex()
+	e.tables[key] = t
 	return nil
 }

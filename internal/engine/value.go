@@ -244,6 +244,40 @@ func Equal(a, b Value) bool {
 	return Compare(a, b) == 0
 }
 
+// keySep separates composite-key fragments in group/join/distinct keys.
+const keySep = '\x1f'
+
+// appendGroupKey appends the GroupKey encoding of v to dst without
+// allocating. The scan hot path builds composite keys into one reusable
+// buffer and only materializes a string when inserting a new map entry
+// (map lookups go through the alloc-free string(buf) conversion).
+// The encoding must stay byte-identical to GroupKey.
+func appendGroupKey(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(dst, '\x00', 'N')
+	case int64:
+		dst = append(dst, 'i')
+		return strconv.AppendInt(dst, x, 10)
+	case float64:
+		if x == float64(int64(x)) {
+			dst = append(dst, 'i')
+			return strconv.AppendInt(dst, int64(x), 10)
+		}
+		dst = append(dst, 'f')
+		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+	case string:
+		dst = append(dst, 's')
+		return append(dst, x...)
+	case bool:
+		if x {
+			return append(dst, 'b', '1')
+		}
+		return append(dst, 'b', '0')
+	}
+	return append(dst, fmt.Sprintf("?%v", v)...)
+}
+
 // GroupKey renders a value into a group-by key fragment. Numeric values that
 // are integral produce identical fragments whether stored as int64 or
 // float64, so GROUP BY keys match across representations.

@@ -1,0 +1,144 @@
+package engine_test
+
+import (
+	"math"
+	"testing"
+
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+// Property test: for every TPC-H and Insta benchmark query, the
+// morsel-parallel engine must produce the same rows as the serial engine —
+// same columns, same row count, order-insensitive group match, float cells
+// within tolerance (parallel partial sums reassociate). Run with -race this
+// also shakes out data races in the worker fan-out.
+
+func loadedPair(t *testing.T, load func(e *engine.Engine) error) (serial, parallel *engine.Engine) {
+	t.Helper()
+	serial = engine.NewSeeded(42)
+	parallel = engine.NewSeeded(42)
+	if err := load(serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := load(parallel); err != nil {
+		t.Fatal(err)
+	}
+	serial.SetParallelism(1)
+	parallel.SetParallelism(8)
+	return serial, parallel
+}
+
+func rowsEquivalent(t *testing.T, id string, s, p *engine.ResultSet) {
+	t.Helper()
+	if len(s.Cols) != len(p.Cols) {
+		t.Fatalf("%s: col count %d vs %d", id, len(s.Cols), len(p.Cols))
+	}
+	if len(s.Rows) != len(p.Rows) {
+		t.Fatalf("%s: row count %d vs %d", id, len(s.Rows), len(p.Rows))
+	}
+	// Group rows by their non-float cells; compare float cells with
+	// tolerance. Workload query outputs all carry their group columns, so
+	// keys are unique per row (modulo genuinely identical rows, matched
+	// greedily).
+	type pending struct {
+		row  []engine.Value
+		used bool
+	}
+	byKey := map[string][]*pending{}
+	keyOf := func(row []engine.Value) string {
+		k := ""
+		for _, v := range row {
+			if _, isF := v.(float64); isF {
+				k += "\x1ff"
+				continue
+			}
+			k += "\x1f" + engine.GroupKey(v)
+		}
+		return k
+	}
+	for _, row := range s.Rows {
+		k := keyOf(row)
+		byKey[k] = append(byKey[k], &pending{row: row})
+	}
+	for ri, row := range p.Rows {
+		k := keyOf(row)
+		var match *pending
+		for _, cand := range byKey[k] {
+			if cand.used {
+				continue
+			}
+			ok := true
+			for j, v := range row {
+				vf, isF := v.(float64)
+				if !isF {
+					continue
+				}
+				cf, cok := cand.row[j].(float64)
+				if !cok {
+					ok = false
+					break
+				}
+				tol := 1e-9 * math.Max(1, math.Max(math.Abs(vf), math.Abs(cf)))
+				if math.Abs(vf-cf) > tol {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				match = cand
+				break
+			}
+		}
+		if match == nil {
+			t.Fatalf("%s: parallel row %d %v has no serial counterpart", id, ri, row)
+		}
+		match.used = true
+	}
+}
+
+func TestTPCHParallelSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial, parallel := loadedPair(t, func(e *engine.Engine) error {
+		return workload.LoadTPCH(e, 0.02, 42)
+	})
+	for _, q := range workload.TPCHQueries {
+		rsS, err := serial.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.ID, err)
+		}
+		rsP, err := parallel.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", q.ID, err)
+		}
+		rowsEquivalent(t, q.ID, rsS, rsP)
+	}
+	if parallel.ParallelScans() == 0 {
+		t.Fatal("no TPC-H query took the parallel path")
+	}
+}
+
+func TestInstaParallelSerialEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	serial, parallel := loadedPair(t, func(e *engine.Engine) error {
+		return workload.LoadInsta(e, 0.02, 42)
+	})
+	for _, q := range workload.InstaQueries {
+		rsS, err := serial.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s serial: %v", q.ID, err)
+		}
+		rsP, err := parallel.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", q.ID, err)
+		}
+		rowsEquivalent(t, q.ID, rsS, rsP)
+	}
+	if parallel.ParallelScans() == 0 {
+		t.Fatal("no Insta query took the parallel path")
+	}
+}

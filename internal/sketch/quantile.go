@@ -47,6 +47,53 @@ func (q *QuantileSketch) Add(v float64) {
 // Count returns the number of values offered so far.
 func (q *QuantileSketch) Count() int64 { return q.seen }
 
+// Merge folds another sketch into this one. When the union of both
+// reservoirs fits in capacity the merge is exact; otherwise capacity values
+// are drawn from the two reservoirs with probability proportional to the
+// stream sizes they represent, preserving the uniform-sample property
+// approximately. Uses q's RNG, so merging in a fixed order is deterministic.
+func (q *QuantileSketch) Merge(o *QuantileSketch) {
+	if o == nil || o.seen == 0 {
+		return
+	}
+	total := q.seen + o.seen
+	if len(q.values)+len(o.values) <= q.capacity {
+		q.values = append(q.values, o.values...)
+		q.seen = total
+		q.sorted = false
+		return
+	}
+	// Draw random elements (not prefixes: a prior Quantile call may have
+	// sorted either reservoir, and consuming a sorted prefix would bias the
+	// merged sample toward small values). Swap-remove keeps draws uniform
+	// without replacement; o's reservoir is copied so merge never mutates it.
+	merged := make([]float64, 0, q.capacity)
+	av := q.values
+	bv := append([]float64(nil), o.values...)
+	na, nb := len(av), len(bv)
+	wa, wb := float64(q.seen), float64(o.seen)
+	for len(merged) < q.capacity && (na > 0 || nb > 0) {
+		takeA := nb == 0
+		if !takeA && na > 0 {
+			takeA = q.rng.Float64() < wa/(wa+wb)
+		}
+		if takeA {
+			j := q.rng.Intn(na)
+			merged = append(merged, av[j])
+			av[j] = av[na-1]
+			na--
+		} else {
+			j := q.rng.Intn(nb)
+			merged = append(merged, bv[j])
+			bv[j] = bv[nb-1]
+			nb--
+		}
+	}
+	q.values = merged
+	q.seen = total
+	q.sorted = false
+}
+
 // Quantile returns the estimated p-quantile (0 <= p <= 1) of the stream.
 // It returns 0 for an empty sketch.
 func (q *QuantileSketch) Quantile(p float64) float64 {
