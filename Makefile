@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-json race vet
+.PHONY: build test bench bench-json bench-serve race vet
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,7 @@ test: build
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/core
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -22,3 +22,7 @@ bench:
 # Machine-readable engine perf numbers for cross-PR diffs.
 bench-json:
 	$(GO) run ./cmd/benchrunner -exp engine -benchout BENCH_engine.json
+
+# Serving-layer throughput: concurrent clients + plan/rewrite cache.
+bench-serve:
+	$(GO) run ./cmd/benchrunner -exp serve -serveout BENCH_serve.json

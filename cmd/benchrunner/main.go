@@ -21,12 +21,19 @@
 //	ablation     design-choice ablations (sample type, Lemma 1 delta, top-k)
 //	engine       engine hot-path microbenchmarks; writes BENCH_engine.json
 //	             (-benchout) so successive PRs can diff perf
+//	serve        concurrent serving layer: N goroutine clients over the
+//	             mixed TPC-H/Insta workload; QPS, p50/p99 latency, and the
+//	             plan/rewrite cache's cold-vs-warm effect; writes
+//	             BENCH_serve.json (-serveout)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"verdictdb/internal/bench"
 )
@@ -39,6 +46,10 @@ func main() {
 	trials := flag.Int("trials", 200, "Monte Carlo trials for correctness experiments")
 	seed := flag.Int64("seed", 42, "random seed")
 	benchOut := flag.String("benchout", "BENCH_engine.json", "engine microbenchmark JSON output (empty to skip)")
+	serveOut := flag.String("serveout", "BENCH_serve.json", "serve experiment JSON output (empty to skip)")
+	serveWorkers := flag.String("serveworkers", "1,2,4,8", "comma-separated worker counts for -exp serve")
+	servePer := flag.Int("serveper", 32, "queries per worker per serve round")
+	serveLatMs := flag.Float64("servelat", 25, "simulated per-query engine overhead for serve (ms, really slept)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -118,6 +129,33 @@ func main() {
 	})
 	run("engine", func() error {
 		_, err := bench.EngineBench(w, *benchOut, 5)
+		return err
+	})
+	run("serve", func() error {
+		// The serving workload defaults to a lighter scale than the paper
+		// experiments: throughput rounds re-execute every query dozens of
+		// times, and the scaling signal is per-query overhead, not scan size.
+		serveCfg := cfg
+		if *tpchScale == 0 {
+			serveCfg.TPCHScale = 0.05
+		}
+		if *instaScale == 0 {
+			serveCfg.InstaScale = 0.05
+		}
+		var workers []int
+		for _, part := range strings.Split(*serveWorkers, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -serveworkers entry %q", part)
+			}
+			workers = append(workers, n)
+		}
+		_, err := bench.ServeExperiment(w, serveCfg, *serveOut, workers, *servePer,
+			time.Duration(*serveLatMs*float64(time.Millisecond)))
 		return err
 	})
 	run("ablation", func() error {

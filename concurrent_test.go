@@ -1,0 +1,253 @@
+package verdictdb
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"verdictdb/internal/engine"
+)
+
+// These tests exercise the concurrent serving layer. Run them under -race:
+// they mix approximate queries, sample DDL (create/drop), and AppendBatch
+// maintenance across many goroutines, and assert that (a) concurrent
+// answers are identical to serial ones while the catalog is stable, and
+// (b) nothing panics or errors when the catalog churns mid-flight.
+
+// fingerprintAnswer canonicalizes an Answer for equality checks.
+func fingerprintAnswer(a *Answer) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(a.Cols, ","))
+	sb.WriteByte('|')
+	for _, row := range a.Rows {
+		for _, v := range row {
+			sb.WriteString(engine.GroupKey(v))
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+var concurrentQueries = []string{
+	"select count(*) as c from order_products",
+	"select order_dow, count(*) as c from orders group by order_dow order by order_dow",
+	"select reordered, avg(price) as avg_price, count(*) as c from order_products group by reordered order by reordered",
+	"select o.order_dow, sum(op.price) as revenue from orders o inner join order_products op on o.order_id = op.order_id group by o.order_dow order by o.order_dow",
+	"select count(distinct user_id) as users from orders",
+	"select product_id from products limit 5",
+}
+
+// TestConcurrentConnQueriesMatchSerial: with a fixed catalog, ≥8 goroutines
+// hammering one Conn must observe exactly the answers a serial client gets
+// — through the plan cache and past each other.
+func TestConcurrentConnQueriesMatchSerial(t *testing.T) {
+	conn, _ := newConn(t)
+	for _, stmt := range []string{
+		"create uniform sample of order_products ratio 0.02",
+		"create uniform sample of orders ratio 0.02",
+		"create hashed sample of orders on (user_id) ratio 0.02",
+	} {
+		if err := conn.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	serial := make([]string, len(concurrentQueries))
+	for i, q := range concurrentQueries {
+		a, err := conn.Query(q)
+		if err != nil {
+			t.Fatalf("serial %q: %v", q, err)
+		}
+		serial[i] = fingerprintAnswer(a)
+	}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				for i, q := range concurrentQueries {
+					a, err := conn.Query(q)
+					if err != nil {
+						errCh <- fmt.Errorf("client %d: %q: %w", c, q, err)
+						return
+					}
+					if fingerprintAnswer(a) != serial[i] {
+						errCh <- fmt.Errorf("client %d: query %d diverged from serial answer", c, i)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if hits, _ := conn.CacheStats(); hits == 0 {
+		t.Fatal("concurrent clients never hit the plan cache")
+	}
+}
+
+// TestConcurrentQueriesDDLAndAppend mixes ≥8 concurrent clients: query
+// loops, sample create/drop churn, and AppendBatch maintenance. Queries
+// must never fail (a mid-flight dropped sample falls back to exact
+// execution), the catalog version must advance, and the plan cache must
+// have been invalidated and repopulated along the way.
+func TestConcurrentQueriesDDLAndAppend(t *testing.T) {
+	conn, _ := newConn(t)
+	if err := conn.Exec("create uniform sample of order_products ratio 0.02"); err != nil {
+		t.Fatal(err)
+	}
+	uniformOrders, err := conn.CreateUniformSample("orders", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A batch staged for append maintenance (schema = orders).
+	if err := conn.Exec("create table orders_batch as select * from orders limit 200"); err != nil {
+		t.Fatal(err)
+	}
+
+	v0 := conn.CatalogVersion()
+	const (
+		queryClients = 5
+		ddlClients   = 2 // one create/drop churner + one appender
+		reps         = 6
+	)
+	var wg sync.WaitGroup
+	var queryErrs atomic.Int64
+	errCh := make(chan error, queryClients+ddlClients+1)
+
+	for c := 0; c < queryClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < reps; rep++ {
+				for _, q := range concurrentQueries {
+					if _, err := conn.Query(q); err != nil {
+						queryErrs.Add(1)
+						errCh <- fmt.Errorf("query client %d: %q: %w", c, q, err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Sample DDL churn: create and drop a stratified sample repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reps; i++ {
+			si, err := conn.CreateStratifiedSample("orders", []string{"order_dow"}, 0.02)
+			if err != nil {
+				errCh <- fmt.Errorf("create sample: %w", err)
+				return
+			}
+			if err := conn.DropSample(si.SampleTable); err != nil {
+				errCh <- fmt.Errorf("drop sample: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Append maintenance on the uniform orders sample.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		si := uniformOrders
+		for i := 0; i < reps; i++ {
+			next, err := conn.Builder().AppendBatch(si, "orders_batch")
+			if err != nil {
+				errCh <- fmt.Errorf("append batch: %w", err)
+				return
+			}
+			si = next
+		}
+	}()
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if n := queryErrs.Load(); n > 0 {
+		t.Fatalf("%d queries failed under catalog churn", n)
+	}
+	if v1 := conn.CatalogVersion(); v1 <= v0 {
+		t.Fatalf("catalog version did not advance under DDL: %d -> %d", v0, v1)
+	}
+	_, misses := conn.CacheStats()
+	if misses < 2 {
+		t.Fatalf("expected version bumps to invalidate cached plans (misses=%d)", misses)
+	}
+	// The system must still answer correctly after the churn.
+	a, err := conn.Query("select count(*) as c from orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 1 {
+		t.Fatalf("post-churn answer shape: %d rows", len(a.Rows))
+	}
+}
+
+// TestConcurrentSQLDriverMatchesSerial drives the database/sql pool from 8
+// goroutines over one shared DSN and checks every result against a serial
+// baseline.
+func TestConcurrentSQLDriverMatchesSerial(t *testing.T) {
+	db := openSQL(t, "dataset=insta;scale=0.05;seed=11;samples=auto")
+	db.SetMaxOpenConns(8)
+	q := "select order_dow, count(*) as c from orders group by order_dow order by order_dow"
+	readAll := func() (string, error) {
+		rows, err := db.Query(q)
+		if err != nil {
+			return "", err
+		}
+		defer rows.Close()
+		var sb strings.Builder
+		for rows.Next() {
+			var dow int64
+			var c float64
+			if err := rows.Scan(&dow, &c); err != nil {
+				return "", err
+			}
+			fmt.Fprintf(&sb, "%d=%v;", dow, c)
+		}
+		return sb.String(), rows.Err()
+	}
+	serial, err := readAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				got, err := readAll()
+				if err != nil {
+					errCh <- fmt.Errorf("client %d: %w", c, err)
+					return
+				}
+				if got != serial {
+					errCh <- fmt.Errorf("client %d: diverged from serial scan", c)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing-shape assertions (real CPU vs modeled costs) are skipped under it:
+// instrumentation slows computation ~10x but leaves modeled costs unchanged,
+// inverting shapes that hold in every normal build.
+const raceEnabled = true

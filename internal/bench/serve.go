@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+// Serve experiment: the concurrent serving layer under load. N goroutine
+// clients drive the mixed TPC-H + Insta workload through two shared Conns,
+// measuring aggregate QPS and per-query latency percentiles at increasing
+// worker counts, plus the plan/rewrite cache's effect on repeated shapes
+// (cold first-execution vs warm cached latency per shape).
+//
+// The per-query engine overhead is really slept (drivers.SetOverhead with
+// simulate=true), standing in for the warehouse round-trip the paper's
+// middleware pays per query — the latency concurrent clients overlap. Scan
+// parallelism is pinned to 1 so the scaling measured is the serving
+// layer's, not the morsel scheduler's.
+
+// ServeShape is one query shape's cold (first execution, cache miss) vs
+// warm (cached plan) latency.
+type ServeShape struct {
+	ID          string  `json:"id"`
+	Approximate bool    `json:"approximate"`
+	ColdMs      float64 `json:"cold_ms"`
+	WarmMs      float64 `json:"warm_ms"`
+}
+
+// ServeRound is one worker-count measurement.
+type ServeRound struct {
+	Workers     int     `json:"workers"`
+	Queries     int     `json:"queries"`
+	WallMs      float64 `json:"wall_ms"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	SpeedupVs1  float64 `json:"speedup_vs_1"`
+}
+
+// ServeReport is the BENCH_serve.json payload.
+type ServeReport struct {
+	Timestamp           string       `json:"timestamp"`
+	GoMaxProcs          int          `json:"go_max_procs"`
+	SimulatedOverheadMs float64      `json:"simulated_overhead_ms"`
+	TPCHScale           float64      `json:"tpch_scale"`
+	InstaScale          float64      `json:"insta_scale"`
+	Shapes              []ServeShape `json:"shapes"`
+	ColdTotalMs         float64      `json:"cold_total_ms"`
+	WarmTotalMs         float64      `json:"warm_total_ms"`
+	PlanCacheSpeedup    float64      `json:"plan_cache_speedup"`
+	Rounds              []ServeRound `json:"rounds"`
+}
+
+// ServeExperiment measures serving-layer throughput and writes the report
+// to outPath ("" skips the file). workerCounts defaults to {1, 2, 4, 8};
+// perWorker is the number of queries each worker issues per round.
+func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int, perWorker int, overhead time.Duration) (*ServeReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if perWorker <= 0 {
+		perWorker = 32
+	}
+	if overhead <= 0 {
+		overhead = 25 * time.Millisecond
+	}
+	mk := func(e *engine.Engine) *drivers.Driver {
+		d := drivers.NewGeneric(e)
+		d.SetOverhead(overhead, true)
+		return d
+	}
+	tpch, err := NewTPCHEnv(cfg, mk)
+	if err != nil {
+		return nil, err
+	}
+	insta, err := NewInstaEnv(cfg, mk)
+	if err != nil {
+		return nil, err
+	}
+	// Pin scan parallelism so worker scaling measures the serving layer.
+	tpch.Eng.SetParallelism(1)
+	insta.Eng.SetParallelism(1)
+
+	rep := &ServeReport{
+		Timestamp:           time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
+		SimulatedOverheadMs: float64(overhead.Nanoseconds()) / 1e6,
+		TPCHScale:           cfg.TPCHScale,
+		InstaScale:          cfg.InstaScale,
+	}
+
+	// Cold vs warm: the first-ever execution of each shape pays the full
+	// parse→plan→rewrite pipeline (plus ndv probes); repeats hit the plan
+	// cache. Also the round workload below, fully warmed.
+	type boundQuery struct {
+		env *Env
+		q   workload.Query
+	}
+	var work []boundQuery
+	for _, q := range workload.TPCHQueries {
+		work = append(work, boundQuery{tpch, q})
+	}
+	for _, q := range workload.InstaQueries {
+		work = append(work, boundQuery{insta, q})
+	}
+	fmt.Fprintf(w, "## Serve: plan/rewrite cache, cold vs warm per shape (overhead %.1fms slept per engine query)\n", rep.SimulatedOverheadMs)
+	var usable []boundQuery
+	for _, bq := range work {
+		t0 := time.Now()
+		a, err := bq.env.Conn.Query(bq.q.SQL)
+		cold := time.Since(t0)
+		if err != nil {
+			fmt.Fprintf(w, "%-8s SKIP (%v)\n", bq.q.ID, err)
+			continue
+		}
+		warm := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			t0 = time.Now()
+			if _, err := bq.env.Conn.Query(bq.q.SQL); err != nil {
+				return nil, fmt.Errorf("serve warm %s: %w", bq.q.ID, err)
+			}
+			if d := time.Since(t0); d < warm {
+				warm = d
+			}
+		}
+		rep.Shapes = append(rep.Shapes, ServeShape{
+			ID:          bq.q.ID,
+			Approximate: a.Approximate,
+			ColdMs:      float64(cold.Nanoseconds()) / 1e6,
+			WarmMs:      float64(warm.Nanoseconds()) / 1e6,
+		})
+		rep.ColdTotalMs += float64(cold.Nanoseconds()) / 1e6
+		rep.WarmTotalMs += float64(warm.Nanoseconds()) / 1e6
+		usable = append(usable, bq)
+	}
+	if len(usable) == 0 {
+		return nil, fmt.Errorf("serve: no usable workload queries")
+	}
+	if rep.WarmTotalMs > 0 {
+		rep.PlanCacheSpeedup = rep.ColdTotalMs / rep.WarmTotalMs
+	}
+	fmt.Fprintf(w, "%d shapes; total cold %.1fms, warm %.1fms (cache-hit path %.2fx faster)\n",
+		len(rep.Shapes), rep.ColdTotalMs, rep.WarmTotalMs, rep.PlanCacheSpeedup)
+
+	cacheTotals := func() (h, m int64) {
+		h1, m1 := tpch.Conn.CacheStats()
+		h2, m2 := insta.Conn.CacheStats()
+		return h1 + h2, m1 + m2
+	}
+
+	fmt.Fprintf(w, "\n## Serve: mixed TPC-H/Insta throughput vs concurrent clients (%d queries/worker)\n", perWorker)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %8s\n", "workers", "qps", "p50(ms)", "p99(ms)", "wall(ms)", "vs 1")
+	var qps1 float64
+	for _, n := range workerCounts {
+		// Round the total up to whole passes over the workload so every
+		// round executes the identical query mix — QPS across rounds stays
+		// comparable.
+		total := perWorker * n
+		if rem := total % len(usable); rem != 0 {
+			total += len(usable) - rem
+		}
+		var next atomic.Int64
+		var errCount atomic.Int64
+		latencies := make([][]time.Duration, n)
+		h0, m0 := cacheTotals()
+		start := time.Now()
+		var wg sync.WaitGroup
+		for wkr := 0; wkr < n; wkr++ {
+			wg.Add(1)
+			go func(wkr int) {
+				defer wg.Done()
+				lats := make([]time.Duration, 0, perWorker+1)
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(total) {
+						break
+					}
+					bq := usable[int(i)%len(usable)]
+					t0 := time.Now()
+					if _, err := bq.env.Conn.Query(bq.q.SQL); err != nil {
+						errCount.Add(1)
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				latencies[wkr] = lats
+			}(wkr)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		if ec := errCount.Load(); ec > 0 {
+			return nil, fmt.Errorf("serve: %d queries failed at %d workers", ec, n)
+		}
+		var all []time.Duration
+		for _, l := range latencies {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		h1, m1 := cacheTotals()
+		round := ServeRound{
+			Workers:     n,
+			Queries:     total,
+			WallMs:      float64(wall.Nanoseconds()) / 1e6,
+			QPS:         float64(total) / wall.Seconds(),
+			P50Ms:       float64(percentileDur(all, 50).Nanoseconds()) / 1e6,
+			P99Ms:       float64(percentileDur(all, 99).Nanoseconds()) / 1e6,
+			CacheHits:   h1 - h0,
+			CacheMisses: m1 - m0,
+		}
+		if qps1 == 0 {
+			qps1 = round.QPS
+		}
+		round.SpeedupVs1 = round.QPS / qps1
+		rep.Rounds = append(rep.Rounds, round)
+		fmt.Fprintf(w, "%-8d %10.1f %10.2f %10.2f %10.1f %7.2fx   (cache %d hit / %d miss)\n",
+			n, round.QPS, round.P50Ms, round.P99Ms, round.WallMs, round.SpeedupVs1,
+			round.CacheHits, round.CacheMisses)
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "wrote %s\n", outPath)
+	}
+	return rep, nil
+}
+
+// percentileDur returns the p-th percentile of sorted durations.
+func percentileDur(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted) - 1) * p / 100
+	return sorted[idx]
+}

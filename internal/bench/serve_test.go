@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestServeExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := ServeExperiment(io.Discard, QuickConfig(), "", []int{1, 2}, 2, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Shapes) == 0 {
+		t.Fatal("no usable workload shapes")
+	}
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("rounds: %d, want 2", len(rep.Rounds))
+	}
+	for _, r := range rep.Rounds {
+		if r.QPS <= 0 || r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Fatalf("implausible round stats: %+v", r)
+		}
+		// The workload was fully warmed during the cold/warm phase, so the
+		// throughput rounds must run entirely on cached plans.
+		if r.CacheMisses != 0 || r.CacheHits != int64(r.Queries) {
+			t.Fatalf("rounds should be all cache hits: %+v", r)
+		}
+	}
+	if rep.ColdTotalMs <= 0 || rep.WarmTotalMs <= 0 {
+		t.Fatalf("cold/warm totals missing: %+v", rep)
+	}
+	// Cached execution skips parse/flatten/plan/rewrite and the ndv probes;
+	// summed over all shapes it must not be slower than cold execution.
+	// (Per-shape noise is possible; the aggregate is stable.)
+	if !raceEnabled && rep.WarmTotalMs > rep.ColdTotalMs {
+		t.Errorf("warm total %.1fms slower than cold %.1fms", rep.WarmTotalMs, rep.ColdTotalMs)
+	}
+}

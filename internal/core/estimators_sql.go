@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"verdictdb/internal/drivers"
@@ -11,6 +13,10 @@ import (
 	"verdictdb/internal/sqlparser"
 	"verdictdb/internal/stats"
 )
+
+// resampleSeq uniquifies the baselines' scratch-table names so concurrent
+// resampling queries never clobber each other's temp tables.
+var resampleSeq atomic.Int64
 
 // This file implements the two resampling baselines of Section 6.4 as a
 // middleware would have to: entirely in SQL.
@@ -112,7 +118,8 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 
 	// 1. Materialize the filtered sample relation once: group columns,
 	// aggregate arguments, inclusion probability.
-	baseTmp := drivers.QualifyTemp("resample_base")
+	seq := strconv.FormatInt(resampleSeq.Add(1), 10)
+	baseTmp := drivers.QualifyTemp("resample_base", seq)
 	var items []string
 	for _, g := range groups {
 		items = append(items, fmt.Sprintf("%s as %s", sqlparser.FormatExpr(g.expr), g.alias))
@@ -159,7 +166,7 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 	}
 
 	// 2. Numbers table with b subsample ids.
-	numsTmp := drivers.QualifyTemp("resample_nums")
+	numsTmp := drivers.QualifyTemp("resample_nums", seq)
 	if err := exec("drop table if exists " + numsTmp); err != nil {
 		return nil, err
 	}
@@ -176,7 +183,7 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 	defer func() { _ = exec("drop table if exists " + numsTmp) }()
 
 	// 3. The O(b*n) resample materialization.
-	subsTmp := drivers.QualifyTemp("resample_subs")
+	subsTmp := drivers.QualifyTemp("resample_subs", seq)
 	if err := exec("drop table if exists " + subsTmp); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
+	"sync"
 
 	"verdictdb/internal/drivers"
 	"verdictdb/internal/engine"
@@ -49,6 +51,9 @@ type Options struct {
 	// exceeds this fraction of the sample size (the paper's "AQP not
 	// feasible due to high-cardinality grouping attributes").
 	MaxGroupsFraction float64
+	// DisablePlanCache turns off the plan/rewrite cache (every query runs
+	// the full parse→plan→rewrite pipeline; used by ablations).
+	DisablePlanCache bool
 }
 
 // DefaultOptions mirrors the paper's defaults.
@@ -62,11 +67,30 @@ func DefaultOptions() Options {
 }
 
 // Middleware is the VerdictDB core: it intercepts queries, rewrites the
-// supported ones against sample tables, and rewrites answers back.
+// supported ones against sample tables, and rewrites answers back. It is
+// safe for concurrent use: opts/db/cat are immutable after New, and the two
+// caches (plan/rewrite entries and base-table row counts) are internally
+// synchronized and invalidated by catalog version bumps.
 type Middleware struct {
 	db   drivers.DB
 	cat  *meta.Catalog
 	opts Options
+
+	plans *planCache // nil when DisablePlanCache
+	stats rowStats
+}
+
+// rowStats caches base-table row counts (the planner's budget inputs) so
+// repeated queries skip the per-occurrence RowCount probes. The cache is
+// tied to a catalog version and additionally flushed by InvalidateStats
+// when DML flows through the middleware; gen counts those flushes so an
+// in-flight probe that started before a flush cannot re-cache its pre-DML
+// reading afterwards.
+type rowStats struct {
+	mu      sync.Mutex
+	version int64
+	gen     int64
+	rows    map[string]int64
 }
 
 // New builds a middleware over an underlying database and sample catalog.
@@ -84,7 +108,12 @@ func New(db drivers.DB, cat *meta.Catalog, opts Options) *Middleware {
 		opts.MaxGroupsFraction = 0.08
 	}
 	opts.Planner.IOBudget = opts.IOBudget
-	return &Middleware{db: db, cat: cat, opts: opts}
+	m := &Middleware{db: db, cat: cat, opts: opts}
+	if !opts.DisablePlanCache {
+		m.plans = newPlanCache(defaultPlanCacheCap)
+	}
+	m.stats.rows = map[string]int64{}
+	return m
 }
 
 // Options returns the middleware's effective options.
@@ -93,119 +122,203 @@ func (m *Middleware) Options() Options { return m.opts }
 // DB returns the underlying database handle.
 func (m *Middleware) DB() drivers.DB { return m.db }
 
+// CacheStats reports cumulative plan-cache hits and misses (both zero when
+// the cache is disabled).
+func (m *Middleware) CacheStats() (hits, misses int64) {
+	if m.plans == nil {
+		return 0, 0
+	}
+	return m.plans.stats()
+}
+
+// InvalidateStats drops the cached base-table row counts and every cached
+// plan. Call it after changing base data behind the middleware's back
+// (loads or DML not issued through Query). DML routed through Query and
+// sample DDL routed through the catalog invalidate automatically.
+func (m *Middleware) InvalidateStats() {
+	m.stats.mu.Lock()
+	m.stats.rows = map[string]int64{}
+	m.stats.gen++
+	m.stats.mu.Unlock()
+	if m.plans != nil {
+		m.plans.flush()
+	}
+}
+
+// rowCount returns a base table's cardinality from the stats cache,
+// refreshing it when the catalog version moved.
+func (m *Middleware) rowCount(table string, version int64) (int64, bool) {
+	m.stats.mu.Lock()
+	if m.stats.version != version {
+		m.stats.rows = map[string]int64{}
+		m.stats.version = version
+	}
+	if n, ok := m.stats.rows[table]; ok {
+		m.stats.mu.Unlock()
+		return n, true
+	}
+	gen := m.stats.gen
+	m.stats.mu.Unlock()
+	n, err := m.db.RowCount(table)
+	if err != nil {
+		return 0, false
+	}
+	m.stats.mu.Lock()
+	// Only cache if neither the catalog version nor the invalidation
+	// generation moved while we probed — a concurrent DML's flush must not
+	// be undone by this in-flight reading.
+	if m.stats.version == version && m.stats.gen == gen {
+		m.stats.rows[table] = n
+	}
+	m.stats.mu.Unlock()
+	return n, true
+}
+
 // Query runs one SQL statement through the AQP pipeline.
 func (m *Middleware) Query(sql string) (*Answer, error) {
+	if a, handled, err := m.QueryCached(sql); handled {
+		return a, err
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	sel, ok := stmt.(*sqlparser.SelectStmt)
 	if !ok {
-		// DDL/DML pass straight through.
+		// DDL/DML pass straight through; base data may have changed, so
+		// cached plans and row counts are stale.
 		if err := m.db.Exec(sql); err != nil {
 			return nil, err
 		}
+		m.InvalidateStats()
 		return &Answer{Status: PassNoAggregates, Confidence: m.opts.Confidence}, nil
 	}
 	return m.QuerySelect(sel, sql)
 }
 
+// QueryCached answers sql from the plan/rewrite cache, skipping parse,
+// analysis, planning, and rewriting entirely. handled is false on a cache
+// miss (the caller should run the full pipeline, which repopulates the
+// cache). Only statements previously built by QuerySelect can hit.
+func (m *Middleware) QueryCached(sql string) (a *Answer, handled bool, err error) {
+	if m.plans == nil {
+		return nil, false, nil
+	}
+	e := m.plans.lookup(normalizeSQL(sql), m.cat.Version())
+	if e == nil {
+		return nil, false, nil
+	}
+	a, err = m.executeEntry(e, sql)
+	return a, true, err
+}
+
 // QuerySelect runs a parsed SELECT through the AQP pipeline. original is
-// the user's SQL for passthrough execution.
+// the user's SQL for passthrough execution (it must be the SQL sel was
+// parsed from — the plan cache maps original to sel's plan).
 func (m *Middleware) QuerySelect(sel *sqlparser.SelectStmt, original string) (*Answer, error) {
+	var gen int64
+	if m.plans != nil {
+		m.plans.countMiss() // a SELECT running the full pipeline
+		gen = m.plans.generation()
+	}
+	entry, direct, err := m.buildEntry(sel, original)
+	if err != nil {
+		return nil, err
+	}
+	if direct != nil {
+		return direct, nil // resampling baselines bypass the cache
+	}
+	if m.plans != nil {
+		m.plans.put(normalizeSQL(original), entry, gen)
+	}
+	return m.executeEntry(entry, original)
+}
+
+// buildEntry runs the deterministic half of the pipeline — analyze,
+// flatten, plan, rewrite, render — and packages the result as a cacheable
+// planEntry. Resampling-baseline methods execute immediately and return a
+// direct answer instead (their temp-table materialization isn't cacheable).
+func (m *Middleware) buildEntry(sel *sqlparser.SelectStmt, original string) (*planEntry, *Answer, error) {
+	snapshot, version := m.cat.Snapshot()
+	pass := func(status SupportStatus) *planEntry {
+		return &planEntry{version: version, passthrough: true, status: status}
+	}
+
 	status := Analyze(sel)
 	if status != Supported {
-		return m.passthrough(original, status)
+		return pass(status), nil, nil
 	}
 	flat, err := FlattenComparisonSubqueries(sel)
 	if err != nil || flat == nil {
-		return m.passthrough(original, PassOther)
+		return pass(PassOther), nil, nil
 	}
 
 	occ := map[string]*tableOccurrence{}
 	if err := collectAllOccurrences(flat, occ); err != nil {
-		return m.passthrough(original, PassOther)
+		return pass(PassOther), nil, nil
 	}
 	for _, o := range occ {
-		if n, err := m.db.RowCount(o.Base); err == nil {
+		if n, ok := m.rowCount(o.Base, version); ok {
 			o.Rows = n
 		}
 	}
 
-	all, err := m.cat.List()
-	if err != nil {
-		return nil, err
-	}
-	planner := NewPlanner(m.opts.Planner, all)
+	planner := NewPlanner(m.opts.Planner, snapshot)
 	plans, extremeIdx, ok, err := planner.PlanQuery(flat, occ)
 	if err != nil || !ok {
-		return m.passthrough(original, PassOther)
+		return pass(PassOther), nil, nil
 	}
 
 	// High-cardinality grouping check (Section 6.2: tq-3/8/15 declined).
 	if decline, err := m.groupCardinalityTooHigh(flat, plans[0].Plan); err == nil && decline {
-		return m.passthrough(original, PassOther)
+		return pass(PassOther), nil, nil
 	}
 
 	multi := len(plans) > 1 || len(extremeIdx) > 0
 	if multi && flat.Having != nil {
 		// HAVING across merged partial plans is not reassembled; fall back.
-		return m.passthrough(original, PassOther)
+		return pass(PassOther), nil, nil
 	}
 
 	switch m.opts.Method {
 	case MethodTraditionalSubsampling, MethodConsolidatedBootstrap:
 		if multi {
-			return m.passthrough(original, PassOther)
+			a, err := m.passthrough(original, PassOther)
+			return nil, a, err
 		}
-		return m.runResamplingBaseline(flat, plans[0], original)
+		a, err := m.runResamplingBaseline(flat, plans[0], original)
+		return nil, a, err
 	}
 
-	answer := &Answer{
-		Approximate:  true,
-		Status:       Supported,
-		Confidence:   m.opts.Confidence,
-		SampleTables: nil,
-	}
-
-	nItems := len(flat.Items)
-	mg := newMerger(nItems)
+	entry := &planEntry{version: version, flat: flat, multi: multi}
 	for _, cp := range plans {
 		ro, err := Rewrite(flat, cp.Plan, cp.ItemIdx, !multi)
 		if err != nil {
-			return m.passthrough(original, PassOther)
+			return pass(PassOther), nil, nil
 		}
 		if m.opts.Method == MethodNone {
 			stripErrorColumns(ro)
 		}
-		rendered := drivers.Render(m.db, ro.Stmt)
-		rs, elapsed, err := m.db.QueryTimed(rendered)
-		if err != nil {
-			// A stale catalog (sample table dropped outside VerdictDB) or a
-			// dialect corner case must never break the user's query: fall
-			// back to exact execution, like the paper's middleware.
-			return m.passthrough(original, PassOther)
+		entry.steps = append(entry.steps, planStep{
+			sql:          drivers.Render(m.db, ro.Stmt),
+			columns:      ro.Columns,
+			sampleTables: ro.SampleTables,
+		})
+		// The post-execution guard compares group counts against the
+		// smallest sampled plan — the binding constraint on how thin the
+		// sample spreads.
+		if cp.Plan.Cost > 0 && (entry.planSampleRows == 0 || cp.Plan.Cost < entry.planSampleRows) {
+			entry.planSampleRows = cp.Plan.Cost
 		}
-		answer.RewrittenSQL = append(answer.RewrittenSQL, rendered)
-		answer.SampleTables = append(answer.SampleTables, ro.SampleTables...)
-		answer.ElapsedNanos += elapsed.Nanoseconds()
-		answer.RowsScanned += rs.RowsScanned
-		mg.add(rs, ro.Columns)
 	}
 
 	// Extreme statistics answered exactly (Section 2.2 decomposition).
 	if len(extremeIdx) > 0 {
-		rs, cols, elapsed, err := m.runExtremeQuery(flat, extremeIdx)
-		if err != nil {
-			return m.passthrough(original, PassOther)
-		}
-		answer.ElapsedNanos += elapsed
-		answer.RowsScanned += rs.RowsScanned
-		mg.add(rs, cols)
+		sqlText, cols := m.buildExtremeQuery(flat, extremeIdx)
+		entry.extreme = &planStep{sql: sqlText, columns: cols}
 	}
 
-	// Materialize merged rows in original item order.
-	names := make([]string, nItems)
+	names := make([]string, len(flat.Items))
 	for i, it := range flat.Items {
 		if it.Alias != "" {
 			names[i] = it.Alias
@@ -213,11 +326,57 @@ func (m *Middleware) QuerySelect(sel *sqlparser.SelectStmt, original string) (*A
 			names[i] = deriveName(it.Expr, i)
 		}
 	}
-	answer.Cols = names
-	answer.Rows, answer.StdErr = mg.result(names)
+	entry.names = names
+	entry.guardGroups = len(flat.GroupBy) > 0 && flat.Limit == nil
+	return entry, nil, nil
+}
 
-	if multi {
-		if err := m.applyOrderLimit(flat, answer); err != nil {
+// executeEntry runs a (possibly cached) plan entry: execute the rendered
+// partial queries, merge the partial answers, and apply the guard rails.
+// The entry is shared across concurrent queries and never mutated here —
+// anything an Answer could mutate later (column names) is cloned.
+func (m *Middleware) executeEntry(e *planEntry, original string) (*Answer, error) {
+	if e.passthrough {
+		return m.passthrough(original, e.status)
+	}
+
+	answer := &Answer{
+		Approximate: true,
+		Status:      Supported,
+		Confidence:  m.opts.Confidence,
+	}
+	mg := newMerger(len(e.names))
+	for _, st := range e.steps {
+		rs, elapsed, err := m.db.QueryTimed(st.sql)
+		if err != nil {
+			// A stale catalog (sample table dropped outside VerdictDB) or a
+			// dialect corner case must never break the user's query: fall
+			// back to exact execution, like the paper's middleware.
+			return m.passthrough(original, PassOther)
+		}
+		answer.RewrittenSQL = append(answer.RewrittenSQL, st.sql)
+		answer.SampleTables = append(answer.SampleTables, st.sampleTables...)
+		answer.ElapsedNanos += elapsed.Nanoseconds()
+		answer.RowsScanned += rs.RowsScanned
+		mg.add(rs, st.columns)
+	}
+	if e.extreme != nil {
+		rs, elapsed, err := m.db.QueryTimed(e.extreme.sql)
+		if err != nil {
+			return m.passthrough(original, PassOther)
+		}
+		answer.ElapsedNanos += elapsed.Nanoseconds()
+		answer.RowsScanned += rs.RowsScanned
+		mg.add(rs, e.extreme.columns)
+	}
+
+	// Materialize merged rows in original item order. Cols is a private
+	// copy: appendErrorColumns extends it per answer.
+	answer.Cols = append([]string(nil), e.names...)
+	answer.Rows, answer.StdErr = mg.result(answer.Cols)
+
+	if e.multi {
+		if err := m.applyOrderLimit(e.flat, answer); err != nil {
 			return m.passthrough(original, PassOther)
 		}
 	}
@@ -225,10 +384,14 @@ func (m *Middleware) QuerySelect(sel *sqlparser.SelectStmt, original string) (*A
 	// Post-execution high-cardinality guard: grouping expressions the
 	// pre-probe skipped (derived columns, expressions) can still explode
 	// the group count; if the result spreads the sample across too many
-	// groups, the estimates are meaningless — run exactly instead. Only
+	// groups, the estimates are meaningless — run exactly instead. The
+	// group count is compared against the chosen plan's sample rows, NOT
+	// cumulative scan counts: summing RowsScanned double-counts multi-plan
+	// partials and includes the extreme query's full base-table scan, which
+	// made the guard nearly impossible to trip for those queries. Only
 	// applicable when no LIMIT truncated the output.
-	if len(flat.GroupBy) > 0 && flat.Limit == nil &&
-		float64(len(answer.Rows)) > m.opts.MaxGroupsFraction*float64(maxI64(answer.RowsScanned, 1)) {
+	if e.guardGroups &&
+		float64(len(answer.Rows)) > m.opts.MaxGroupsFraction*float64(maxI64(e.planSampleRows, 1)) {
 		return m.passthrough(original, PassOther)
 	}
 
@@ -309,8 +472,12 @@ func collectAllOccurrences(sel *sqlparser.SelectStmt, out map[string]*tableOccur
 // declines AQP when the chosen samples would spread too thin across groups
 // (the paper's "AQP not feasible for high-cardinality grouping attributes",
 // Section 6.2). Each simple grouping column is probed with ndv() against
-// the sample table that contains it, or the base table of its occurrence
-// (dimension tables are cheap to scan); the largest per-column cardinality
+// the table chosen for the column's occurrence — the sample table when one
+// was picked, otherwise the base table (dimension tables are cheap to
+// scan). A qualified column (t.col) probes exactly its occurrence's table;
+// an unqualified one probes the occurrences in deterministic alias order
+// until one knows the column, which is the column's binding table under
+// SQL's unambiguous-reference rule. The largest per-column cardinality
 // lower-bounds the group count. Non-column grouping expressions are skipped
 // — the probe is deliberately best-effort and conservative.
 func (m *Middleware) groupCardinalityTooHigh(sel *sqlparser.SelectStmt, plan CandidatePlan) (bool, error) {
@@ -318,17 +485,31 @@ func (m *Middleware) groupCardinalityTooHigh(sel *sqlparser.SelectStmt, plan Can
 		return false, nil
 	}
 	var sampleRows int64
-	var probeTables []string
-	for _, c := range plan.Choices {
-		if c.Sample != nil {
+	probeByAlias := map[string]string{} // alias -> table to probe
+	aliases := make([]string, 0, len(plan.Choices))
+	for a, c := range plan.Choices {
+		switch {
+		case c.Sample != nil:
 			sampleRows += c.Sample.SampleRows
-			probeTables = append(probeTables, c.Sample.SampleTable)
-		} else if c.Occurrence != nil {
-			probeTables = append(probeTables, c.Occurrence.Base)
+			probeByAlias[a] = c.Sample.SampleTable
+		case c.Occurrence != nil:
+			probeByAlias[a] = c.Occurrence.Base
+		default:
+			continue
 		}
+		aliases = append(aliases, a)
 	}
+	sort.Strings(aliases)
 	if sampleRows == 0 {
 		return false, nil
+	}
+	ndvOf := func(col, tbl string) (int64, bool) {
+		rs, err := m.db.Query(fmt.Sprintf("select ndv(%s) from %s", col, tbl))
+		if err != nil {
+			return 0, false // column not in this table
+		}
+		v, ok := engine.ToInt(rs.Rows[0][0])
+		return v, ok
 	}
 	maxNdv := int64(0)
 	for _, g := range sel.GroupBy {
@@ -336,22 +517,32 @@ func (m *Middleware) groupCardinalityTooHigh(sel *sqlparser.SelectStmt, plan Can
 		if !ok {
 			continue
 		}
-		for _, tbl := range probeTables {
-			rs, err := m.db.Query(fmt.Sprintf("select ndv(%s) from %s", cr.Name, tbl))
-			if err != nil {
-				continue // column not in this table
+		if cr.Table != "" {
+			// Qualified column: only its own occurrence's table may answer —
+			// a same-named column on another occurrence has unrelated
+			// cardinality.
+			if tbl, found := probeByAlias[strings.ToLower(cr.Table)]; found {
+				if v, okV := ndvOf(cr.Name, tbl); okV && v > maxNdv {
+					maxNdv = v
+				}
 			}
-			if v, okV := engine.ToInt(rs.Rows[0][0]); okV && v > maxNdv {
-				maxNdv = v
+			continue
+		}
+		for _, a := range aliases {
+			if v, okV := ndvOf(cr.Name, probeByAlias[a]); okV {
+				if v > maxNdv {
+					maxNdv = v
+				}
+				break
 			}
-			break
 		}
 	}
 	return float64(maxNdv) > m.opts.MaxGroupsFraction*float64(sampleRows), nil
 }
 
-// runExtremeQuery answers min/max items exactly from base tables.
-func (m *Middleware) runExtremeQuery(sel *sqlparser.SelectStmt, extremeIdx []int) (*engine.ResultSet, []OutputCol, int64, error) {
+// buildExtremeQuery renders the exact query answering min/max items from
+// base tables.
+func (m *Middleware) buildExtremeQuery(sel *sqlparser.SelectStmt, extremeIdx []int) (string, []OutputCol) {
 	ex := &sqlparser.SelectStmt{
 		From:  sqlparser.CloneTable(sel.From),
 		Where: sqlparser.CloneExpr(sel.Where),
@@ -379,12 +570,7 @@ func (m *Middleware) runExtremeQuery(sel *sqlparser.SelectStmt, extremeIdx []int
 			cols = append(cols, OutputCol{Kind: ColAgg, ItemIdx: i, Name: name})
 		}
 	}
-	rendered := drivers.Render(m.db, ex)
-	rs, elapsed, err := m.db.QueryTimed(rendered)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	return rs, cols, elapsed.Nanoseconds(), nil
+	return drivers.Render(m.db, ex), cols
 }
 
 // applyOrderLimit sorts and truncates merged multi-plan answers in the
@@ -485,10 +671,15 @@ func stripErrorColumns(ro *RewriteOutput) {
 }
 
 // appendErrorColumns exposes half-width confidence intervals as extra
-// user-visible columns named <col>_err.
+// user-visible columns named <col>_err. When the query already has a column
+// by that name (a user alias like revenue_err), the generated name is
+// de-duplicated with a numeric suffix so the appended column never shadows
+// — or is shadowed by — user output.
 func appendErrorColumns(a *Answer) {
 	var aggCols []int
+	used := make(map[string]bool, len(a.Cols))
 	for c := range a.Cols {
+		used[strings.ToLower(a.Cols[c])] = true
 		for r := range a.Rows {
 			if !math.IsNaN(a.StdErr[r][c]) {
 				aggCols = append(aggCols, c)
@@ -497,7 +688,12 @@ func appendErrorColumns(a *Answer) {
 		}
 	}
 	for _, c := range aggCols {
-		a.Cols = append(a.Cols, a.Cols[c]+"_err")
+		name := a.Cols[c] + "_err"
+		for n := 2; used[strings.ToLower(name)]; n++ {
+			name = fmt.Sprintf("%s_err%d", a.Cols[c], n)
+		}
+		used[strings.ToLower(name)] = true
+		a.Cols = append(a.Cols, name)
 		for r := range a.Rows {
 			lo, hi, ok := a.ConfidenceInterval(r, c)
 			if ok {

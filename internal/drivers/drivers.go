@@ -44,12 +44,20 @@ type DB interface {
 	Overhead() time.Duration
 }
 
-// Driver is a DB implementation wrapping the in-memory engine.
+// Driver is a DB implementation wrapping the in-memory engine. It is safe
+// for concurrent use once configured: the engine synchronizes table access
+// internally and the Driver's own fields are read-only after construction
+// (SetOverhead must be called before sharing the driver across goroutines).
 type Driver struct {
 	name     string
 	eng      *engine.Engine
 	dialect  sqlparser.Dialect
 	overhead time.Duration
+	// simulate makes QueryTimed actually sleep the overhead instead of
+	// merely adding it to the reported latency — the modeled fixed cost
+	// becomes real wall-clock waiting that concurrent clients can overlap,
+	// as network round-trips and warehouse queueing would be.
+	simulate bool
 }
 
 var _ DB = (*Driver)(nil)
@@ -77,11 +85,25 @@ func (d *Driver) Query(sql string) (*engine.ResultSet, error) {
 	return d.eng.Query(sql)
 }
 
+// SetOverhead overrides the modeled fixed per-query overhead. When simulate
+// is true the overhead is really slept in QueryTimed (see the simulate
+// field); call before the driver is shared across goroutines.
+func (d *Driver) SetOverhead(overhead time.Duration, simulate bool) {
+	d.overhead = overhead
+	d.simulate = simulate
+}
+
 // QueryTimed implements DB.
 func (d *Driver) QueryTimed(sql string) (*engine.ResultSet, time.Duration, error) {
 	start := time.Now()
+	if d.simulate {
+		time.Sleep(d.overhead)
+	}
 	rs, err := d.eng.Query(sql)
-	elapsed := time.Since(start) + d.overhead
+	elapsed := time.Since(start)
+	if !d.simulate {
+		elapsed += d.overhead
+	}
 	return rs, elapsed, err
 }
 

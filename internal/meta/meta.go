@@ -2,11 +2,19 @@
 // requires, all metadata lives inside the underlying database itself (a
 // table named verdict_meta_samples), so a fresh VerdictDB connection to
 // the same database rediscovers previously built samples.
+//
+// On top of that durable SQL state the catalog keeps a versioned in-process
+// snapshot: reads (List, ForTable, Snapshot) never touch the database, and
+// every mutation (Register, Drop, Reload) installs a fresh snapshot under a
+// bumped version number. The version is what the middleware's plan/rewrite
+// cache keys on — a sample DDL bump invalidates every cached plan.
 package meta
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"verdictdb/internal/drivers"
 	"verdictdb/internal/engine"
@@ -49,12 +57,26 @@ func (s SampleInfo) ColumnSet() map[string]bool {
 	return set
 }
 
-// Catalog reads and writes sample metadata through the DB interface.
-type Catalog struct {
-	db drivers.DB
+// catalogState is one immutable snapshot of the catalog. Readers load it
+// atomically and may hold it across a whole planning pass; writers build a
+// new one and swap it in.
+type catalogState struct {
+	version int64
+	infos   []SampleInfo
 }
 
-// Open returns a catalog bound to db, creating the metadata table if absent.
+// Catalog reads and writes sample metadata. The SQL table is the durable
+// source of truth; the in-process snapshot makes reads lock-free and gives
+// every state a version number. Safe for concurrent use.
+type Catalog struct {
+	db drivers.DB
+
+	mu    sync.Mutex // serializes writers (Register/Drop/Reload)
+	state atomic.Pointer[catalogState]
+}
+
+// Open returns a catalog bound to db, creating the metadata table if absent
+// and loading any previously registered samples into the snapshot.
 func Open(db drivers.DB) (*Catalog, error) {
 	c := &Catalog{db: db}
 	err := db.Exec(fmt.Sprintf(`create table if not exists %s (
@@ -64,60 +86,164 @@ func Open(db drivers.DB) (*Catalog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("meta: creating catalog table: %w", err)
 	}
+	infos, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	c.state.Store(&catalogState{version: 1, infos: infos})
 	return c, nil
 }
 
+// Version returns the current catalog version. It increases on every
+// mutation; cache entries tagged with an older version are stale.
+func (c *Catalog) Version() int64 {
+	return c.state.Load().version
+}
+
+// Snapshot returns the registered samples together with the version they
+// belong to, atomically. The returned slice is a fresh copy; callers may
+// keep pointers into it but must treat each SampleInfo as read-only.
+func (c *Catalog) Snapshot() ([]SampleInfo, int64) {
+	st := c.state.Load()
+	return append([]SampleInfo(nil), st.infos...), st.version
+}
+
+// List returns all registered samples from the in-process snapshot.
+func (c *Catalog) List() ([]SampleInfo, error) {
+	infos, _ := c.Snapshot()
+	return infos, nil
+}
+
+// ForTable returns the samples registered for a base table.
+func (c *Catalog) ForTable(base string) ([]SampleInfo, error) {
+	st := c.state.Load()
+	var out []SampleInfo
+	for _, si := range st.infos {
+		if strings.EqualFold(si.BaseTable, base) {
+			out = append(out, si)
+		}
+	}
+	return out, nil
+}
+
 // Register records a sample. Re-registering the same sample table replaces
-// the previous record.
+// the previous record. Bumps the catalog version.
 func (c *Catalog) Register(si SampleInfo) error {
-	if err := c.Drop(si.SampleTable); err != nil {
+	si.BaseTable = strings.ToLower(si.BaseTable)
+	low := make([]string, len(si.Columns))
+	for i, col := range si.Columns {
+		low[i] = strings.ToLower(col)
+	}
+	si.Columns = low
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state.Load()
+	replacing := false
+	next := make([]SampleInfo, 0, len(st.infos)+1)
+	for _, old := range st.infos {
+		if strings.EqualFold(old.SampleTable, si.SampleTable) {
+			replacing = true
+			continue
+		}
+		next = append(next, old)
+	}
+	next = append(next, si)
+	if !replacing {
+		// Fast path for a brand-new sample: a single durable INSERT, which
+		// leaves the SQL table untouched on failure (no rewrite needed).
+		if err := c.db.Exec(insertRowSQL(si)); err != nil {
+			return err
+		}
+		c.state.Store(&catalogState{version: st.version + 1, infos: next})
+		return nil
+	}
+	return c.commitLocked(st.version, next)
+}
+
+// Drop removes the record for a sample table (the table itself is the
+// caller's responsibility) and bumps the catalog version. Dropping an
+// unknown sample is a no-op and does not bump the version.
+func (c *Catalog) Drop(sampleTable string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state.Load()
+	next := make([]SampleInfo, 0, len(st.infos))
+	found := false
+	for _, si := range st.infos {
+		if strings.EqualFold(si.SampleTable, sampleTable) {
+			found = true
+			continue
+		}
+		next = append(next, si)
+	}
+	if !found {
+		return nil
+	}
+	return c.commitLocked(st.version, next)
+}
+
+// Reload re-reads the metadata table from the underlying database —
+// for catalogs whose SQL state was changed behind this process's back —
+// and bumps the version so dependent caches refresh.
+func (c *Catalog) Reload() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	infos, err := c.load()
+	if err != nil {
 		return err
 	}
-	sql := fmt.Sprintf(
+	st := c.state.Load()
+	c.state.Store(&catalogState{version: st.version + 1, infos: infos})
+	return nil
+}
+
+// commitLocked persists infos to the SQL table and installs them as the new
+// snapshot under version+1. Caller holds c.mu. The engine has no DELETE, so
+// removals rewrite the catalog table wholesale — metadata is tiny. If the
+// rewrite fails partway, the snapshot is resynced from whatever durable
+// state remains (under a bumped version) so memory and SQL never diverge.
+func (c *Catalog) commitLocked(version int64, infos []SampleInfo) error {
+	persist := func() error {
+		if err := c.db.Exec("drop table if exists " + MetaTable); err != nil {
+			return err
+		}
+		err := c.db.Exec(fmt.Sprintf(`create table %s (
+			sample_table string, base_table string, sample_type string,
+			ratio double, on_columns string, sample_rows bigint,
+			base_rows bigint, subsamples bigint, universe_keys bigint)`, MetaTable))
+		if err != nil {
+			return fmt.Errorf("meta: recreating catalog table: %w", err)
+		}
+		for _, si := range infos {
+			if err := c.db.Exec(insertRowSQL(si)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := persist(); err != nil {
+		if rescued, lerr := c.load(); lerr == nil {
+			c.state.Store(&catalogState{version: version + 1, infos: rescued})
+		}
+		return err
+	}
+	c.state.Store(&catalogState{version: version + 1, infos: infos})
+	return nil
+}
+
+// insertRowSQL renders one sample's durable catalog row.
+func insertRowSQL(si SampleInfo) string {
+	return fmt.Sprintf(
 		"insert into %s values ('%s', '%s', '%s', %g, '%s', %d, %d, %d, %d)",
 		MetaTable,
 		escape(si.SampleTable), escape(strings.ToLower(si.BaseTable)), si.Type.String(),
 		si.Ratio, escape(strings.ToLower(strings.Join(si.Columns, ","))),
 		si.SampleRows, si.BaseRows, si.Subsamples, si.UniverseKeys)
-	return c.db.Exec(sql)
 }
 
-// Drop removes the record for a sample table (the table itself is the
-// caller's responsibility). The engine has no DELETE, so the catalog is
-// rewritten without the dropped row — metadata is tiny.
-func (c *Catalog) Drop(sampleTable string) error {
-	all, err := c.List()
-	if err != nil {
-		return err
-	}
-	keep := all[:0]
-	found := false
-	for _, si := range all {
-		if strings.EqualFold(si.SampleTable, sampleTable) {
-			found = true
-			continue
-		}
-		keep = append(keep, si)
-	}
-	if !found {
-		return nil
-	}
-	if err := c.db.Exec("drop table " + MetaTable); err != nil {
-		return err
-	}
-	if _, err := Open(c.db); err != nil {
-		return err
-	}
-	for _, si := range keep {
-		if err := c.Register(si); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// List returns all registered samples.
-func (c *Catalog) List() ([]SampleInfo, error) {
+// load reads the SQL metadata table into a fresh info slice.
+func (c *Catalog) load() ([]SampleInfo, error) {
 	rs, err := c.db.Query("select sample_table, base_table, sample_type, ratio, on_columns, sample_rows, base_rows, subsamples, universe_keys from " + MetaTable)
 	if err != nil {
 		return nil, err
@@ -145,21 +271,6 @@ func (c *Catalog) List() ([]SampleInfo, error) {
 		si.Subsamples, _ = engine.ToInt(r[7])
 		si.UniverseKeys, _ = engine.ToInt(r[8])
 		out = append(out, si)
-	}
-	return out, nil
-}
-
-// ForTable returns the samples registered for a base table.
-func (c *Catalog) ForTable(base string) ([]SampleInfo, error) {
-	all, err := c.List()
-	if err != nil {
-		return nil, err
-	}
-	var out []SampleInfo
-	for _, si := range all {
-		if strings.EqualFold(si.BaseTable, base) {
-			out = append(out, si)
-		}
 	}
 	return out, nil
 }

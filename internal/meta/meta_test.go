@@ -117,6 +117,86 @@ func TestEffectiveRatio(t *testing.T) {
 	}
 }
 
+func TestVersionBumpsOnMutation(t *testing.T) {
+	cat, db := newCatalog(t)
+	v0 := cat.Version()
+	si := SampleInfo{
+		SampleTable: "s1", BaseTable: "t", Type: sqlparser.UniformSample,
+		Ratio: 0.01, SampleRows: 10, BaseRows: 1000, Subsamples: 4,
+	}
+	if err := cat.Register(si); err != nil {
+		t.Fatal(err)
+	}
+	v1 := cat.Version()
+	if v1 <= v0 {
+		t.Fatalf("Register did not bump version: %d -> %d", v0, v1)
+	}
+	infos, vSnap := cat.Snapshot()
+	if vSnap != v1 || len(infos) != 1 {
+		t.Fatalf("snapshot: version %d (want %d), %d infos", vSnap, v1, len(infos))
+	}
+	if err := cat.Drop("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Version() <= v1 {
+		t.Fatal("Drop did not bump version")
+	}
+	v2 := cat.Version()
+	// Dropping a missing sample is a no-op and must not bump.
+	if err := cat.Drop("nope"); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Version() != v2 {
+		t.Fatal("no-op Drop bumped version")
+	}
+	// Reload picks up external SQL-level changes and bumps.
+	cat2, err := Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat2.Register(si); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	if cat.Version() <= v2 {
+		t.Fatal("Reload did not bump version")
+	}
+	if all, _ := cat.List(); len(all) != 1 {
+		t.Fatalf("Reload missed external registration: %d infos", len(all))
+	}
+}
+
+func TestCatalogConcurrentReadersAndWriters(t *testing.T) {
+	cat, _ := newCatalog(t)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			name := "s" + string(rune('a'+i%8))
+			_ = cat.Register(SampleInfo{
+				SampleTable: name, BaseTable: "t", Type: sqlparser.UniformSample,
+				Ratio: 0.01, SampleRows: 10, BaseRows: 1000, Subsamples: 4,
+			})
+			_ = cat.Drop(name)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := cat.List(); err != nil {
+			t.Error(err)
+			break
+		}
+		infos, v := cat.Snapshot()
+		if v < 1 {
+			t.Errorf("bad version %d", v)
+			break
+		}
+		_ = infos
+	}
+	<-done
+}
+
 func TestEscapedNames(t *testing.T) {
 	cat, _ := newCatalog(t)
 	if err := cat.Register(SampleInfo{

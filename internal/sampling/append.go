@@ -22,8 +22,12 @@ import (
 //     paper's "new sampling probabilities are generated" rule.
 //
 // The caller is responsible for also inserting the batch into the base
-// table; AppendBatch updates only the sample and its metadata.
+// table; AppendBatch updates only the sample and its metadata. Like sample
+// creation, the multi-statement append (insert + count + register) is
+// serialized by the builder's mutex.
 func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.SampleInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	cols, err := b.db.Columns(si.BaseTable)
 	if err != nil {
 		return si, err

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"verdictdb/internal/drivers"
 	"verdictdb/internal/engine"
@@ -34,10 +35,18 @@ const (
 	SidCol  = "verdict_sid"
 )
 
-// Builder creates samples against one underlying database.
+// Builder creates samples against one underlying database. It is safe for
+// concurrent use: sample DDL (creation, append maintenance) is serialized
+// by an internal mutex — multi-statement builds (drop + CTAS + register)
+// must not interleave — while queries against finished samples proceed
+// concurrently through the engine.
 type Builder struct {
 	db  drivers.DB
 	cat *meta.Catalog
+
+	// mu serializes sample DDL. Tuning fields below are read under it too,
+	// so adjust them before sharing the builder across goroutines.
+	mu sync.Mutex
 
 	// Delta is the per-stratum failure probability of Lemma 1 (default
 	// 0.001, the paper's default).
@@ -118,6 +127,12 @@ func subsampleCount(expectedRows float64) int64 {
 
 // CreateUniform builds a uniform (Bernoulli) sample with parameter tau.
 func (b *Builder) CreateUniform(table string, tau float64) (meta.SampleInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.createUniform(table, tau)
+}
+
+func (b *Builder) createUniform(table string, tau float64) (meta.SampleInfo, error) {
 	if tau <= 0 || tau > 1 {
 		return meta.SampleInfo{}, fmt.Errorf("sampling: tau %v out of (0,1]", tau)
 	}
@@ -162,6 +177,12 @@ func (b *Builder) CreateUniform(table string, tau float64) (meta.SampleInfo, err
 // hash01(column) falls below tau. Joining two hashed samples built on the
 // join key with the same tau preserves the join (Section 5.1).
 func (b *Builder) CreateHashed(table, column string, tau float64) (meta.SampleInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.createHashed(table, column, tau)
+}
+
+func (b *Builder) createHashed(table, column string, tau float64) (meta.SampleInfo, error) {
 	if tau <= 0 || tau > 1 {
 		return meta.SampleInfo{}, fmt.Errorf("sampling: tau %v out of (0,1]", tau)
 	}
@@ -210,6 +231,12 @@ func (b *Builder) CreateHashed(table, column string, tau float64) (meta.SampleIn
 // guarantees (w.p. 1-Delta per stratum) at least m tuples per stratum,
 // m = max(MinStratumRows, |T| tau / d) as in Equation 1.
 func (b *Builder) CreateStratified(table string, columns []string, tau float64) (meta.SampleInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.createStratified(table, columns, tau)
+}
+
+func (b *Builder) createStratified(table string, columns []string, tau float64) (meta.SampleInfo, error) {
 	if len(columns) == 0 {
 		return meta.SampleInfo{}, fmt.Errorf("sampling: stratified sample needs ON columns")
 	}
@@ -332,6 +359,8 @@ func (b *Builder) register(si meta.SampleInfo) (meta.SampleInfo, error) {
 //  4. stratified samples on up to 10 lowest-cardinality columns whose
 //     cardinality is below 1% of |T|.
 func (b *Builder) CreateAuto(table string) ([]meta.SampleInfo, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	n, err := b.baseRows(table)
 	if err != nil {
 		return nil, err
@@ -361,7 +390,7 @@ func (b *Builder) CreateAuto(table string) ([]meta.SampleInfo, error) {
 		cards = append(cards, card{col: c, ndv: v})
 	}
 	var out []meta.SampleInfo
-	si, err := b.CreateUniform(table, tau)
+	si, err := b.createUniform(table, tau)
 	if err != nil {
 		return nil, err
 	}
@@ -382,7 +411,7 @@ func (b *Builder) CreateAuto(table string) ([]meta.SampleInfo, error) {
 		if i >= 10 {
 			break
 		}
-		si, err := b.CreateHashed(table, c.col, tau)
+		si, err := b.createHashed(table, c.col, tau)
 		if err != nil {
 			return nil, err
 		}
@@ -392,7 +421,7 @@ func (b *Builder) CreateAuto(table string) ([]meta.SampleInfo, error) {
 		if i >= 10 {
 			break
 		}
-		si, err := b.CreateStratified(table, []string{c.col}, tau)
+		si, err := b.createStratified(table, []string{c.col}, tau)
 		if err != nil {
 			return nil, err
 		}

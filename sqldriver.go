@@ -11,7 +11,11 @@ package verdictdb
 //	rows, _ := db.Query("select order_dow, count(*) from orders group by order_dow")
 //
 // Because the engine is in-process, each distinct DSN maps to one shared
-// engine instance; opening the same DSN twice shares data and samples.
+// engine instance; opening the same DSN twice shares data and samples. The
+// instances are reference-counted per driver connection: when database/sql
+// closes the last pooled connection for a DSN (db.Close, pool eviction),
+// the engine is released and its memory becomes collectible. The driver and
+// its connections are safe for the standard library's concurrent use.
 
 import (
 	"database/sql"
@@ -27,13 +31,23 @@ import (
 	"verdictdb/internal/workload"
 )
 
+// theDriver is the registered driver instance (package-level so tests can
+// observe the instance table).
+var theDriver = &sqlDriver{instances: map[string]*dsnInstance{}}
+
 func init() {
-	sql.Register("verdictdb", &sqlDriver{instances: map[string]*Conn{}})
+	sql.Register("verdictdb", theDriver)
+}
+
+// dsnInstance is one shared engine pinned by refs open driver connections.
+type dsnInstance struct {
+	conn *Conn
+	refs int
 }
 
 type sqlDriver struct {
 	mu        sync.Mutex
-	instances map[string]*Conn
+	instances map[string]*dsnInstance
 }
 
 // Open implements driver.Driver. DSN options (semicolon-separated):
@@ -45,17 +59,53 @@ type sqlDriver struct {
 //	errcols=1                 append <col>_err columns to outputs
 func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	conn, ok := d.instances[dsn]
-	if !ok {
-		var err error
-		conn, err = buildFromDSN(dsn)
-		if err != nil {
-			return nil, err
-		}
-		d.instances[dsn] = conn
+	inst, ok := d.instances[dsn]
+	if ok {
+		inst.refs++
+		d.mu.Unlock()
+		return &sqlConn{driver: d, dsn: dsn, conn: inst.conn}, nil
 	}
-	return &sqlConn{conn: conn}, nil
+	d.mu.Unlock()
+
+	// Building an engine can load a whole dataset; do it outside the lock
+	// so other DSNs stay usable meanwhile.
+	conn, err := buildFromDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if inst, ok = d.instances[dsn]; ok {
+		// Another goroutine built the same DSN concurrently; keep the first
+		// instance so all connections share data and samples.
+		inst.refs++
+	} else {
+		inst = &dsnInstance{conn: conn, refs: 1}
+		d.instances[dsn] = inst
+	}
+	return &sqlConn{driver: d, dsn: dsn, conn: inst.conn}, nil
+}
+
+// release drops one reference to a DSN's engine, evicting the instance when
+// the last driver connection closes.
+func (d *sqlDriver) release(dsn string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	inst, ok := d.instances[dsn]
+	if !ok {
+		return
+	}
+	inst.refs--
+	if inst.refs <= 0 {
+		delete(d.instances, dsn)
+	}
+}
+
+// openDSNs reports how many DSN instances are currently pinned (tests).
+func (d *sqlDriver) openDSNs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.instances)
 }
 
 func buildFromDSN(dsn string) (*Conn, error) {
@@ -138,8 +188,14 @@ func buildFromDSN(dsn string) (*Conn, error) {
 // sqlConn adapts Conn to driver.Conn. VerdictDB has no transactions; Begin
 // returns an error, and prepared statements capture the SQL verbatim
 // (placeholders are not supported — AQP queries are analytic one-offs).
+// Closing releases this connection's reference on the shared DSN engine.
 type sqlConn struct {
-	conn *Conn
+	driver *sqlDriver
+	dsn    string
+	conn   *Conn
+
+	mu     sync.Mutex
+	closed bool
 }
 
 var (
@@ -152,7 +208,16 @@ func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
 	return &sqlStmt{conn: c.conn, query: query}, nil
 }
 
-func (c *sqlConn) Close() error { return nil }
+func (c *sqlConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.driver.release(c.dsn)
+	return nil
+}
 
 func (c *sqlConn) Begin() (driver.Tx, error) {
 	return nil, fmt.Errorf("verdictdb: transactions are not supported")

@@ -115,3 +115,76 @@ func TestSQLDriverNoTransactions(t *testing.T) {
 		t.Fatal("Begin should fail")
 	}
 }
+
+// TestSQLDriverInstanceRelease is the regression test for the engine leak:
+// each distinct DSN pins its engine only while driver connections are open;
+// closing the last connection releases the instance.
+func TestSQLDriverInstanceRelease(t *testing.T) {
+	baseline := theDriver.openDSNs()
+	db1, err := sql.Open("verdictdb", "dataset=none;seed=101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := sql.Open("verdictdb", "dataset=none;seed=102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force real driver connections (sql.Open is lazy).
+	if _, err := db1.Exec("create table a (x int)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Exec("create table b (x int)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := theDriver.openDSNs(); got != baseline+2 {
+		t.Fatalf("open DSN instances: %d, want %d", got, baseline+2)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := theDriver.openDSNs(); got != baseline+1 {
+		t.Fatalf("after first close: %d instances, want %d", got, baseline+1)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := theDriver.openDSNs(); got != baseline {
+		t.Fatalf("after last close: %d instances, want %d (engine leaked)", got, baseline)
+	}
+
+	// Reopening the DSN after release builds a fresh engine (the old one was
+	// released, so its tables are gone).
+	db3, err := sql.Open("verdictdb", "dataset=none;seed=101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if _, err := db3.Exec("create table a (x int)"); err != nil {
+		t.Fatalf("fresh engine should not have old tables: %v", err)
+	}
+}
+
+// TestSQLDriverSharedDSNRefcount: two handles on one DSN pin a single
+// instance, released only when both close.
+func TestSQLDriverSharedDSNRefcount(t *testing.T) {
+	baseline := theDriver.openDSNs()
+	db1, _ := sql.Open("verdictdb", "dataset=none;seed=103")
+	db2, _ := sql.Open("verdictdb", "dataset=none;seed=103")
+	if _, err := db1.Exec("create table shared_rc (x int)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db2.Exec("insert into shared_rc values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := theDriver.openDSNs(); got != baseline+1 {
+		t.Fatalf("shared DSN instances: %d, want %d", got, baseline+1)
+	}
+	db1.Close()
+	if got := theDriver.openDSNs(); got != baseline+1 {
+		t.Fatalf("instance released while second handle still open: %d", got)
+	}
+	db2.Close()
+	if got := theDriver.openDSNs(); got != baseline {
+		t.Fatalf("instance not released after both closed: %d, want %d", got, baseline)
+	}
+}

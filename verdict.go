@@ -46,7 +46,11 @@ type SampleInfo = meta.SampleInfo
 func Defaults() Options { return core.DefaultOptions() }
 
 // Conn is a VerdictDB connection: a middleware bound to one underlying
-// database.
+// database. A Conn is safe for concurrent use by multiple goroutines: the
+// engine serializes table mutations internally, the catalog is a versioned
+// snapshot, sample DDL is serialized by the builder, and repeated query
+// shapes are served from the middleware's plan/rewrite cache (invalidated
+// whenever the catalog version bumps).
 type Conn struct {
 	db      drivers.DB
 	catalog *meta.Catalog
@@ -95,6 +99,28 @@ func (c *Conn) Middleware() *core.Middleware { return c.mw }
 // Samples lists all registered samples.
 func (c *Conn) Samples() ([]SampleInfo, error) { return c.catalog.List() }
 
+// CatalogVersion returns the sample catalog's version; it bumps on every
+// sample DDL and invalidates cached plans.
+func (c *Conn) CatalogVersion() int64 { return c.catalog.Version() }
+
+// CacheStats reports the plan/rewrite cache's cumulative hits and misses.
+func (c *Conn) CacheStats() (hits, misses int64) { return c.mw.CacheStats() }
+
+// DropSample removes a sample: its catalog record first (bumping the
+// catalog version, so cached plans referencing it go stale immediately),
+// then the sample table itself. In-flight queries already holding a plan
+// over the table fall back to exact execution when it disappears.
+func (c *Conn) DropSample(sampleTable string) error {
+	if err := c.catalog.Drop(sampleTable); err != nil {
+		return err
+	}
+	stmt, err := sqlparser.Parse("drop table if exists " + sampleTable)
+	if err != nil {
+		return fmt.Errorf("verdictdb: bad sample table name %q: %w", sampleTable, err)
+	}
+	return c.db.Exec(drivers.Render(c.db, stmt))
+}
+
 // Query runs SQL through the AQP pipeline. SELECT statements with supported
 // aggregates are answered approximately from samples; everything else is
 // passed through to the underlying database. The VerdictDB extension
@@ -104,6 +130,12 @@ func (c *Conn) Samples() ([]SampleInfo, error) { return c.catalog.List() }
 //	SHOW SAMPLES
 //	BYPASS <sql>          -- force exact execution
 func (c *Conn) Query(sql string) (*Answer, error) {
+	// Repeated SELECT shapes skip parse/analyze/plan/rewrite entirely: only
+	// statements QuerySelect previously built can hit, so the statement
+	// dispatch below is never bypassed for DDL or VerdictDB extensions.
+	if a, handled, err := c.mw.QueryCached(sql); handled {
+		return a, err
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -134,6 +166,7 @@ func (c *Conn) Query(sql string) (*Answer, error) {
 		if err := c.db.Exec(s.SQL); err != nil {
 			return nil, err
 		}
+		c.mw.InvalidateStats()
 		return &Answer{Confidence: c.opts.Confidence}, nil
 	case *sqlparser.SelectStmt:
 		return c.mw.QuerySelect(s, sql)
@@ -141,6 +174,9 @@ func (c *Conn) Query(sql string) (*Answer, error) {
 		if err := c.db.Exec(sql); err != nil {
 			return nil, err
 		}
+		// DDL/DML may change base data: cached plans and row-count
+		// statistics are stale.
+		c.mw.InvalidateStats()
 		return &Answer{Confidence: c.opts.Confidence}, nil
 	}
 }
