@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-json bench-serve race vet
+.PHONY: build test bench bench-json bench-serve bench-progressive race vet
 
 build:
 	$(GO) build ./...
@@ -26,3 +26,7 @@ bench-json:
 # Serving-layer throughput: concurrent clients + plan/rewrite cache.
 bench-serve:
 	$(GO) run ./cmd/benchrunner -exp serve -serveout BENCH_serve.json
+
+# Progressive execution: time-to-accuracy over block-partitioned scrambles.
+bench-progressive:
+	$(GO) run ./cmd/benchrunner -exp progressive -progout BENCH_progressive.json

@@ -25,6 +25,10 @@
 //	             mixed TPC-H/Insta workload; QPS, p50/p99 latency, and the
 //	             plan/rewrite cache's cold-vs-warm effect; writes
 //	             BENCH_serve.json (-serveout)
+//	progressive  accuracy-driven progressive execution over block-partitioned
+//	             scrambles: time-to-accuracy curves and early-termination
+//	             rates per target relative error; writes
+//	             BENCH_progressive.json (-progout)
 package main
 
 import (
@@ -50,6 +54,9 @@ func main() {
 	serveWorkers := flag.String("serveworkers", "1,2,4,8", "comma-separated worker counts for -exp serve")
 	servePer := flag.Int("serveper", 32, "queries per worker per serve round")
 	serveLatMs := flag.Float64("servelat", 25, "simulated per-query engine overhead for serve (ms, really slept)")
+	progOut := flag.String("progout", "BENCH_progressive.json", "progressive experiment JSON output (empty to skip)")
+	progTargets := flag.String("progtargets", "0.01,0.02,0.05,0.1", "comma-separated target relative errors for -exp progressive")
+	progBlockRows := flag.Int64("progblockrows", 0, "scramble block size for -exp progressive (0 = experiment default)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -156,6 +163,24 @@ func main() {
 		}
 		_, err := bench.ServeExperiment(w, serveCfg, *serveOut, workers, *servePer,
 			time.Duration(*serveLatMs*float64(time.Millisecond)))
+		return err
+	})
+	run("progressive", func() error {
+		progCfg := cfg
+		progCfg.BlockRows = *progBlockRows
+		var targets []float64
+		for _, part := range strings.Split(*progTargets, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			f, err := strconv.ParseFloat(part, 64)
+			if err != nil || f < 0 {
+				return fmt.Errorf("bad -progtargets entry %q", part)
+			}
+			targets = append(targets, f)
+		}
+		_, err := bench.ProgressiveExperiment(w, progCfg, *progOut, targets)
 		return err
 	})
 	run("ablation", func() error {

@@ -316,3 +316,39 @@ func TestAblationPlannerTopK(t *testing.T) {
 		}
 	}
 }
+
+func TestProgressiveExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := QuickConfig()
+	cfg.BlockRows = 64
+	rep, err := ProgressiveExperiment(io.Discard, cfg, "", []float64{0, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2*33 {
+		t.Fatalf("ran %d (query, target) pairs, want %d", len(rep.Results), 2*33)
+	}
+	progressive := 0
+	for _, r := range rep.Results {
+		if !r.Progressive {
+			continue
+		}
+		progressive++
+		if r.BlocksTotal < 1 || r.BlocksScanned < 1 || r.BlocksScanned > r.BlocksTotal {
+			t.Fatalf("%s target %g: blocks %d/%d", r.Query, r.Target, r.BlocksScanned, r.BlocksTotal)
+		}
+		// targetRelErr=0 must scan the whole sample in one shot.
+		if r.Target == 0 && r.BlocksScanned != r.BlocksTotal {
+			t.Fatalf("%s: target 0 stopped early (%d/%d)", r.Query, r.BlocksScanned, r.BlocksTotal)
+		}
+		if r.EarlyStop && r.EstRelErr > r.Target {
+			t.Fatalf("%s: early stop with estimated error %v above target %v",
+				r.Query, r.EstRelErr, r.Target)
+		}
+	}
+	if progressive == 0 {
+		t.Fatal("no query took the progressive path")
+	}
+}

@@ -27,6 +27,10 @@ type Config struct {
 	TPCHScale  float64 // 1.0 = 600k lineitem
 	InstaScale float64 // 1.0 = 1M order_products
 	Seed       int64
+	// BlockRows overrides the sample builder's scramble block size for the
+	// environments' samples (0 keeps the builder default). The progressive
+	// experiment shrinks it so block-prefix curves have enough points.
+	BlockRows int64
 }
 
 // DefaultConfig is used by cmd/benchrunner.
@@ -47,6 +51,9 @@ func NewTPCHEnv(cfg Config, mkDriver func(*engine.Engine) *drivers.Driver) (*Env
 	conn, err := verdictdb.Open(db, verdictdb.Defaults())
 	if err != nil {
 		return nil, err
+	}
+	if cfg.BlockRows > 0 {
+		conn.Builder().BlockRows = cfg.BlockRows
 	}
 	// The paper's I/O budget is 2%; use it fully (it also allowed up to 80%
 	// of the budget specifically for stratified samples).
@@ -76,6 +83,9 @@ func NewInstaEnv(cfg Config, mkDriver func(*engine.Engine) *drivers.Driver) (*En
 	conn, err := verdictdb.Open(db, verdictdb.Defaults())
 	if err != nil {
 		return nil, err
+	}
+	if cfg.BlockRows > 0 {
+		conn.Builder().BlockRows = cfg.BlockRows
 	}
 	for _, stmt := range []string{
 		"create uniform sample of order_products ratio 0.02",

@@ -34,6 +34,12 @@ type Answer struct {
 	ElapsedNanos int64
 	// RowsScanned totals base/sample rows read by the engine.
 	RowsScanned int64
+	// BlocksScanned/BlocksTotal report progressive execution's block-prefix
+	// position: the answer was estimated from the first BlocksScanned of the
+	// sample's BlocksTotal scramble blocks. Both are 0 for single-shot
+	// execution (passthrough, non-progressive plans).
+	BlocksScanned int
+	BlocksTotal   int
 }
 
 // ColIndex returns the index of the named output column, or -1.
@@ -46,10 +52,11 @@ func (a *Answer) ColIndex(name string) int {
 	return -1
 }
 
-// Value returns the cell at (row, named column).
+// Value returns the cell at (row, named column), or nil when either is out
+// of range (including a negative row, e.g. a failed lookup passed through).
 func (a *Answer) Value(row int, col string) engine.Value {
 	i := a.ColIndex(col)
-	if i < 0 || row >= len(a.Rows) {
+	if i < 0 || row < 0 || row >= len(a.Rows) || i >= len(a.Rows[row]) {
 		return nil
 	}
 	return a.Rows[row][i]
@@ -68,7 +75,10 @@ func (a *Answer) Float(row int, col string) float64 {
 // confidence level for an aggregate cell; ok is false for cells without an
 // error estimate.
 func (a *Answer) ConfidenceInterval(row, col int) (lo, hi float64, ok bool) {
-	if row >= len(a.StdErr) || col >= len(a.StdErr[row]) {
+	if row < 0 || row >= len(a.StdErr) || col < 0 || col >= len(a.StdErr[row]) {
+		return 0, 0, false
+	}
+	if row >= len(a.Rows) || col >= len(a.Rows[row]) {
 		return 0, 0, false
 	}
 	se := a.StdErr[row][col]
@@ -97,11 +107,16 @@ func (a *Answer) RelativeError(row, col int) float64 {
 }
 
 // MaxRelativeError returns the largest relative error across all aggregate
-// cells (0 when none).
+// cells (0 when none). It walks the StdErr matrix directly so rows the
+// merger dropped (or any Rows/StdErr length mismatch) are skipped rather
+// than recomputed from stale entries.
 func (a *Answer) MaxRelativeError() float64 {
 	worst := 0.0
-	for r := range a.Rows {
-		for c := range a.Rows[r] {
+	for r := range a.StdErr {
+		if r >= len(a.Rows) {
+			break
+		}
+		for c := range a.StdErr[r] {
 			re := a.RelativeError(r, c)
 			if !math.IsNaN(re) && re > worst {
 				worst = re
@@ -111,17 +126,28 @@ func (a *Answer) MaxRelativeError() float64 {
 	return worst
 }
 
-// exactAnswer wraps an exact result set.
+// exactAnswer wraps an exact result set. Rows are deep-copied: the Answer
+// may outlive the ResultSet (plan-cache hits, benchmark harnesses), and a
+// caller mutating the ResultSet must not corrupt it.
 func exactAnswer(rs *engine.ResultSet, status SupportStatus, confidence float64) *Answer {
 	a := &Answer{
-		Cols:        rs.Cols,
-		Rows:        rs.Rows,
+		Cols:        append([]string(nil), rs.Cols...),
+		Rows:        copyRows(rs.Rows),
 		Status:      status,
 		Confidence:  confidence,
 		RowsScanned: rs.RowsScanned,
 	}
 	a.StdErr = nanMatrix(len(rs.Rows), len(rs.Cols))
 	return a
+}
+
+// copyRows deep-copies a row matrix (one level: cell values are immutable).
+func copyRows(rows [][]engine.Value) [][]engine.Value {
+	out := make([][]engine.Value, len(rows))
+	for i, r := range rows {
+		out[i] = append([]engine.Value(nil), r...)
+	}
+	return out
 }
 
 func nanMatrix(rows, cols int) [][]float64 {
@@ -211,15 +237,26 @@ func (m *merger) add(rs *engine.ResultSet, cols []OutputCol) {
 
 // result materializes the merged rows in first-seen order, keeping only
 // rows seen by every contributing plan for all items (group mismatches can
-// occur when one plan's sample missed a rare group entirely).
-func (m *merger) result(names []string) ([][]engine.Value, [][]float64) {
+// occur when one plan's sample missed a rare group entirely). Rows with
+// incomplete seen flags are dropped — emitting them would surface nil
+// aggregate cells for the items the missing plan was responsible for.
+func (m *merger) result() ([][]engine.Value, [][]float64) {
 	rows := make([][]engine.Value, 0, len(m.order))
 	errs := make([][]float64, 0, len(m.order))
 	for _, k := range m.order {
 		mr := m.rows[k]
+		complete := true
+		for _, s := range mr.seen {
+			if !s {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
 		rows = append(rows, mr.vals)
 		errs = append(errs, mr.errs)
 	}
-	_ = names
 	return rows, errs
 }

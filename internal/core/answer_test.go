@@ -74,7 +74,7 @@ func TestMergerCombinesPlans(t *testing.T) {
 	}
 	mg.add(rs1, cols1)
 	mg.add(rs2, cols2)
-	rows, errs := mg.result([]string{"g", "a", "b"})
+	rows, errs := mg.result()
 	if len(rows) != 2 {
 		t.Fatalf("merged rows: %d", len(rows))
 	}
@@ -106,9 +106,74 @@ func TestMergerGroupMissingInOnePlan(t *testing.T) {
 		{Kind: ColGroup, ItemIdx: 0, Name: "g"},
 		{Kind: ColAgg, ItemIdx: 1, Name: "a"},
 	})
-	rows, _ := mg.result([]string{"g", "a"})
+	rows, _ := mg.result()
 	if len(rows) != 2 {
 		t.Fatalf("rows: %d", len(rows))
+	}
+}
+
+func TestMergerDropsRowsWithIncompleteSeenFlags(t *testing.T) {
+	// Two consolidated plans answer different aggregate items. Group "y" is
+	// present in plan 1's sample but missed by plan 2's: the merged result
+	// must drop it (the documented semantics) instead of emitting a row with
+	// a nil cell for item 2.
+	mg := newMerger(3)
+	mg.add(&engine.ResultSet{
+		Cols: []string{"g", "a"},
+		Rows: [][]engine.Value{{"x", 1.0}, {"y", 2.0}},
+	}, []OutputCol{
+		{Kind: ColGroup, ItemIdx: 0, Name: "g"},
+		{Kind: ColAgg, ItemIdx: 1, Name: "a"},
+	})
+	mg.add(&engine.ResultSet{
+		Cols: []string{"g", "b"},
+		Rows: [][]engine.Value{{"x", 10.0}},
+	}, []OutputCol{
+		{Kind: ColGroup, ItemIdx: 0, Name: "g"},
+		{Kind: ColAgg, ItemIdx: 2, Name: "b"},
+	})
+	rows, errs := mg.result()
+	if len(rows) != 1 || len(errs) != 1 {
+		t.Fatalf("expected only the complete row, got %d rows", len(rows))
+	}
+	if rows[0][0] != "x" || rows[0][1] != 1.0 || rows[0][2] != 10.0 {
+		t.Fatalf("surviving row: %v", rows[0])
+	}
+	for _, row := range rows {
+		for _, v := range row {
+			if v == nil {
+				t.Fatal("merged answer contains a nil aggregate cell")
+			}
+		}
+	}
+}
+
+func TestAnswerNegativeIndexes(t *testing.T) {
+	a := &Answer{
+		Cols:       []string{"g", "v"},
+		Rows:       [][]engine.Value{{"x", 100.0}},
+		StdErr:     [][]float64{{math.NaN(), 10.0}},
+		Confidence: 0.95,
+	}
+	// row=-1 / col=-1 (e.g. a failed ColIndex lookup passed straight
+	// through) must return the documented "absent" values, not panic.
+	if v := a.Value(-1, "g"); v != nil {
+		t.Fatalf("Value(-1): %v", v)
+	}
+	if !math.IsNaN(a.Float(-1, "v")) {
+		t.Fatal("Float(-1) should be NaN")
+	}
+	if _, _, ok := a.ConfidenceInterval(-1, 1); ok {
+		t.Fatal("ConfidenceInterval(-1, 1) should be absent")
+	}
+	if _, _, ok := a.ConfidenceInterval(0, -1); ok {
+		t.Fatal("ConfidenceInterval(0, -1) should be absent")
+	}
+	if _, _, ok := a.ConfidenceInterval(0, a.ColIndex("missing")); ok {
+		t.Fatal("ConfidenceInterval with failed ColIndex should be absent")
+	}
+	if re := a.RelativeError(-1, -1); !math.IsNaN(re) {
+		t.Fatalf("RelativeError(-1, -1): %v", re)
 	}
 }
 

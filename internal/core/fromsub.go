@@ -63,6 +63,18 @@ func (rw *rewriter) substituteFrom(from sqlparser.TableExpr) (sqlparser.TableExp
 			}
 			src.ratio = si.Ratio // the universe inclusion probability
 		}
+		if rw.block != nil && strings.ToLower(alias) == rw.block.Alias {
+			// Progressive prefix: restrict the scan to blocks 1..Bound and
+			// fold the prefix row fraction into the inclusion probability so
+			// HT sums stay unbiased over the partial scan.
+			src.prob = &sqlparser.BinaryExpr{Op: "*", L: src.prob, R: floatLit(rw.block.Frac)}
+			rw.blockPred = &sqlparser.BinaryExpr{
+				Op: "<=",
+				L:  &sqlparser.ColumnRef{Table: alias, Name: sampling.BlockCol},
+				R:  intLit(rw.block.Bound),
+			}
+			rw.blockApplied = true
+		}
 		rw.sampleTables = append(rw.sampleTables, si.SampleTable)
 		return newRef, src, nil
 	case *sqlparser.DerivedTable:
@@ -100,6 +112,9 @@ func (rw *rewriter) substituteFrom(from sqlparser.TableExpr) (sqlparser.TableExp
 			return nil, vsource{}, err
 		}
 		innerSel.From = newFrom
+		if bp := rw.takeBlockPred(); bp != nil {
+			innerSel.Where = andExpr(innerSel.Where, bp)
+		}
 		if src.sid != nil {
 			innerSel.Items = append(innerSel.Items,
 				sqlparser.SelectItem{Expr: probOrOne(src.prob), Alias: sampling.ProbCol},

@@ -318,6 +318,8 @@ func (m *Middleware) buildEntry(sel *sqlparser.SelectStmt, original string) (*pl
 		entry.extreme = &planStep{sql: sqlText, columns: cols}
 	}
 
+	entry.prog = m.progressiveInfoFor(flat, plans, extremeIdx)
+
 	names := make([]string, len(flat.Items))
 	for i, it := range flat.Items {
 		if it.Alias != "" {
@@ -373,8 +375,16 @@ func (m *Middleware) executeEntry(e *planEntry, original string) (*Answer, error
 	// Materialize merged rows in original item order. Cols is a private
 	// copy: appendErrorColumns extends it per answer.
 	answer.Cols = append([]string(nil), e.names...)
-	answer.Rows, answer.StdErr = mg.result(answer.Cols)
+	answer.Rows, answer.StdErr = mg.result()
 
+	return m.finishEntryAnswer(e, answer, original)
+}
+
+// finishEntryAnswer applies the post-merge tail shared by single-shot and
+// progressive execution: middleware-side ORDER BY/LIMIT for merged plans,
+// the post-execution high-cardinality guard, the accuracy contract, and
+// user-visible error columns.
+func (m *Middleware) finishEntryAnswer(e *planEntry, answer *Answer, original string) (*Answer, error) {
 	if e.multi {
 		if err := m.applyOrderLimit(e.flat, answer); err != nil {
 			return m.passthrough(original, PassOther)

@@ -49,6 +49,9 @@ func (rw *rewriter) rewriteNested(sel *sqlparser.SelectStmt) (*sqlparser.SelectS
 		From:  newFrom,
 		Where: sqlparser.CloneExpr(sel.Where),
 	}
+	if bp := rw.takeBlockPred(); bp != nil {
+		out.Where = andExpr(out.Where, bp)
+	}
 	for _, g := range sel.GroupBy {
 		out.GroupBy = append(out.GroupBy, sqlparser.CloneExpr(g))
 	}

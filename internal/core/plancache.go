@@ -50,6 +50,12 @@ type planEntry struct {
 	steps   []planStep
 	extreme *planStep // exact extreme-statistics query, nil if none
 
+	// prog is the progressive-execution handle: non-nil when the entry's
+	// plan qualifies for block-prefix execution (single consolidated plan
+	// over one block-partitioned sample, variational error estimation, no
+	// extreme/count-distinct items, no nested aggregate blocks).
+	prog *progressiveInfo
+
 	// seq is the cache's insertion sequence number, written under the
 	// cache mutex at put time; eviction uses it to tell a live entry from
 	// a dead duplicate of the same key in the FIFO order.

@@ -16,6 +16,10 @@ const (
 	ColGroup ColKind = iota
 	ColAgg
 	ColErr
+	// ColSubCount is the per-group contributing-subsample count appended by
+	// progressive rewrites; the merger ignores it (it never reaches users),
+	// the executor's stopping rule reads it.
+	ColSubCount
 )
 
 // OutputCol maps a rewritten query's output column back to the original
@@ -35,11 +39,48 @@ type RewriteOutput struct {
 	SampleTables []string
 }
 
+// BlockContext constrains a rewrite to a scramble block prefix: the sampled
+// occurrence Alias only reads blocks 1..Bound, and every Horvitz-Thompson
+// weight is corrected by Frac — the fraction of the sample's rows inside the
+// prefix — so point estimates stay unbiased on the partial scan. Block ids
+// are value-independent, making a prefix a uniform subsample of the sample.
+type BlockContext struct {
+	Alias string  // plan-choices alias (lower-case) of the sampled occurrence
+	Bound int64   // highest block id included (inclusive, 1-based)
+	Frac  float64 // fraction of the sample's rows within blocks 1..Bound
+}
+
 // rewriter holds per-rewrite state.
 type rewriter struct {
 	plan         CandidatePlan
 	sampleTables []string
 	nameSeq      int
+
+	// block constrains the rewrite to a block prefix (nil for full-sample
+	// rewrites). blockPred is the pending block-range predicate, drained by
+	// the query block that owns the substituted table reference.
+	block        *BlockContext
+	blockPred    sqlparser.Expr
+	blockApplied bool
+}
+
+// takeBlockPred returns and clears the pending block-range predicate; the
+// innermost query block enclosing the sampled table drains it into WHERE.
+func (rw *rewriter) takeBlockPred() sqlparser.Expr {
+	p := rw.blockPred
+	rw.blockPred = nil
+	return p
+}
+
+// andExpr conjoins two predicates, treating nil as TRUE.
+func andExpr(a, b sqlparser.Expr) sqlparser.Expr {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return &sqlparser.BinaryExpr{Op: "AND", L: a, R: b}
 }
 
 // partials records the inner-query partial-aggregate columns backing one
@@ -60,6 +101,7 @@ const (
 	sizeCol     = "verdict_size"
 	errSuffix   = "_verdict_err"
 	groupPrefix = "verdict_g"
+	subCountCol = "verdict_nsub"
 )
 
 // Rewrite builds the variational-subsampling form of sel for the given plan
@@ -74,13 +116,23 @@ const (
 // this off when results from several consolidated plans must be merged
 // first).
 func Rewrite(sel *sqlparser.SelectStmt, plan CandidatePlan, itemIdx []int, includeOrderLimit bool) (*RewriteOutput, error) {
-	rw := &rewriter{plan: plan}
+	return RewriteWithBlocks(sel, plan, itemIdx, includeOrderLimit, nil)
+}
+
+// RewriteWithBlocks is Rewrite restricted to a scramble block prefix: the
+// progressive executor calls it once per prefix with a growing Bound and the
+// matching row fraction. bc == nil yields the plain full-sample rewrite.
+func RewriteWithBlocks(sel *sqlparser.SelectStmt, plan CandidatePlan, itemIdx []int, includeOrderLimit bool, bc *BlockContext) (*RewriteOutput, error) {
+	rw := &rewriter{plan: plan, block: bc}
 	newFrom, src, err := rw.substituteFrom(sel.From)
 	if err != nil {
 		return nil, err
 	}
 	if src.sid == nil {
 		return nil, fmt.Errorf("core: plan substituted no samples")
+	}
+	if bc != nil && !rw.blockApplied {
+		return nil, fmt.Errorf("core: block context alias %q matched no sampled occurrence", bc.Alias)
 	}
 
 	wanted := make(map[int]bool, len(itemIdx))
@@ -90,6 +142,9 @@ func Rewrite(sel *sqlparser.SelectStmt, plan CandidatePlan, itemIdx []int, inclu
 
 	// ---- Inner query ----
 	inner := &sqlparser.SelectStmt{From: newFrom, Where: sqlparser.CloneExpr(sel.Where)}
+	if bp := rw.takeBlockPred(); bp != nil {
+		inner.Where = andExpr(inner.Where, bp)
+	}
 
 	// Group columns.
 	type groupInfo struct {
@@ -279,6 +334,17 @@ func Rewrite(sel *sqlparser.SelectStmt, plan CandidatePlan, itemIdx []int, inclu
 		return nil, fmt.Errorf("core: internal column accounting error")
 	}
 	out.Columns = append(reordered, errCols...)
+
+	// Progressive rewrites expose how many subsamples contributed to each
+	// group: the executor refuses to stop early on groups estimated from too
+	// few subsamples (where a stddev over one value degenerates to zero).
+	if bc != nil {
+		outer.Items = append(outer.Items, sqlparser.SelectItem{
+			Expr:  &sqlparser.FuncCall{Name: "count", Star: true},
+			Alias: subCountCol,
+		})
+		out.Columns = append(out.Columns, OutputCol{Kind: ColSubCount, ItemIdx: -1, Name: subCountCol})
+	}
 
 	if includeOrderLimit {
 		if sel.Having != nil {

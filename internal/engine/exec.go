@@ -192,7 +192,7 @@ type entry struct {
 // execSelectWithOuter runs one SELECT block. outer provides the enclosing
 // scope for correlated subqueries, or nil at top level.
 func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*ResultSet, error) {
-	rel, err := buildFrom(qc, sel.From, outer)
+	rel, err := buildFrom(qc, sel.From, outer, collectRangePreds(sel.Where))
 	if err != nil {
 		return nil, err
 	}

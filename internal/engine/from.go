@@ -7,8 +7,12 @@ import (
 	"verdictdb/internal/sqlparser"
 )
 
-// buildFrom materializes the FROM clause into a relation.
-func buildFrom(qc *queryCtx, from sqlparser.TableExpr, outer *env) (*relation, error) {
+// buildFrom materializes the FROM clause into a relation. preds carries the
+// query's scan-prunable WHERE conjuncts (qualified column-vs-literal
+// comparisons): table scans whose qualifier matches use zone maps to skip
+// chunks that cannot satisfy them — partition pruning for block-clustered
+// scrambles — while the conjunct itself stays in WHERE for exactness.
+func buildFrom(qc *queryCtx, from sqlparser.TableExpr, outer *env, preds []rangePred) (*relation, error) {
 	if from == nil {
 		// FROM-less select: a single empty row.
 		return newRelation(nil, nil, [][]Value{{}}), nil
@@ -19,11 +23,23 @@ func buildFrom(qc *queryCtx, from sqlparser.TableExpr, outer *env) (*relation, e
 		if err != nil {
 			return nil, err
 		}
-		qc.scanned += int64(len(rows))
 		qual := t.Alias
 		if qual == "" {
 			qual = baseName(t.Name)
 		}
+		if len(preds) > 0 {
+			var mine []rangePred
+			lowQual := strings.ToLower(qual)
+			for _, p := range preds {
+				if p.qual == lowQual {
+					mine = append(mine, p)
+				}
+			}
+			if len(mine) > 0 {
+				rows = pruneScan(tbl, rows, mine)
+			}
+		}
+		qc.scanned += int64(len(rows))
 		quals := make([]string, len(tbl.Cols))
 		names := make([]string, len(tbl.Cols))
 		for i, c := range tbl.Cols {
@@ -42,11 +58,11 @@ func buildFrom(qc *queryCtx, from sqlparser.TableExpr, outer *env) (*relation, e
 		}
 		return newRelation(quals, rs.Cols, rs.Rows), nil
 	case *sqlparser.JoinExpr:
-		left, err := buildFrom(qc, t.Left, outer)
+		left, err := buildFrom(qc, t.Left, outer, preds)
 		if err != nil {
 			return nil, err
 		}
-		right, err := buildFrom(qc, t.Right, outer)
+		right, err := buildFrom(qc, t.Right, outer, preds)
 		if err != nil {
 			return nil, err
 		}

@@ -27,6 +27,11 @@ type Table struct {
 	// when it registers a table (columns are immutable afterwards); tables
 	// constructed by hand fall back to a linear scan.
 	colIdx map[string]int
+
+	// zone holds lazily built per-column chunk min/max summaries for
+	// scan-range pruning (see zonemap.go). Valid forever because rows are
+	// append-only and never mutated in place.
+	zone zoneState
 }
 
 // buildLowerIndex maps lowercase names to their first position.

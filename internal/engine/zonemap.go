@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// Zone maps: per-(table, column) chunk min/max summaries enabling scan-range
+// pruning — the engine-side analogue of the partition pruning columnar
+// warehouses apply to clustered tables. Scrambles are physically clustered
+// by their _vdb_block column at build time, so the progressive executor's
+// `_vdb_block <= K` prefix predicates skip the chunks holding later blocks
+// instead of scanning and filtering them.
+//
+// Tables are append-only and rows are never mutated in place, so a chunk
+// summary computed once stays valid forever; later scans only extend the
+// map with newly completed chunks. Rows beyond the last complete chunk are
+// always scanned (never pruned), which keeps a concurrent append safe.
+
+// zoneChunkRows is the pruning granularity.
+const zoneChunkRows = 256
+
+// zoneChunk summarizes rows [i*zoneChunkRows, (i+1)*zoneChunkRows) of a
+// column: min/max over non-NULL values, nil when every value is NULL.
+type zoneChunk struct {
+	min, max Value
+}
+
+type zoneMap struct {
+	chunks []zoneChunk
+}
+
+// zoneState is the lazily allocated per-table zone container.
+type zoneState struct {
+	mu    sync.Mutex
+	byCol map[int]*zoneMap
+}
+
+// zoneFor returns the column's chunk summaries covering the complete chunks
+// of rows, building missing chunks on first use.
+func (t *Table) zoneFor(col int, rows [][]Value) []zoneChunk {
+	full := len(rows) / zoneChunkRows
+	if full == 0 {
+		return nil
+	}
+	t.zone.mu.Lock()
+	defer t.zone.mu.Unlock()
+	if t.zone.byCol == nil {
+		t.zone.byCol = map[int]*zoneMap{}
+	}
+	z := t.zone.byCol[col]
+	if z == nil {
+		z = &zoneMap{}
+		t.zone.byCol[col] = z
+	}
+	for len(z.chunks) < full {
+		start := len(z.chunks) * zoneChunkRows
+		var mn, mx Value
+		for _, r := range rows[start : start+zoneChunkRows] {
+			v := r[col]
+			if v == nil {
+				continue
+			}
+			if mn == nil || Compare(v, mn) < 0 {
+				mn = v
+			}
+			if mx == nil || Compare(v, mx) > 0 {
+				mx = v
+			}
+		}
+		z.chunks = append(z.chunks, zoneChunk{min: mn, max: mx})
+	}
+	return z.chunks[:full]
+}
+
+// rangePred is one scan-prunable WHERE conjunct: a qualified column compared
+// to a literal.
+type rangePred struct {
+	qual string // lower-case table qualifier (only qualified refs push down)
+	col  string
+	op   string // <=, <, >=, >, =
+	lit  Value
+}
+
+// collectRangePreds extracts pushdown candidates from the top-level AND
+// conjuncts of a WHERE clause. Only qualified column-vs-literal comparisons
+// qualify: an unqualified name could bind to either join side, and pruning
+// the wrong table would change results. The conjunct stays in WHERE — the
+// scan only skips chunks that provably cannot satisfy it, so join semantics
+// (including outer joins, whose null-extended rows fail the comparison
+// either way) are preserved.
+func collectRangePreds(where sqlparser.Expr) []rangePred {
+	var out []rangePred
+	var walk func(e sqlparser.Expr)
+	walk = func(e sqlparser.Expr) {
+		be, ok := e.(*sqlparser.BinaryExpr)
+		if !ok {
+			return
+		}
+		switch be.Op {
+		case "AND":
+			walk(be.L)
+			walk(be.R)
+		case "<=", "<", ">=", ">", "=":
+			if cr, ok := be.L.(*sqlparser.ColumnRef); ok && cr.Table != "" {
+				if lit, ok2 := be.R.(*sqlparser.Literal); ok2 && lit.Val != nil {
+					out = append(out, rangePred{
+						qual: strings.ToLower(cr.Table), col: cr.Name,
+						op: be.Op, lit: Normalize(lit.Val),
+					})
+				}
+				return
+			}
+			if cr, ok := be.R.(*sqlparser.ColumnRef); ok && cr.Table != "" {
+				if lit, ok2 := be.L.(*sqlparser.Literal); ok2 && lit.Val != nil {
+					out = append(out, rangePred{
+						qual: strings.ToLower(cr.Table), col: cr.Name,
+						op: flipCmp(be.Op), lit: Normalize(lit.Val),
+					})
+				}
+			}
+		}
+	}
+	walk(where)
+	return out
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<=":
+		return ">="
+	case "<":
+		return ">"
+	case ">=":
+		return "<="
+	case ">":
+		return "<"
+	}
+	return op
+}
+
+// comparableKinds reports whether Compare is meaningful for the pair —
+// both numeric, or both strings. Mixed kinds never prune.
+func comparableKinds(a, b Value) bool {
+	na := isNumeric(a)
+	nb := isNumeric(b)
+	if na || nb {
+		return na && nb
+	}
+	_, sa := a.(string)
+	_, sb := b.(string)
+	return sa && sb
+}
+
+func isNumeric(v Value) bool {
+	switch v.(type) {
+	case int64, float64:
+		return true
+	}
+	return false
+}
+
+// chunkMaySatisfy reports whether some row of the chunk could satisfy
+// `col op lit`. All-NULL chunks (nil min) satisfy nothing.
+func chunkMaySatisfy(c zoneChunk, op string, lit Value) bool {
+	if c.min == nil {
+		return false
+	}
+	if !comparableKinds(c.min, lit) || !comparableKinds(c.max, lit) {
+		return true // unprunable, keep
+	}
+	switch op {
+	case "<=":
+		return Compare(c.min, lit) <= 0
+	case "<":
+		return Compare(c.min, lit) < 0
+	case ">=":
+		return Compare(c.max, lit) >= 0
+	case ">":
+		return Compare(c.max, lit) > 0
+	case "=":
+		return Compare(c.min, lit) <= 0 && Compare(c.max, lit) >= 0
+	}
+	return true
+}
+
+// pruneScan drops whole chunks that cannot satisfy the table's pushdown
+// predicates, preserving row order. The tail beyond the last complete chunk
+// is always kept. Returns the original slice untouched when nothing prunes
+// (the common case), so unpruned scans stay allocation-free.
+func pruneScan(t *Table, rows [][]Value, preds []rangePred) [][]Value {
+	var chunks []zoneChunk
+	var keep []bool
+	for _, p := range preds {
+		col := t.ColIndex(p.col)
+		if col < 0 {
+			continue
+		}
+		if chunks == nil {
+			chunks = t.zoneFor(col, rows)
+			if len(chunks) == 0 {
+				return rows
+			}
+			keep = make([]bool, len(chunks))
+			for i := range keep {
+				keep[i] = true
+			}
+		} else {
+			// Chunk summaries are per column; re-fetch for this predicate.
+			chunks = t.zoneFor(col, rows)
+		}
+		for i, c := range chunks {
+			if keep[i] && !chunkMaySatisfy(c, p.op, p.lit) {
+				keep[i] = false
+			}
+		}
+	}
+	if keep == nil {
+		return rows
+	}
+	pruned := false
+	for _, k := range keep {
+		if !k {
+			pruned = true
+			break
+		}
+	}
+	if !pruned {
+		return rows
+	}
+	out := make([][]Value, 0, len(rows))
+	for i, k := range keep {
+		if k {
+			out = append(out, rows[i*zoneChunkRows:(i+1)*zoneChunkRows]...)
+		}
+	}
+	return append(out, rows[len(keep)*zoneChunkRows:]...)
+}

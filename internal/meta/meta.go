@@ -38,6 +38,36 @@ type SampleInfo struct {
 	// (universe) sample — tau * |domain|. The planner refuses degenerate
 	// universes (too few keys) per Appendix F's cardinality rule.
 	UniverseKeys int64
+	// BlockRows is the target rows per scramble block (the builder's block
+	// size knob); 0 means the sample was built without block partitioning.
+	BlockRows int64
+	// BlockCounts[i] is the actual row count of block i+1 (block ids are
+	// 1-based in the _vdb_block column). Because block membership is
+	// assigned independently of tuple values, any block prefix is itself a
+	// uniform random subsample of the sample — which is what lets the
+	// progressive executor stop after a prefix and stay unbiased.
+	BlockCounts []int64
+}
+
+// TotalBlockRows sums the per-block row counts.
+func (s SampleInfo) TotalBlockRows() int64 {
+	var n int64
+	for _, c := range s.BlockCounts {
+		n += c
+	}
+	return n
+}
+
+// BlockPrefixRows returns the number of sample rows in blocks 1..k.
+func (s SampleInfo) BlockPrefixRows(k int) int64 {
+	if k > len(s.BlockCounts) {
+		k = len(s.BlockCounts)
+	}
+	var n int64
+	for _, c := range s.BlockCounts[:k] {
+		n += c
+	}
+	return n
 }
 
 // EffectiveRatio is |sample| / |base| — what the planner scores with.
@@ -82,7 +112,8 @@ func Open(db drivers.DB) (*Catalog, error) {
 	err := db.Exec(fmt.Sprintf(`create table if not exists %s (
 		sample_table string, base_table string, sample_type string,
 		ratio double, on_columns string, sample_rows bigint,
-		base_rows bigint, subsamples bigint, universe_keys bigint)`, MetaTable))
+		base_rows bigint, subsamples bigint, universe_keys bigint,
+		block_rows bigint, block_counts string)`, MetaTable))
 	if err != nil {
 		return nil, fmt.Errorf("meta: creating catalog table: %w", err)
 	}
@@ -211,7 +242,8 @@ func (c *Catalog) commitLocked(version int64, infos []SampleInfo) error {
 		err := c.db.Exec(fmt.Sprintf(`create table %s (
 			sample_table string, base_table string, sample_type string,
 			ratio double, on_columns string, sample_rows bigint,
-			base_rows bigint, subsamples bigint, universe_keys bigint)`, MetaTable))
+			base_rows bigint, subsamples bigint, universe_keys bigint,
+			block_rows bigint, block_counts string)`, MetaTable))
 		if err != nil {
 			return fmt.Errorf("meta: recreating catalog table: %w", err)
 		}
@@ -235,16 +267,45 @@ func (c *Catalog) commitLocked(version int64, infos []SampleInfo) error {
 // insertRowSQL renders one sample's durable catalog row.
 func insertRowSQL(si SampleInfo) string {
 	return fmt.Sprintf(
-		"insert into %s values ('%s', '%s', '%s', %g, '%s', %d, %d, %d, %d)",
+		"insert into %s values ('%s', '%s', '%s', %g, '%s', %d, %d, %d, %d, %d, '%s')",
 		MetaTable,
 		escape(si.SampleTable), escape(strings.ToLower(si.BaseTable)), si.Type.String(),
 		si.Ratio, escape(strings.ToLower(strings.Join(si.Columns, ","))),
-		si.SampleRows, si.BaseRows, si.Subsamples, si.UniverseKeys)
+		si.SampleRows, si.BaseRows, si.Subsamples, si.UniverseKeys,
+		si.BlockRows, encodeBlockCounts(si.BlockCounts))
+}
+
+// encodeBlockCounts renders per-block counts as a comma-joined string (the
+// catalog stays a plain SQL table, so nested data flattens to text).
+func encodeBlockCounts(counts []int64) string {
+	if len(counts) == 0 {
+		return ""
+	}
+	parts := make([]string, len(counts))
+	for i, c := range counts {
+		parts[i] = fmt.Sprintf("%d", c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// decodeBlockCounts parses a comma-joined block-count string.
+func decodeBlockCounts(s string) []int64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		var n int64
+		fmt.Sscanf(p, "%d", &n)
+		out = append(out, n)
+	}
+	return out
 }
 
 // load reads the SQL metadata table into a fresh info slice.
 func (c *Catalog) load() ([]SampleInfo, error) {
-	rs, err := c.db.Query("select sample_table, base_table, sample_type, ratio, on_columns, sample_rows, base_rows, subsamples, universe_keys from " + MetaTable)
+	rs, err := c.db.Query("select sample_table, base_table, sample_type, ratio, on_columns, sample_rows, base_rows, subsamples, universe_keys, block_rows, block_counts from " + MetaTable)
 	if err != nil {
 		return nil, err
 	}
@@ -270,6 +331,8 @@ func (c *Catalog) load() ([]SampleInfo, error) {
 		si.BaseRows, _ = engine.ToInt(r[6])
 		si.Subsamples, _ = engine.ToInt(r[7])
 		si.UniverseKeys, _ = engine.ToInt(r[8])
+		si.BlockRows, _ = engine.ToInt(r[9])
+		si.BlockCounts = decodeBlockCounts(engine.ToStr(r[10]))
 		out = append(out, si)
 	}
 	return out, nil

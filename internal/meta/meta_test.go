@@ -47,6 +47,7 @@ func TestRegisterRoundTripsAllFields(t *testing.T) {
 		SampleTable: "orders_h", BaseTable: "Orders", Type: sqlparser.HashedSample,
 		Ratio: 0.025, Columns: []string{"user_id"},
 		SampleRows: 1234, BaseRows: 98765, Subsamples: 35, UniverseKeys: 321,
+		BlockRows: 512, BlockCounts: []int64{512, 500, 222},
 	}
 	if err := cat.Register(in); err != nil {
 		t.Fatal(err)
@@ -60,8 +61,30 @@ func TestRegisterRoundTripsAllFields(t *testing.T) {
 		got.Type != sqlparser.HashedSample || got.Ratio != 0.025 ||
 		len(got.Columns) != 1 || got.Columns[0] != "user_id" ||
 		got.SampleRows != 1234 || got.BaseRows != 98765 ||
-		got.Subsamples != 35 || got.UniverseKeys != 321 {
+		got.Subsamples != 35 || got.UniverseKeys != 321 ||
+		got.BlockRows != 512 {
 		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if len(got.BlockCounts) != 3 || got.BlockCounts[0] != 512 ||
+		got.BlockCounts[1] != 500 || got.BlockCounts[2] != 222 {
+		t.Fatalf("block counts mismatch: %v", got.BlockCounts)
+	}
+	if got.TotalBlockRows() != 1234 {
+		t.Fatalf("TotalBlockRows: %d", got.TotalBlockRows())
+	}
+	if got.BlockPrefixRows(2) != 1012 || got.BlockPrefixRows(99) != 1234 {
+		t.Fatalf("BlockPrefixRows: %d, %d", got.BlockPrefixRows(2), got.BlockPrefixRows(99))
+	}
+
+	// The durable SQL table survives a fresh catalog open (block metadata
+	// included) — the Section 2.3 rediscovery property.
+	cat2, err := Open(cat.db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all2, _ := cat2.List()
+	if len(all2) != 1 || len(all2[0].BlockCounts) != 3 || all2[0].BlockRows != 512 {
+		t.Fatalf("reopen lost block metadata: %+v", all2)
 	}
 }
 

@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"verdictdb/internal/meta"
@@ -33,18 +34,54 @@ func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.Sampl
 		return si, err
 	}
 	colList := strings.Join(cols, ", ")
+	sampleCols, err := b.db.Columns(si.SampleTable)
+	if err != nil {
+		return si, err
+	}
+
+	// The batch size feeds the block-extension estimate and the metadata
+	// refresh, so count it before inserting.
+	rsB, err := b.db.Query("select count(*) from " + batchTable)
+	if err != nil {
+		return si, err
+	}
+	batchRows := int64(0)
+	if v, ok := toInt(rsB.Rows[0][0]); ok {
+		batchRows = v
+	}
+
+	// The appended rows must match the sample table's column list: current
+	// builds always carry the block column (even single-block ones), while a
+	// catalog rediscovered from an older deployment may not — probe the
+	// table itself rather than trusting metadata.
+	blockSel := ""
+	if hasCol(sampleCols, BlockCol) {
+		expr := "1"
+		if si.BlockRows > 0 {
+			// Expected appended sample rows from the sample's OBSERVED
+			// acceptance rate: stratified staircase probabilities can sit far
+			// above the nominal tau, and underestimating here would overfill
+			// the open block instead of spilling.
+			ratio := si.EffectiveRatio()
+			if ratio == 0 {
+				ratio = si.Ratio
+			}
+			expr = b.appendBlockExpr(si, float64(batchRows)*ratio)
+		}
+		blockSel = fmt.Sprintf(", %s as %s", expr, BlockCol)
+	}
 
 	var sql string
 	switch si.Type {
 	case sqlparser.UniformSample:
 		sql = fmt.Sprintf(
-			`insert into %s select %s, %.10g as %s, 1 + floor(rand() * %d) as %s from %s where rand() < %.10g`,
-			si.SampleTable, colList, si.Ratio, ProbCol, si.Subsamples, SidCol, batchTable, si.Ratio)
+			`insert into %s select %s, %.10g as %s, 1 + floor(rand() * %d) as %s%s from %s where rand() < %.10g`,
+			si.SampleTable, colList, si.Ratio, ProbCol, si.Subsamples, SidCol, blockSel, batchTable, si.Ratio)
 	case sqlparser.HashedSample:
 		col := si.Columns[0]
 		sql = fmt.Sprintf(
-			`insert into %s select %s, %.10g as %s, 1 + hash_bucket(%s, %d) as %s from %s where hash01(%s) < %.10g`,
-			si.SampleTable, colList, si.Ratio, ProbCol, col, si.Subsamples, SidCol, batchTable, col, si.Ratio)
+			`insert into %s select %s, %.10g as %s, 1 + hash_bucket(%s, %d) as %s%s from %s where hash01(%s) < %.10g`,
+			si.SampleTable, colList, si.Ratio, ProbCol, col, si.Subsamples, SidCol, blockSel, batchTable, col, si.Ratio)
 	case sqlparser.StratifiedSample:
 		onConds := make([]string, len(si.Columns))
 		groupCols := make([]string, len(si.Columns))
@@ -59,10 +96,10 @@ func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.Sampl
 		probs := fmt.Sprintf("(select %s, min(%s) as old_prob from %s group by %s)",
 			strings.Join(groupCols, ", "), ProbCol, si.SampleTable, strings.Join(groupCols, ", "))
 		sql = fmt.Sprintf(
-			`insert into %s select %s, coalesce(verdict_p.old_prob, 1.0) as %s, 1 + floor(rand() * %d) as %s `+
+			`insert into %s select %s, coalesce(verdict_p.old_prob, 1.0) as %s, 1 + floor(rand() * %d) as %s%s `+
 				`from %s as verdict_b left join %s as verdict_p on %s `+
 				`where rand() < coalesce(verdict_p.old_prob, 1.0)`,
-			si.SampleTable, strings.Join(qualCols, ", "), ProbCol, si.Subsamples, SidCol,
+			si.SampleTable, strings.Join(qualCols, ", "), ProbCol, si.Subsamples, SidCol, blockSel,
 			batchTable, probs, strings.Join(onConds, " and "))
 	default:
 		return si, fmt.Errorf("sampling: cannot append to %s sample", si.Type)
@@ -70,17 +107,44 @@ func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.Sampl
 	if err := b.exec(sql); err != nil {
 		return si, err
 	}
-	// Refresh metadata counts.
-	rsB, err := b.db.Query("select count(*) from " + batchTable)
-	if err != nil {
-		return si, err
-	}
-	batchRows := int64(0)
-	if v, ok := toInt(rsB.Rows[0][0]); ok {
-		batchRows = v
-	}
 	si.BaseRows += batchRows
+	// register recounts rows and per-block counts from the table itself.
 	return b.register(si)
+}
+
+// appendBlockExpr renders the block assignment for ~expectedRows appended
+// sample rows: the last open block absorbs rows with probability equal to
+// its remaining capacity's share of the batch, the rest spread uniformly
+// over the new blocks needed beyond it.
+func (b *Builder) appendBlockExpr(si meta.SampleInfo, expectedRows float64) string {
+	last := int64(len(si.BlockCounts))
+	if last == 0 {
+		last = 1
+	}
+	var lastFill int64
+	if len(si.BlockCounts) > 0 {
+		lastFill = si.BlockCounts[last-1]
+	}
+	space := float64(si.BlockRows - lastFill)
+	if space < 0 {
+		space = 0
+	}
+	if expectedRows <= space || expectedRows <= 0 {
+		return fmt.Sprintf("%d", last) // the open block absorbs the whole batch
+	}
+	newBlocks := int64(math.Ceil((expectedRows - space) / float64(si.BlockRows)))
+	if newBlocks < 1 {
+		newBlocks = 1
+	}
+	p := space / expectedRows
+	if p <= 0 {
+		if newBlocks == 1 {
+			return fmt.Sprintf("%d", last+1)
+		}
+		return fmt.Sprintf("%d + floor(rand() * %d)", last+1, newBlocks)
+	}
+	return fmt.Sprintf("case when rand() < %.10g then %d else %d + floor(rand() * %d) end",
+		p, last, last+1, newBlocks)
 }
 
 // IsStale reports whether a sample's recorded base-row count disagrees with
@@ -92,6 +156,15 @@ func (b *Builder) IsStale(si meta.SampleInfo) (bool, error) {
 		return false, err
 	}
 	return n != si.BaseRows, nil
+}
+
+func hasCol(cols []string, name string) bool {
+	for _, c := range cols {
+		if strings.EqualFold(c, name) {
+			return true
+		}
+	}
+	return false
 }
 
 func toInt(v any) (int64, bool) {

@@ -33,6 +33,11 @@ import (
 const (
 	ProbCol = "verdict_prob"
 	SidCol  = "verdict_sid"
+	// BlockCol partitions a scramble into fixed-size blocks. Block ids are
+	// 1-based and assigned independently of tuple values, so any block
+	// prefix is itself a uniform random subsample of the sample — the
+	// property the progressive executor's early stopping relies on.
+	BlockCol = "_vdb_block"
 )
 
 // Builder creates samples against one underlying database. It is safe for
@@ -60,6 +65,11 @@ type Builder struct {
 	// tau = AutoTargetRows / |T| (paper default: 10M rows; scaled deployments
 	// lower it).
 	AutoTargetRows int64
+	// BlockRows is the target rows per scramble block (the block size knob
+	// of the progressive executor). Samples are partitioned into
+	// ceil(rows/BlockRows) blocks at build time; <= 0 disables block
+	// partitioning.
+	BlockRows int64
 }
 
 // NewBuilder returns a Builder with the paper's defaults.
@@ -71,6 +81,7 @@ func NewBuilder(db drivers.DB, cat *meta.Catalog) *Builder {
 		MinStratumRows:  10,
 		StaircaseLevels: 16,
 		AutoTargetRows:  10_000_000,
+		BlockRows:       1024,
 	}
 }
 
@@ -125,6 +136,27 @@ func subsampleCount(expectedRows float64) int64 {
 	return bb
 }
 
+// blockCount picks the number of scramble blocks for an expected sample size.
+func (b *Builder) blockCount(expectedRows float64) int64 {
+	if b.BlockRows <= 0 {
+		return 1
+	}
+	n := int64(math.Ceil(expectedRows / float64(b.BlockRows)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// blockExpr renders the block-id assignment for fresh sample rows: a uniform
+// random block in [1, nBlocks], independent of tuple values.
+func blockExpr(nBlocks int64) string {
+	if nBlocks <= 1 {
+		return "1"
+	}
+	return fmt.Sprintf("1 + floor(rand() * %d)", nBlocks)
+}
+
 // CreateUniform builds a uniform (Bernoulli) sample with parameter tau.
 func (b *Builder) CreateUniform(table string, tau float64) (meta.SampleInfo, error) {
 	b.mu.Lock()
@@ -146,20 +178,21 @@ func (b *Builder) createUniform(table string, tau float64) (meta.SampleInfo, err
 	}
 	name := SampleName(table, sqlparser.UniformSample, nil)
 	bb := subsampleCount(tau * float64(n))
+	nBlocks := b.blockCount(tau * float64(n))
 	colList := strings.Join(cols, ", ")
 
 	var sql string
 	if b.db.Dialect().NoRandInWhere {
 		// Impala-style: rand() must move out of the predicate.
 		sql = fmt.Sprintf(
-			`create table %s as select %s, %.10g as %s, 1 + floor(rand() * %d) as %s `+
-				`from (select *, rand() as verdict_r from %s) as verdict_t0 where verdict_r < %.10g`,
-			name, colList, tau, ProbCol, bb, SidCol, table, tau)
+			`create table %s as select %s, %.10g as %s, 1 + floor(rand() * %d) as %s, %s as %s `+
+				`from (select *, rand() as verdict_r from %s) as verdict_t0 where verdict_r < %.10g order by %s`,
+			name, colList, tau, ProbCol, bb, SidCol, blockExpr(nBlocks), BlockCol, table, tau, BlockCol)
 	} else {
 		sql = fmt.Sprintf(
-			`create table %s as select %s, %.10g as %s, 1 + floor(rand() * %d) as %s `+
-				`from %s where rand() < %.10g`,
-			name, colList, tau, ProbCol, bb, SidCol, table, tau)
+			`create table %s as select %s, %.10g as %s, 1 + floor(rand() * %d) as %s, %s as %s `+
+				`from %s where rand() < %.10g order by %s`,
+			name, colList, tau, ProbCol, bb, SidCol, blockExpr(nBlocks), BlockCol, table, tau, BlockCol)
 	}
 	if err := b.exec("drop table if exists " + name); err != nil {
 		return meta.SampleInfo{}, err
@@ -169,7 +202,7 @@ func (b *Builder) createUniform(table string, tau float64) (meta.SampleInfo, err
 	}
 	return b.register(meta.SampleInfo{
 		SampleTable: name, BaseTable: table, Type: sqlparser.UniformSample,
-		Ratio: tau, BaseRows: n, Subsamples: bb,
+		Ratio: tau, BaseRows: n, Subsamples: bb, BlockRows: b.BlockRows,
 	})
 }
 
@@ -196,14 +229,17 @@ func (b *Builder) createHashed(table, column string, tau float64) (meta.SampleIn
 	}
 	name := SampleName(table, sqlparser.HashedSample, []string{column})
 	bb := subsampleCount(tau * float64(n))
+	nBlocks := b.blockCount(tau * float64(n))
 	colList := strings.Join(cols, ", ")
 	// The subsample id is derived from the hash of the sampled column so
 	// that identical keys land in identical subsamples on every table —
-	// which is what makes universe-sample joins estimable.
+	// which is what makes universe-sample joins estimable. The block id
+	// stays value-independent (rand), so a block prefix thins rows per key
+	// rather than shrinking the key universe.
 	sql := fmt.Sprintf(
-		`create table %s as select %s, %.10g as %s, 1 + hash_bucket(%s, %d) as %s `+
-			`from %s where hash01(%s) < %.10g`,
-		name, colList, tau, ProbCol, column, bb, SidCol, table, column, tau)
+		`create table %s as select %s, %.10g as %s, 1 + hash_bucket(%s, %d) as %s, %s as %s `+
+			`from %s where hash01(%s) < %.10g order by %s`,
+		name, colList, tau, ProbCol, column, bb, SidCol, blockExpr(nBlocks), BlockCol, table, column, tau, BlockCol)
 	if err := b.exec("drop table if exists " + name); err != nil {
 		return meta.SampleInfo{}, err
 	}
@@ -221,7 +257,7 @@ func (b *Builder) createHashed(table, column string, tau float64) (meta.SampleIn
 	return b.register(meta.SampleInfo{
 		SampleTable: name, BaseTable: table, Type: sqlparser.HashedSample,
 		Ratio: tau, Columns: []string{strings.ToLower(column)},
-		BaseRows: n, Subsamples: bb, UniverseKeys: keys,
+		BaseRows: n, Subsamples: bb, UniverseKeys: keys, BlockRows: b.BlockRows,
 	})
 }
 
@@ -291,6 +327,7 @@ func (b *Builder) createStratified(table string, columns []string, tau float64) 
 	}
 	expected, _ := engine.ToFloat(rs2.Rows[0][0])
 	bb := subsampleCount(expected)
+	nBlocks := b.blockCount(expected)
 
 	// Pass 2: Bernoulli sampling with per-stratum staircase probabilities.
 	onConds := make([]string, len(columns))
@@ -305,19 +342,19 @@ func (b *Builder) createStratified(table string, columns []string, tau float64) 
 	if b.db.Dialect().NoRandInWhere {
 		innerCols := strings.Join(cols, ", ")
 		pass2 = fmt.Sprintf(
-			`create table %s as select %s, (%s) as %s, 1 + floor(rand() * %d) as %s `+
+			`create table %s as select %s, (%s) as %s, 1 + floor(rand() * %d) as %s, %s as %s `+
 				`from (select %s, rand() as verdict_r from %s) as verdict_t `+
 				`inner join %s as verdict_g on %s `+
-				`where verdict_t.verdict_r < (%s)`,
-			name, strings.Join(qualCols, ", "), caseExpr, ProbCol, bb, SidCol,
-			innerCols, table, sizesTable, strings.Join(onConds, " and "), caseExpr)
+				`where verdict_t.verdict_r < (%s) order by %s`,
+			name, strings.Join(qualCols, ", "), caseExpr, ProbCol, bb, SidCol, blockExpr(nBlocks), BlockCol,
+			innerCols, table, sizesTable, strings.Join(onConds, " and "), caseExpr, BlockCol)
 	} else {
 		pass2 = fmt.Sprintf(
-			`create table %s as select %s, (%s) as %s, 1 + floor(rand() * %d) as %s `+
+			`create table %s as select %s, (%s) as %s, 1 + floor(rand() * %d) as %s, %s as %s `+
 				`from %s as verdict_t inner join %s as verdict_g on %s `+
-				`where rand() < (%s)`,
-			name, strings.Join(qualCols, ", "), caseExpr, ProbCol, bb, SidCol,
-			table, sizesTable, strings.Join(onConds, " and "), caseExpr)
+				`where rand() < (%s) order by %s`,
+			name, strings.Join(qualCols, ", "), caseExpr, ProbCol, bb, SidCol, blockExpr(nBlocks), BlockCol,
+			table, sizesTable, strings.Join(onConds, " and "), caseExpr, BlockCol)
 	}
 	if err := b.exec("drop table if exists " + name); err != nil {
 		return meta.SampleInfo{}, err
@@ -334,21 +371,58 @@ func (b *Builder) createStratified(table string, columns []string, tau float64) 
 	}
 	return b.register(meta.SampleInfo{
 		SampleTable: name, BaseTable: table, Type: sqlparser.StratifiedSample,
-		Ratio: tau, Columns: low, BaseRows: n, Subsamples: bb,
+		Ratio: tau, Columns: low, BaseRows: n, Subsamples: bb, BlockRows: b.BlockRows,
 	})
 }
 
-// register counts the created sample's rows and records it in the catalog.
+// register counts the created sample's rows and per-block rows, and records
+// it in the catalog. Block counts are always recounted from the table itself
+// so creation and append maintenance share one source of truth.
 func (b *Builder) register(si meta.SampleInfo) (meta.SampleInfo, error) {
 	rs, err := b.db.Query("select count(*) from " + si.SampleTable)
 	if err != nil {
 		return si, err
 	}
 	si.SampleRows, _ = engine.ToInt(rs.Rows[0][0])
+	if si.BlockRows > 0 {
+		counts, err := b.blockCounts(si.SampleTable)
+		if err != nil {
+			return si, err
+		}
+		si.BlockCounts = counts
+	}
 	if err := b.cat.Register(si); err != nil {
 		return si, err
 	}
 	return si, nil
+}
+
+// blockCounts reads per-block row counts (1-based block ids; blocks the
+// random assignment left empty report 0).
+func (b *Builder) blockCounts(table string) ([]int64, error) {
+	rs, err := b.db.Query(fmt.Sprintf("select %s, count(*) from %s group by %s",
+		BlockCol, table, BlockCol))
+	if err != nil {
+		return nil, err
+	}
+	byID := map[int64]int64{}
+	var maxID int64
+	for _, r := range rs.Rows {
+		id, ok := engine.ToInt(r[0])
+		if !ok || id < 1 {
+			continue
+		}
+		n, _ := engine.ToInt(r[1])
+		byID[id] = n
+		if id > maxID {
+			maxID = id
+		}
+	}
+	counts := make([]int64, maxID)
+	for i := range counts {
+		counts[i] = byID[int64(i+1)]
+	}
+	return counts, nil
 }
 
 // CreateAuto applies the default sampling policy of Appendix F to a table:

@@ -385,3 +385,114 @@ func TestCreateRejectsBadTau(t *testing.T) {
 		t.Error("stratified without columns accepted")
 	}
 }
+
+func TestBlockPartitioning(t *testing.T) {
+	db, b := newTestDB(t, drivers.NewGeneric)
+	b.BlockRows = 100
+	si, err := b.CreateUniform("sales", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.BlockRows != 100 {
+		t.Fatalf("BlockRows: %d", si.BlockRows)
+	}
+	// ~1111 expected sample rows at 100 rows/block: around 12 blocks.
+	if len(si.BlockCounts) < 8 || len(si.BlockCounts) > 16 {
+		t.Fatalf("block count: %d (%v)", len(si.BlockCounts), si.BlockCounts)
+	}
+	if si.TotalBlockRows() != si.SampleRows {
+		t.Fatalf("block counts sum %d != sample rows %d", si.TotalBlockRows(), si.SampleRows)
+	}
+	// The block column holds only ids in [1, len(BlockCounts)].
+	rs, err := db.Query("select min(_vdb_block), max(_vdb_block) from " + si.SampleTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := engine.ToInt(rs.Rows[0][0])
+	hi, _ := engine.ToInt(rs.Rows[0][1])
+	if lo < 1 || hi > int64(len(si.BlockCounts)) {
+		t.Fatalf("block id range [%d, %d] vs %d blocks", lo, hi, len(si.BlockCounts))
+	}
+}
+
+func TestBlockPartitioningAllTypes(t *testing.T) {
+	_, b := newTestDB(t, drivers.NewGeneric)
+	b.BlockRows = 64
+	if si, err := b.CreateHashed("sales", "id", 0.1); err != nil {
+		t.Fatal(err)
+	} else if si.TotalBlockRows() != si.SampleRows || len(si.BlockCounts) == 0 {
+		t.Fatalf("hashed blocks: %v vs %d rows", si.BlockCounts, si.SampleRows)
+	}
+	if si, err := b.CreateStratified("sales", []string{"city"}, 0.05); err != nil {
+		t.Fatal(err)
+	} else if si.TotalBlockRows() != si.SampleRows || len(si.BlockCounts) == 0 {
+		t.Fatalf("stratified blocks: %v vs %d rows", si.BlockCounts, si.SampleRows)
+	}
+}
+
+func TestAppendBatchExtendsLastOpenBlock(t *testing.T) {
+	db, b := newTestDB(t, drivers.NewGeneric)
+	b.BlockRows = 200
+	si, err := b.CreateUniform("sales", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocksBefore := len(si.BlockCounts)
+	lastBefore := si.BlockCounts[blocksBefore-1]
+	// A small batch (~50 expected sample rows) should flow into the open
+	// block, not start a fresh one.
+	if err := db.Exec("create table smallbatch as select id, city, amount from sales limit 500"); err != nil {
+		t.Fatal(err)
+	}
+	si2, err := b.AppendBatch(si, "smallbatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si2.TotalBlockRows() != si2.SampleRows {
+		t.Fatalf("block counts sum %d != sample rows %d", si2.TotalBlockRows(), si2.SampleRows)
+	}
+	if len(si2.BlockCounts) > blocksBefore+1 {
+		t.Fatalf("small append grew blocks %d -> %d", blocksBefore, len(si2.BlockCounts))
+	}
+	if si2.SampleRows > si.SampleRows && si2.BlockCounts[blocksBefore-1] < lastBefore {
+		t.Fatalf("last open block shrank: %d -> %d", lastBefore, si2.BlockCounts[blocksBefore-1])
+	}
+
+	// A large batch must spill into new blocks.
+	if err := db.Exec("create table bigbatch as select id, city, amount from sales"); err != nil {
+		t.Fatal(err)
+	}
+	si3, err := b.AppendBatch(si2, "bigbatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si3.TotalBlockRows() != si3.SampleRows {
+		t.Fatalf("block counts sum %d != sample rows %d", si3.TotalBlockRows(), si3.SampleRows)
+	}
+	if len(si3.BlockCounts) <= len(si2.BlockCounts) {
+		t.Fatalf("large append did not open new blocks: %d -> %d",
+			len(si2.BlockCounts), len(si3.BlockCounts))
+	}
+}
+
+func TestAppendBatchWithBlockPartitioningDisabled(t *testing.T) {
+	// BlockRows <= 0 disables block partitioning, but the sample table still
+	// carries the (single-valued) block column — appends must match its
+	// column list instead of erroring on a width mismatch.
+	db, b := newTestDB(t, drivers.NewGeneric)
+	b.BlockRows = 0
+	si, err := b.CreateUniform("sales", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Exec("create table nbbatch as select id, city, amount from sales limit 1000"); err != nil {
+		t.Fatal(err)
+	}
+	si2, err := b.AppendBatch(si, "nbbatch")
+	if err != nil {
+		t.Fatalf("append to block-disabled sample: %v", err)
+	}
+	if si2.SampleRows < si.SampleRows {
+		t.Fatalf("sample shrank: %d -> %d", si.SampleRows, si2.SampleRows)
+	}
+}

@@ -1,0 +1,300 @@
+package verdictdb
+
+// Tests for accuracy-driven progressive execution over block-partitioned
+// scrambles: full-prefix parity with Conn.Query (byte-identical rows and
+// standard errors at targetRelErr=0 across the whole 33-query workload),
+// early stopping, callback streaming, and concurrent-client safety.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+// newWorkloadConn loads one benchmark dataset and builds its sample set
+// with small scramble blocks so progressive execution has prefixes to walk.
+func newWorkloadConn(t testing.TB, dataset string) *Conn {
+	t.Helper()
+	eng := engine.NewSeeded(42)
+	var stmts []string
+	switch dataset {
+	case "tpch":
+		if err := workload.LoadTPCH(eng, 0.05, 42); err != nil {
+			t.Fatal(err)
+		}
+		stmts = []string{
+			"create uniform sample of lineitem ratio 0.02",
+			"create stratified sample of lineitem on (l_returnflag, l_linestatus) ratio 0.02",
+			"create hashed sample of lineitem on (l_orderkey) ratio 0.02",
+			"create uniform sample of orders ratio 0.02",
+			"create hashed sample of orders on (o_orderkey) ratio 0.02",
+			"create uniform sample of partsupp ratio 0.02",
+			"create hashed sample of partsupp on (ps_suppkey) ratio 0.02",
+		}
+	case "insta":
+		if err := workload.LoadInsta(eng, 0.05, 43); err != nil {
+			t.Fatal(err)
+		}
+		stmts = []string{
+			"create uniform sample of order_products ratio 0.02",
+			"create hashed sample of order_products on (order_id) ratio 0.02",
+			"create uniform sample of orders ratio 0.02",
+			"create hashed sample of orders on (user_id) ratio 0.02",
+			"create hashed sample of orders on (order_id) ratio 0.02",
+			"create stratified sample of orders on (order_dow) ratio 0.02",
+			"create stratified sample of orders on (order_hour) ratio 0.02",
+		}
+	default:
+		t.Fatalf("unknown dataset %q", dataset)
+	}
+	conn, err := Open(drivers.NewGeneric(eng), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Builder().BlockRows = 64
+	for _, s := range stmts {
+		if err := conn.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return conn
+}
+
+func valueIdentical(x, y engine.Value) bool {
+	xf, xok := x.(float64)
+	yf, yok := y.(float64)
+	if xok || yok {
+		return xok && yok && math.Float64bits(xf) == math.Float64bits(yf)
+	}
+	return x == y
+}
+
+// assertAnswersIdentical requires byte-identical rows and standard errors.
+func assertAnswersIdentical(t *testing.T, id string, want, got *Answer) {
+	t.Helper()
+	if len(want.Cols) != len(got.Cols) {
+		t.Fatalf("%s: cols %v vs %v", id, want.Cols, got.Cols)
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: %d rows vs %d rows", id, len(want.Rows), len(got.Rows))
+	}
+	for r := range want.Rows {
+		if len(want.Rows[r]) != len(got.Rows[r]) {
+			t.Fatalf("%s row %d: width %d vs %d", id, r, len(want.Rows[r]), len(got.Rows[r]))
+		}
+		for c := range want.Rows[r] {
+			if !valueIdentical(want.Rows[r][c], got.Rows[r][c]) {
+				t.Fatalf("%s row %d col %d: %v vs %v", id, r, c, want.Rows[r][c], got.Rows[r][c])
+			}
+		}
+	}
+	if len(want.StdErr) != len(got.StdErr) {
+		t.Fatalf("%s: stderr rows %d vs %d", id, len(want.StdErr), len(got.StdErr))
+	}
+	for r := range want.StdErr {
+		for c := range want.StdErr[r] {
+			if math.Float64bits(want.StdErr[r][c]) != math.Float64bits(got.StdErr[r][c]) {
+				t.Fatalf("%s stderr (%d,%d): %v vs %v", id, r, c, want.StdErr[r][c], got.StdErr[r][c])
+			}
+		}
+	}
+}
+
+// runParity asserts Query ≡ QueryWithAccuracy(targetRelErr=0) for a query
+// set and returns how many queries actually took the progressive path.
+func runParity(t *testing.T, conn *Conn, queries []workload.Query) int {
+	t.Helper()
+	progressive := 0
+	for _, q := range queries {
+		want, err := conn.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s Query: %v", q.ID, err)
+		}
+		got, err := conn.QueryWithAccuracy(q.SQL, 0)
+		if err != nil {
+			t.Fatalf("%s QueryWithAccuracy: %v", q.ID, err)
+		}
+		assertAnswersIdentical(t, q.ID, want, got)
+		if got.BlocksTotal > 0 {
+			if got.BlocksScanned != got.BlocksTotal {
+				t.Fatalf("%s: targetRelErr=0 stopped early (%d/%d blocks)",
+					q.ID, got.BlocksScanned, got.BlocksTotal)
+			}
+			progressive++
+		}
+	}
+	return progressive
+}
+
+func TestProgressiveFullPrefixParityTPCH(t *testing.T) {
+	conn := newWorkloadConn(t, "tpch")
+	if n := runParity(t, conn, workload.TPCHQueries); n == 0 {
+		t.Fatal("no TPC-H query exercised the progressive path")
+	}
+}
+
+func TestProgressiveFullPrefixParityInsta(t *testing.T) {
+	conn := newWorkloadConn(t, "insta")
+	if n := runParity(t, conn, workload.InstaQueries); n == 0 {
+		t.Fatal("no insta query exercised the progressive path")
+	}
+}
+
+func TestProgressiveEarlyStop(t *testing.T) {
+	conn := newWorkloadConn(t, "insta")
+	const q = "select reordered, count(*) as c, avg(price) as p from order_products group by reordered"
+	// A loose target must terminate before the full sample is scanned.
+	a, err := conn.QueryWithAccuracy(q, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Approximate {
+		t.Fatal("expected an approximate answer")
+	}
+	if a.BlocksTotal <= 1 {
+		t.Fatalf("sample not block-partitioned enough for the test: %d blocks", a.BlocksTotal)
+	}
+	if a.BlocksScanned >= a.BlocksTotal {
+		t.Fatalf("no early termination: scanned %d of %d blocks", a.BlocksScanned, a.BlocksTotal)
+	}
+	if got := a.MaxRelativeError(); got > 0.15 {
+		t.Fatalf("stopped with estimated relative error %v > target", got)
+	}
+	// The early answer must still be in the right ballpark vs exact.
+	exact, err := conn.Query("bypass " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range exact.Rows {
+		group := exact.Rows[r][0]
+		var approx float64
+		found := false
+		for r2 := range a.Rows {
+			if valueIdentical(a.Rows[r2][0], group) {
+				approx = a.Float(r2, "c")
+				found = true
+			}
+		}
+		if !found {
+			continue // a rare group can be absent from a prefix
+		}
+		ev, _ := engine.ToFloat(exact.Rows[r][1])
+		if ev > 0 && math.Abs(approx-ev)/ev > 0.5 {
+			t.Fatalf("group %v: progressive count %v vs exact %v", group, approx, ev)
+		}
+	}
+}
+
+func TestProgressiveCallbackStream(t *testing.T) {
+	conn := newWorkloadConn(t, "insta")
+	const q = "select order_hour, sum(days_since_prior) as s from orders group by order_hour"
+	var updates []ProgressiveUpdate
+	a, err := conn.QueryProgressive(q, 0.0001, func(u ProgressiveUpdate) bool {
+		updates = append(updates, u)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) == 0 {
+		t.Fatal("no progressive updates delivered")
+	}
+	last := updates[len(updates)-1]
+	if !last.Final {
+		t.Fatal("last update not marked Final")
+	}
+	if last.Answer != a {
+		t.Fatal("final update should carry the returned answer")
+	}
+	prev := 0
+	for _, u := range updates {
+		if u.BlocksScanned < prev {
+			t.Fatalf("block prefixes not monotone: %v", updates)
+		}
+		prev = u.BlocksScanned
+		if u.Answer == nil {
+			t.Fatal("update without answer")
+		}
+	}
+
+	// A callback returning false accepts the current prefix and stops.
+	calls := 0
+	a2, err := conn.QueryProgressive(q, 0.0000001, func(u ProgressiveUpdate) bool {
+		calls++
+		return u.Final // stop after the first intermediate prefix
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.BlocksTotal > 1 && a2.BlocksScanned >= a2.BlocksTotal {
+		t.Fatalf("callback stop ignored: %d/%d blocks", a2.BlocksScanned, a2.BlocksTotal)
+	}
+}
+
+// TestProgressiveConcurrentParity runs progressive and single-shot clients
+// side by side on one connection; with -race this doubles as the data-race
+// check required for the serving layer.
+func TestProgressiveConcurrentParity(t *testing.T) {
+	conn := newWorkloadConn(t, "insta")
+	queries := workload.InstaQueries
+	want := make(map[string]*Answer, len(queries))
+	for _, q := range queries {
+		a, err := conn.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		want[q.ID] = a
+	}
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < len(queries); i++ {
+				q := queries[(i+w)%len(queries)]
+				var got *Answer
+				var err error
+				if (i+w)%2 == 0 {
+					got, err = conn.QueryWithAccuracy(q.SQL, 0)
+				} else {
+					// Loose-target progressive clients race the exact ones;
+					// their answers are approximate, only errors matter.
+					_, err = conn.QueryWithAccuracy(q.SQL, 0.2)
+					if err == nil {
+						got, err = conn.QueryWithAccuracy(q.SQL, 0)
+					}
+				}
+				if err != nil {
+					errs <- fmt.Errorf("%s: %w", q.ID, err)
+					return
+				}
+				w0 := want[q.ID]
+				if len(got.Rows) != len(w0.Rows) {
+					errs <- fmt.Errorf("%s: %d rows vs %d", q.ID, len(got.Rows), len(w0.Rows))
+					return
+				}
+				for r := range w0.Rows {
+					for c := range w0.Rows[r] {
+						if !valueIdentical(w0.Rows[r][c], got.Rows[r][c]) {
+							errs <- fmt.Errorf("%s (%d,%d): %v vs %v",
+								q.ID, r, c, w0.Rows[r][c], got.Rows[r][c])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -42,7 +42,10 @@ func init() {
 // dsnInstance is one shared engine pinned by refs open driver connections.
 type dsnInstance struct {
 	conn *Conn
-	refs int
+	// target is the DSN's progressive-execution target relative error;
+	// 0 means plain single-shot Query.
+	target float64
+	refs   int
 }
 
 type sqlDriver struct {
@@ -57,19 +60,21 @@ type sqlDriver struct {
 //	seed=42                   engine seed
 //	samples=auto              build 1% uniform samples on fact tables
 //	errcols=1                 append <col>_err columns to outputs
+//	target=0.05               progressive execution: stop scanning once the
+//	                          estimated relative error reaches the target
 func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
 	d.mu.Lock()
 	inst, ok := d.instances[dsn]
 	if ok {
 		inst.refs++
 		d.mu.Unlock()
-		return &sqlConn{driver: d, dsn: dsn, conn: inst.conn}, nil
+		return &sqlConn{driver: d, dsn: dsn, conn: inst.conn, target: inst.target}, nil
 	}
 	d.mu.Unlock()
 
 	// Building an engine can load a whole dataset; do it outside the lock
 	// so other DSNs stay usable meanwhile.
-	conn, err := buildFromDSN(dsn)
+	conn, target, err := buildFromDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
@@ -80,10 +85,10 @@ func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
 		// instance so all connections share data and samples.
 		inst.refs++
 	} else {
-		inst = &dsnInstance{conn: conn, refs: 1}
+		inst = &dsnInstance{conn: conn, target: target, refs: 1}
 		d.instances[dsn] = inst
 	}
-	return &sqlConn{driver: d, dsn: dsn, conn: inst.conn}, nil
+	return &sqlConn{driver: d, dsn: dsn, conn: inst.conn, target: inst.target}, nil
 }
 
 // release drops one reference to a DSN's engine, evicting the instance when
@@ -108,12 +113,13 @@ func (d *sqlDriver) openDSNs() int {
 	return len(d.instances)
 }
 
-func buildFromDSN(dsn string) (*Conn, error) {
+func buildFromDSN(dsn string) (*Conn, float64, error) {
 	opts := Defaults()
 	dataset := "none"
 	scale := 0.1
 	seed := int64(42)
 	samples := ""
+	target := 0.0
 	for _, kv := range strings.Split(dsn, ";") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -121,7 +127,7 @@ func buildFromDSN(dsn string) (*Conn, error) {
 		}
 		parts := strings.SplitN(kv, "=", 2)
 		if len(parts) != 2 {
-			return nil, fmt.Errorf("verdictdb: bad DSN option %q", kv)
+			return nil, 0, fmt.Errorf("verdictdb: bad DSN option %q", kv)
 		}
 		key, val := strings.ToLower(parts[0]), parts[1]
 		switch key {
@@ -130,13 +136,13 @@ func buildFromDSN(dsn string) (*Conn, error) {
 		case "scale":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return nil, fmt.Errorf("verdictdb: bad scale %q", val)
+				return nil, 0, fmt.Errorf("verdictdb: bad scale %q", val)
 			}
 			scale = f
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("verdictdb: bad seed %q", val)
+				return nil, 0, fmt.Errorf("verdictdb: bad seed %q", val)
 			}
 			seed = n
 		case "samples":
@@ -146,12 +152,18 @@ func buildFromDSN(dsn string) (*Conn, error) {
 		case "budget":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return nil, fmt.Errorf("verdictdb: bad budget %q", val)
+				return nil, 0, fmt.Errorf("verdictdb: bad budget %q", val)
 			}
 			opts.IOBudget = f
 			opts.Planner.IOBudget = f
+		case "target":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 {
+				return nil, 0, fmt.Errorf("verdictdb: bad target %q", val)
+			}
+			target = f
 		default:
-			return nil, fmt.Errorf("verdictdb: unknown DSN option %q", key)
+			return nil, 0, fmt.Errorf("verdictdb: unknown DSN option %q", key)
 		}
 	}
 	eng := engine.NewSeeded(seed)
@@ -159,30 +171,30 @@ func buildFromDSN(dsn string) (*Conn, error) {
 	switch dataset {
 	case "insta":
 		if err := workload.LoadInsta(eng, scale, seed); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		facts = workload.InstaFactTables
 	case "tpch":
 		if err := workload.LoadTPCH(eng, scale, seed); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		facts = workload.TPCHFactTables
 	case "none":
 	default:
-		return nil, fmt.Errorf("verdictdb: unknown dataset %q", dataset)
+		return nil, 0, fmt.Errorf("verdictdb: unknown dataset %q", dataset)
 	}
 	conn, err := Open(drivers.NewGeneric(eng), opts)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if samples == "auto" {
 		for _, tbl := range facts {
 			if err := conn.Exec(fmt.Sprintf("create uniform sample of %s ratio 0.01", tbl)); err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 		}
 	}
-	return conn, nil
+	return conn, target, nil
 }
 
 // sqlConn adapts Conn to driver.Conn. VerdictDB has no transactions; Begin
@@ -193,6 +205,9 @@ type sqlConn struct {
 	driver *sqlDriver
 	dsn    string
 	conn   *Conn
+	// target routes SELECTs through QueryWithAccuracy when > 0 (the DSN's
+	// target= option): legacy readers get anytime answers transparently.
+	target float64
 
 	mu     sync.Mutex
 	closed bool
@@ -205,7 +220,7 @@ var (
 )
 
 func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
-	return &sqlStmt{conn: c.conn, query: query}, nil
+	return &sqlStmt{conn: c.conn, query: query, target: c.target}, nil
 }
 
 func (c *sqlConn) Close() error {
@@ -228,7 +243,7 @@ func (c *sqlConn) Query(query string, args []driver.Value) (driver.Rows, error) 
 	if len(args) > 0 {
 		return nil, driver.ErrSkip
 	}
-	a, err := c.conn.Query(query)
+	a, err := queryMaybeProgressive(c.conn, query, c.target)
 	if err != nil {
 		return nil, err
 	}
@@ -247,8 +262,18 @@ func (c *sqlConn) Exec(query string, args []driver.Value) (driver.Result, error)
 }
 
 type sqlStmt struct {
-	conn  *Conn
-	query string
+	conn   *Conn
+	query  string
+	target float64
+}
+
+// queryMaybeProgressive runs one statement, with accuracy-driven early
+// stopping when the DSN configured a target relative error.
+func queryMaybeProgressive(conn *Conn, query string, target float64) (*Answer, error) {
+	if target > 0 {
+		return conn.QueryWithAccuracy(query, target)
+	}
+	return conn.Query(query)
 }
 
 func (s *sqlStmt) Close() error  { return nil }
@@ -262,7 +287,7 @@ func (s *sqlStmt) Exec(args []driver.Value) (driver.Result, error) {
 }
 
 func (s *sqlStmt) Query(args []driver.Value) (driver.Rows, error) {
-	a, err := s.conn.Query(s.query)
+	a, err := queryMaybeProgressive(s.conn, s.query, s.target)
 	if err != nil {
 		return nil, err
 	}

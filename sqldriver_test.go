@@ -188,3 +188,35 @@ func TestSQLDriverSharedDSNRefcount(t *testing.T) {
 		t.Fatalf("instance not released after both closed: %d, want %d", got, baseline)
 	}
 }
+
+func TestSQLDriverProgressiveTarget(t *testing.T) {
+	// The target= DSN option routes SELECTs through progressive execution;
+	// legacy database/sql readers get anytime answers transparently.
+	db, err := sql.Open("verdictdb", "dataset=insta;scale=0.05;samples=auto;target=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rows, err := db.Query("select reordered, count(*) as c from order_products group by reordered")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for rows.Next() {
+		var reordered, c int64
+		if err := rows.Scan(&reordered, &c); err != nil {
+			t.Fatal(err)
+		}
+		if c <= 0 {
+			t.Fatalf("non-positive count %d", c)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no rows")
+	}
+}

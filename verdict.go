@@ -38,6 +38,10 @@ type Answer = core.Answer
 // accuracy contract, error-estimation method).
 type Options = core.Options
 
+// ProgressiveUpdate re-exports one block prefix's intermediate answer as
+// delivered to QueryProgressive callbacks.
+type ProgressiveUpdate = core.ProgressiveUpdate
+
 // SampleInfo re-exports sample metadata.
 type SampleInfo = meta.SampleInfo
 
@@ -187,6 +191,39 @@ func (c *Conn) Exec(sql string) error {
 	return err
 }
 
+// QueryWithAccuracy is Query with accuracy-driven progressive execution:
+// when the chosen plan reads a block-partitioned sample, the scan proceeds
+// block-prefix by block-prefix and stops as soon as the estimated worst
+// relative error (at the connection's confidence level) is at or below
+// targetRelErr. targetRelErr <= 0 disables early stopping — the full sample
+// is scanned and the answer matches Query exactly. Queries whose plans
+// cannot run progressively (passthrough, multi-plan merges, extreme
+// statistics, count-distinct, nested aggregate blocks) behave exactly like
+// Query.
+func (c *Conn) QueryWithAccuracy(sql string, targetRelErr float64) (*Answer, error) {
+	return c.QueryProgressive(sql, targetRelErr, nil)
+}
+
+// QueryProgressive is QueryWithAccuracy with a streaming callback: cb (when
+// non-nil) receives each block prefix's intermediate answer as it is
+// computed, then the final answer with Final set. Returning false from cb
+// accepts the current prefix's accuracy and stops the scan early.
+func (c *Conn) QueryProgressive(sql string, targetRelErr float64, cb func(ProgressiveUpdate) bool) (*Answer, error) {
+	if a, handled, err := c.mw.QueryCachedProgressive(sql, targetRelErr, cb); handled {
+		return a, err
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
+		return c.mw.QuerySelectProgressive(sel, sql, targetRelErr, cb)
+	}
+	// VerdictDB extension statements and DDL/DML have no progressive form;
+	// route them through the normal dispatch.
+	return c.Query(sql)
+}
+
 // CreateUniformSample builds a uniform sample with parameter tau.
 func (c *Conn) CreateUniformSample(table string, tau float64) (SampleInfo, error) {
 	return c.builder.CreateUniform(table, tau)
@@ -255,7 +292,17 @@ func (c *Conn) showSamples() (*Answer, error) {
 	return a, nil
 }
 
+// exactToAnswer wraps a bypass result. Like core's exact answers, rows are
+// copied so later mutation of the ResultSet cannot corrupt the Answer.
 func exactToAnswer(rs *engine.ResultSet, confidence float64) *Answer {
-	a := &Answer{Cols: rs.Cols, Rows: rs.Rows, Confidence: confidence, RowsScanned: rs.RowsScanned}
-	return a
+	rows := make([][]engine.Value, len(rs.Rows))
+	for i, r := range rs.Rows {
+		rows[i] = append([]engine.Value(nil), r...)
+	}
+	return &Answer{
+		Cols:        append([]string(nil), rs.Cols...),
+		Rows:        rows,
+		Confidence:  confidence,
+		RowsScanned: rs.RowsScanned,
+	}
 }
