@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test bench bench-json bench-serve bench-progressive race vet
+.PHONY: build test test-par bench bench-json bench-serve bench-progressive race vet
 
 build:
 	$(GO) build ./...
 
 test: build
 	$(GO) test ./...
+
+# Same suite pinned to 4 scheduler threads, so the chunk-morsel fan-out and
+# the parallel≡serial equivalence tests actually exercise multiple workers.
+test-par: build
+	GOMAXPROCS=4 $(GO) test ./...
 
 race:
 	$(GO) test -race ./...

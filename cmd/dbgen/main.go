@@ -72,19 +72,19 @@ func dumpTable(eng *engine.Engine, name, dir string) error {
 		return err
 	}
 	rec := make([]string, len(t.Cols))
-	for _, row := range t.Rows {
+	if err := t.ForEachRow(func(row []engine.Value) error {
 		for i, v := range row {
 			rec[i] = engine.ToStr(v)
 		}
-		if err := w.Write(rec); err != nil {
-			return err
-		}
+		return w.Write(rec)
+	}); err != nil {
+		return err
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%d rows)\n", path, len(t.Rows))
+	fmt.Printf("wrote %s (%d rows)\n", path, t.NumRows())
 	return nil
 }
 

@@ -1,0 +1,179 @@
+package verdictdb
+
+// Columnar ≡ row-view parity at the middleware level: every TPC-H and
+// Insta workload query must produce byte-identical answers whether the
+// engine executes through the vectorized chunk pipeline or through the
+// chunk row views (SetVectorized(false)), both for exact execution
+// (Conn.Query) and for progressive execution at targetRelErr=0
+// (QueryWithAccuracy). With -race the concurrent leg also shakes out data
+// races between chunk-sealing appends and vectorized scans.
+
+import (
+	"sync"
+	"testing"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+	"verdictdb/internal/workload"
+)
+
+// newParityConn builds one workload conn and returns the engine so tests
+// can toggle vectorization and parallelism.
+func newParityConn(t testing.TB, dataset string, vectorized bool) (*Conn, *engine.Engine) {
+	t.Helper()
+	eng := engine.NewSeeded(42)
+	eng.SetParallelism(1) // serial scans: float sums associate identically
+	eng.SetVectorized(vectorized)
+	var stmts []string
+	switch dataset {
+	case "tpch":
+		if err := workload.LoadTPCH(eng, 0.05, 42); err != nil {
+			t.Fatal(err)
+		}
+		stmts = []string{
+			"create uniform sample of lineitem ratio 0.02",
+			"create stratified sample of lineitem on (l_returnflag, l_linestatus) ratio 0.02",
+			"create hashed sample of lineitem on (l_orderkey) ratio 0.02",
+			"create uniform sample of orders ratio 0.02",
+			"create uniform sample of partsupp ratio 0.02",
+		}
+	case "insta":
+		if err := workload.LoadInsta(eng, 0.05, 43); err != nil {
+			t.Fatal(err)
+		}
+		stmts = []string{
+			"create uniform sample of order_products ratio 0.02",
+			"create hashed sample of order_products on (order_id) ratio 0.02",
+			"create uniform sample of orders ratio 0.02",
+			"create stratified sample of orders on (order_dow) ratio 0.02",
+		}
+	default:
+		t.Fatalf("unknown dataset %q", dataset)
+	}
+	conn, err := Open(drivers.NewGeneric(eng), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Builder().BlockRows = 64
+	for _, s := range stmts {
+		if err := conn.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	return conn, eng
+}
+
+// runColumnarParity compares exact and progressive answers between the
+// vectorized and row-view engines for a query set.
+func runColumnarParity(t *testing.T, dataset string, queries []workload.Query) {
+	t.Helper()
+	vecConn, _ := newParityConn(t, dataset, true)
+	rowConn, _ := newParityConn(t, dataset, false)
+	for _, q := range queries {
+		wantExact, err := rowConn.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s row-view Query: %v", q.ID, err)
+		}
+		gotExact, err := vecConn.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s vectorized Query: %v", q.ID, err)
+		}
+		assertAnswersIdentical(t, q.ID+"/exact", wantExact, gotExact)
+
+		wantProg, err := rowConn.QueryWithAccuracy(q.SQL, 0)
+		if err != nil {
+			t.Fatalf("%s row-view QueryWithAccuracy: %v", q.ID, err)
+		}
+		gotProg, err := vecConn.QueryWithAccuracy(q.SQL, 0)
+		if err != nil {
+			t.Fatalf("%s vectorized QueryWithAccuracy: %v", q.ID, err)
+		}
+		assertAnswersIdentical(t, q.ID+"/progressive", wantProg, gotProg)
+	}
+}
+
+func TestColumnarRowViewParityTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runColumnarParity(t, "tpch", workload.TPCHQueries)
+}
+
+func TestColumnarRowViewParityInsta(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	runColumnarParity(t, "insta", workload.InstaQueries)
+}
+
+// TestColumnarParityUnderConcurrentAppends runs progressive and exact
+// clients against the vectorized engine while another goroutine appends
+// base-table batches (sealing chunks mid-scan). Answers must stay
+// self-consistent; with -race this doubles as the chunk-seal race check.
+func TestColumnarParityUnderConcurrentAppends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	conn, eng := newParityConn(t, "insta", true)
+	const q = "select reordered, count(*) as c, avg(price) as p from order_products group by reordered"
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 6)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batch := make([][]engine.Value, 0, 64)
+		row := []engine.Value{int64(1), int64(1), int64(1), int64(0), int64(1), 1.5}
+		for i := 0; i < 40; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch = batch[:0]
+			for j := 0; j < 64; j++ {
+				batch = append(batch, row)
+			}
+			if err := eng.InsertRows("order_products", batch); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(progressive bool) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				var a *Answer
+				var err error
+				if progressive {
+					a, err = conn.QueryWithAccuracy(q, 0)
+				} else {
+					a, err = conn.Query(q)
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(a.Rows) == 0 {
+					errCh <- errEmptyAnswer
+					return
+				}
+			}
+		}(c%2 == 0)
+	}
+	wg.Wait()
+	close(stop)
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+var errEmptyAnswer = errString("empty answer under concurrent appends")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }

@@ -34,13 +34,15 @@ func (n *NativeApprox) NDV(table, column string) (float64, int64, time.Duration,
 		return 0, 0, 0, fmt.Errorf("baselines: no column %s.%s", table, column)
 	}
 	h := sketch.NewHLL(12)
-	for _, row := range t.Rows {
-		if row[ci] == nil {
-			continue
+	if err := t.ScanColumn(ci, func(v engine.Value) error {
+		if v != nil {
+			h.AddString(engine.GroupKey(v))
 		}
-		h.AddString(engine.GroupKey(row[ci]))
+		return nil
+	}); err != nil {
+		return 0, 0, 0, err
 	}
-	return h.Estimate(), int64(len(t.Rows)), time.Since(start), nil
+	return h.Estimate(), int64(t.NumRows()), time.Since(start), nil
 }
 
 // ApproxMedian estimates the median of a column with a reservoir quantile
@@ -56,12 +58,13 @@ func (n *NativeApprox) ApproxMedian(table, column string) (float64, int64, time.
 		return 0, 0, 0, fmt.Errorf("baselines: no column %s.%s", table, column)
 	}
 	qs := sketch.NewQuantileSketch(4096, 17)
-	for _, row := range t.Rows {
-		f, ok := engine.ToFloat(row[ci])
-		if !ok {
-			continue
+	if err := t.ScanColumn(ci, func(v engine.Value) error {
+		if f, ok := engine.ToFloat(v); ok {
+			qs.Add(f)
 		}
-		qs.Add(f)
+		return nil
+	}); err != nil {
+		return 0, 0, 0, err
 	}
-	return qs.Median(), int64(len(t.Rows)), time.Since(start), nil
+	return qs.Median(), int64(t.NumRows()), time.Since(start), nil
 }

@@ -16,12 +16,16 @@ import (
 // framework so cmd/benchrunner can persist machine-readable numbers
 // (BENCH_engine.json) for cross-PR perf diffs.
 
-// EngineBenchResult is one measured query.
+// EngineBenchResult is one measured query. AllocsPerOp tracks the
+// row→columnar trajectory: the vectorized scan path is expected to run
+// orders of magnitude below the boxed row-at-a-time pipeline.
 type EngineBenchResult struct {
-	Name    string  `json:"name"`
-	Rows    int     `json:"rows"`
-	Iters   int     `json:"iters"`
-	NsPerOp float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	Rows        int     `json:"rows"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 }
 
 // EngineBenchReport is the BENCH_engine.json payload.
@@ -90,17 +94,25 @@ func EngineBench(w io.Writer, outPath string, iters int) (*EngineBenchReport, er
 		if _, err := eng.Query(q.sql); err != nil { // warmup
 			return nil, fmt.Errorf("%s: %w", q.name, err)
 		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
 			if _, err := eng.Query(q.sql); err != nil {
 				return nil, fmt.Errorf("%s: %w", q.name, err)
 			}
 		}
-		perOp := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		perOp := float64(elapsed.Nanoseconds()) / float64(iters)
+		allocsPerOp := float64(after.Mallocs-before.Mallocs) / float64(iters)
+		bytesPerOp := float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
 		rep.Benchmarks = append(rep.Benchmarks, EngineBenchResult{
-			Name: q.name, Rows: engineBenchRows, Iters: iters, NsPerOp: perOp,
+			Name: q.name, Rows: engineBenchRows, Iters: iters,
+			NsPerOp: perOp, AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
 		})
-		fmt.Fprintf(w, "%-16s %12.0f ns/op\n", q.name, perOp)
+		fmt.Fprintf(w, "%-16s %12.0f ns/op %12.0f allocs/op %14.0f B/op\n",
+			q.name, perOp, allocsPerOp, bytesPerOp)
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

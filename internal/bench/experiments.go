@@ -537,7 +537,7 @@ func PrepExperiment(w io.Writer, cfg Config) (*PrepResult, error) {
 	}
 	rng := rand.New(rand.NewSource(1))
 	kept := 0
-	for range t.Rows {
+	for i := 0; i < t.NumRows(); i++ {
 		if rng.Float64() < 0.01 {
 			kept++
 		}

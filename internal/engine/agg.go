@@ -25,6 +25,21 @@ func errMergeMismatch(a, b accumulator) error {
 	return fmt.Errorf("engine: cannot merge %T into %T", b, a)
 }
 
+// typedAdder is the optional unboxed fast path the vectorized scan feeds
+// non-NULL numeric lanes through. Implementations must match add()'s
+// semantics for the corresponding boxed value exactly (including sum's
+// int-only result tracking).
+type typedAdder interface {
+	addInt(v int64)
+	addFloat(f float64)
+}
+
+// stringAdder is the optional unboxed fast path for string lanes (min/max
+// over string columns).
+type stringAdder interface {
+	addStr(s string)
+}
+
 // newAccumulator builds an accumulator for the aggregate call fc.
 func newAccumulator(fc *sqlparser.FuncCall, quantileArg float64) (accumulator, error) {
 	if fc.Distinct {
@@ -71,8 +86,11 @@ func (a *countAcc) add(v Value) error {
 	}
 	return nil
 }
-func (a *countAcc) addStar()      { a.n++ }
-func (a *countAcc) result() Value { return a.n }
+func (a *countAcc) addStar()         { a.n++ }
+func (a *countAcc) addInt(int64)     { a.n++ }
+func (a *countAcc) addFloat(float64) { a.n++ }
+func (a *countAcc) addStr(string)    { a.n++ }
+func (a *countAcc) result() Value    { return a.n }
 func (a *countAcc) merge(other accumulator) error {
 	o, ok := other.(*countAcc)
 	if !ok {
@@ -109,6 +127,22 @@ func (a *sumAcc) add(v Value) error {
 	return nil
 }
 func (a *sumAcc) addStar() { _ = a.add(int64(1)) }
+func (a *sumAcc) addInt(v int64) {
+	if !a.started {
+		a.intOnly = true
+		a.started = true
+	}
+	a.sum += float64(v)
+	a.sawAny = true
+}
+func (a *sumAcc) addFloat(f float64) {
+	if !a.started {
+		a.started = true
+	}
+	a.intOnly = false
+	a.sum += f
+	a.sawAny = true
+}
 func (a *sumAcc) result() Value {
 	if !a.sawAny {
 		return nil
@@ -153,7 +187,12 @@ func (a *avgAcc) add(v Value) error {
 	a.n++
 	return nil
 }
-func (a *avgAcc) addStar() { _ = a.add(int64(1)) }
+func (a *avgAcc) addStar()       { _ = a.add(int64(1)) }
+func (a *avgAcc) addInt(v int64) { a.sum += float64(v); a.n++ }
+func (a *avgAcc) addFloat(f float64) {
+	a.sum += f
+	a.n++
+}
 func (a *avgAcc) result() Value {
 	if a.n == 0 {
 		return nil
@@ -186,7 +225,35 @@ func (a *extremeAcc) add(v Value) error {
 	}
 	return nil
 }
-func (a *extremeAcc) addStar()      {}
+func (a *extremeAcc) addStar() {}
+func (a *extremeAcc) addInt(v int64) {
+	if bf, ok := numeric(a.best); ok {
+		f := float64(v)
+		if (a.min && f < bf) || (!a.min && f > bf) {
+			a.best = v
+		}
+		return
+	}
+	_ = a.add(v) // nil or non-numeric best: generic Compare path
+}
+func (a *extremeAcc) addFloat(f float64) {
+	if bf, ok := numeric(a.best); ok {
+		if (a.min && f < bf) || (!a.min && f > bf) {
+			a.best = f
+		}
+		return
+	}
+	_ = a.add(f)
+}
+func (a *extremeAcc) addStr(s string) {
+	if bs, ok := a.best.(string); ok {
+		if (a.min && s < bs) || (!a.min && s > bs) {
+			a.best = s
+		}
+		return
+	}
+	_ = a.add(s)
+}
 func (a *extremeAcc) result() Value { return a.best }
 func (a *extremeAcc) merge(other accumulator) error {
 	o, ok := other.(*extremeAcc)
@@ -228,7 +295,14 @@ func (a *momentsAcc) add(v Value) error {
 	a.m2 += d * (f - a.mean)
 	return nil
 }
-func (a *momentsAcc) addStar() {}
+func (a *momentsAcc) addStar()       {}
+func (a *momentsAcc) addInt(v int64) { a.addFloat(float64(v)) }
+func (a *momentsAcc) addFloat(f float64) {
+	a.n++
+	d := f - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (f - a.mean)
+}
 func (a *momentsAcc) result() Value {
 	if a.n < 2 {
 		if a.n == 1 {
@@ -282,7 +356,9 @@ func (a *percentileAcc) add(v Value) error {
 	a.vals = append(a.vals, f)
 	return nil
 }
-func (a *percentileAcc) addStar() {}
+func (a *percentileAcc) addStar()           {}
+func (a *percentileAcc) addInt(v int64)     { a.vals = append(a.vals, float64(v)) }
+func (a *percentileAcc) addFloat(f float64) { a.vals = append(a.vals, f) }
 func (a *percentileAcc) result() Value {
 	if len(a.vals) == 0 {
 		return nil
@@ -318,7 +394,9 @@ func (a *sketchMedianAcc) add(v Value) error {
 	a.qs.Add(f)
 	return nil
 }
-func (a *sketchMedianAcc) addStar() {}
+func (a *sketchMedianAcc) addStar()           {}
+func (a *sketchMedianAcc) addInt(v int64)     { a.qs.Add(float64(v)) }
+func (a *sketchMedianAcc) addFloat(f float64) { a.qs.Add(f) }
 func (a *sketchMedianAcc) result() Value {
 	if a.qs.Count() == 0 {
 		return nil

@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Columnar chunked storage. A table is an append-only sequence of sealed,
+// immutable chunks of exactly chunkRows rows stored column-wise — per-column
+// typed vectors ([]int64, []float64, []string, []bool) with a null-flag
+// vector — plus an open row-major tail holding the most recent < chunkRows
+// rows. When the tail fills it is sealed into a chunk: values are packed
+// into typed vectors and the per-column zone summaries (min/max over
+// non-NULL values) are computed right there, so scan-range pruning never
+// needs the lazy locking dance the old row store required.
+//
+// Sealed chunks are immutable forever, which is what makes the concurrency
+// story trivial: readers snapshot the chunk-slice header and the tail-slice
+// header under the engine lock and can then scan without coordination,
+// exactly as row snapshots used to work. The vectorized execution path
+// (vectorize.go, vecexec.go) consumes the typed vectors directly; the
+// interpreted fallback path reads rows through the chunk's lazily built,
+// cached row view, so its semantics — including dynamic value types — are
+// byte-identical to the old row store.
+
+// chunkRows is the sealed chunk size. It doubles as the zone-map pruning
+// granularity: every sealed chunk carries its own min/max summaries.
+const chunkRows = 256
+
+// colVec is one column of one sealed chunk: a typed vector plus null flags
+// and the zone summary computed at seal time.
+type colVec struct {
+	// kind is the storage representation of this chunk-column. A column
+	// whose values in this chunk all share one dynamic type is stored
+	// unboxed; mixed-type (or all-NULL) chunk-columns keep the original
+	// boxed values in anys. TAny therefore means "boxed", not "untyped".
+	kind ColType
+
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	anys   []Value
+
+	// nulls flags NULL rows; nil when the chunk-column has no NULLs. Null
+	// slots of the typed vectors hold zero values.
+	nulls []bool
+
+	// min/max are the zone summary over non-NULL values (nil when every
+	// value is NULL). Comparisons follow Compare, matching the WHERE
+	// pushdown tests in zonemap.go.
+	min, max Value
+}
+
+// isNull reports whether row i of the chunk-column is NULL.
+func (c *colVec) isNull(i int) bool {
+	if c.kind == TAny {
+		return c.anys[i] == nil
+	}
+	return c.nulls != nil && c.nulls[i]
+}
+
+// value boxes row i back into a dynamic Value. The box is freshly
+// allocated for typed vectors; TAny columns return the original box.
+func (c *colVec) value(i int) Value {
+	if c.nulls != nil && c.nulls[i] {
+		return nil
+	}
+	switch c.kind {
+	case TInt:
+		return c.ints[i]
+	case TFloat:
+		return c.floats[i]
+	case TString:
+		return c.strs[i]
+	case TBool:
+		return c.bools[i]
+	}
+	return c.anys[i]
+}
+
+// chunk is chunkRows rows (fewer only for the ephemeral tail chunk) stored
+// column-wise. Immutable after construction.
+type chunk struct {
+	cols []colVec
+	n    int
+
+	// boxed is the lazily built row view for the interpreted fallback
+	// path, cached so repeated fallback queries (joins, subqueries) pay
+	// the boxing cost once per chunk lifetime. Tail chunks are constructed
+	// with the live tail rows as a pre-populated view.
+	boxOnce sync.Once
+	boxed   [][]Value
+}
+
+// storageKind classifies a non-NULL runtime value for vector storage.
+func storageKind(v Value) ColType {
+	switch v.(type) {
+	case int64:
+		return TInt
+	case float64:
+		return TFloat
+	case string:
+		return TString
+	case bool:
+		return TBool
+	}
+	return TAny
+}
+
+// buildChunk seals rows (all of width w) into a columnar chunk, computing
+// zone summaries in the same pass. keepRows retains the source rows as the
+// chunk's row view — used for the ephemeral tail chunk, where the boxed
+// rows already exist in table storage and cost nothing to keep.
+func buildChunk(rows [][]Value, w int, keepRows bool) *chunk {
+	n := len(rows)
+	ch := &chunk{cols: make([]colVec, w), n: n}
+	if keepRows {
+		ch.boxed = rows
+	}
+	for j := 0; j < w; j++ {
+		col := &ch.cols[j]
+		// Pass 1: storage kind (TAny on mixed types or all NULLs) and the
+		// zone summary. min/max reference the existing boxes — no boxing.
+		kind := ColType(-1)
+		hasNull := false
+		for i := 0; i < n; i++ {
+			v := rows[i][j]
+			if v == nil {
+				hasNull = true
+				continue
+			}
+			if t := storageKind(v); kind == -1 {
+				kind = t
+			} else if kind != t {
+				kind = TAny
+			}
+			if col.min == nil || Compare(v, col.min) < 0 {
+				col.min = v
+			}
+			if col.max == nil || Compare(v, col.max) > 0 {
+				col.max = v
+			}
+		}
+		if kind == -1 || kind == TAny {
+			// Boxed storage: reference the original values (NULL = nil box).
+			col.kind = TAny
+			col.anys = make([]Value, n)
+			for i := 0; i < n; i++ {
+				col.anys[i] = rows[i][j]
+			}
+			continue
+		}
+		col.kind = kind
+		if hasNull {
+			col.nulls = make([]bool, n)
+		}
+		// Pass 2: pack the typed vector.
+		switch kind {
+		case TInt:
+			col.ints = make([]int64, n)
+			for i := 0; i < n; i++ {
+				if v := rows[i][j]; v != nil {
+					col.ints[i] = v.(int64)
+				} else {
+					col.nulls[i] = true
+				}
+			}
+		case TFloat:
+			col.floats = make([]float64, n)
+			for i := 0; i < n; i++ {
+				if v := rows[i][j]; v != nil {
+					col.floats[i] = v.(float64)
+				} else {
+					col.nulls[i] = true
+				}
+			}
+		case TString:
+			col.strs = make([]string, n)
+			for i := 0; i < n; i++ {
+				if v := rows[i][j]; v != nil {
+					col.strs[i] = v.(string)
+				} else {
+					col.nulls[i] = true
+				}
+			}
+		case TBool:
+			col.bools = make([]bool, n)
+			for i := 0; i < n; i++ {
+				if v := rows[i][j]; v != nil {
+					col.bools[i] = v.(bool)
+				} else {
+					col.nulls[i] = true
+				}
+			}
+		}
+	}
+	return ch
+}
+
+// materializeRow boxes one row of the chunk into a fresh slice.
+func (c *chunk) materializeRow(i int) []Value {
+	row := make([]Value, len(c.cols))
+	for j := range c.cols {
+		row[j] = c.cols[j].value(i)
+	}
+	return row
+}
+
+// rows returns the chunk's boxed row view, building and caching it on
+// first use. Safe for concurrent callers.
+func (c *chunk) rows() [][]Value {
+	c.boxOnce.Do(func() {
+		if c.boxed != nil {
+			return
+		}
+		out := make([][]Value, c.n)
+		for i := range out {
+			out[i] = c.materializeRow(i)
+		}
+		c.boxed = out
+	})
+	return c.boxed
+}
+
+// colSource is one query's snapshot of a table: the (possibly pruned)
+// sealed chunks plus the open tail rows. It is created per scan, so its
+// lazily built fields need no locking — everything that touches them runs
+// before the morsel fan-out.
+type colSource struct {
+	sealed []*chunk
+	tail   [][]Value
+	nrows  int
+
+	scan []*chunk  // sealed + ephemeral tail chunk, built on first use
+	mat  [][]Value // cached row materialization for the fallback path
+}
+
+// scanChunks returns the chunk sequence the vectorized path iterates:
+// every sealed chunk followed by an ephemeral chunk over the tail rows.
+func (s *colSource) scanChunks() []*chunk {
+	if s.scan != nil {
+		return s.scan
+	}
+	if len(s.tail) == 0 {
+		s.scan = s.sealed
+		return s.scan
+	}
+	w := len(s.tail[0])
+	s.scan = make([]*chunk, 0, len(s.sealed)+1)
+	s.scan = append(s.scan, s.sealed...)
+	s.scan = append(s.scan, buildChunk(s.tail, w, true))
+	return s.scan
+}
+
+// materialize returns the snapshot as boxed rows for the interpreted
+// fallback path: cached chunk row views concatenated with the live tail.
+func (s *colSource) materialize() [][]Value {
+	if s.mat != nil || s.nrows == 0 {
+		return s.mat
+	}
+	out := make([][]Value, 0, s.nrows)
+	for _, ch := range s.sealed {
+		out = append(out, ch.rows()...)
+	}
+	out = append(out, s.tail...)
+	s.mat = out
+	return out
+}
+
+// appendRow adds one already-normalized row to the table, sealing the tail
+// into a columnar chunk when it reaches chunkRows. Callers hold the engine
+// write lock.
+func (t *Table) appendRow(row []Value) {
+	t.tail = append(t.tail, row)
+	t.nrows++
+	if len(t.tail) >= chunkRows {
+		t.sealed = append(t.sealed, buildChunk(t.tail, len(t.Cols), false))
+		// A fresh slice, not a truncation: concurrent readers may still
+		// hold the old tail header.
+		t.tail = nil
+	}
+}
+
+// NumRows returns the table's row count. Unlike Engine.RowCount it does not
+// take the engine lock; callers coordinating with concurrent appends should
+// go through the engine.
+func (t *Table) NumRows() int { return t.nrows }
+
+// ScanColumn calls fn with every value of one column in row order, boxing
+// only that column — the single-column analogue of ForEachRow for
+// full-scan consumers like the native-approximation baselines. Iteration
+// is not synchronized against concurrent appends.
+func (t *Table) ScanColumn(col int, fn func(v Value) error) error {
+	if col < 0 || col >= len(t.Cols) {
+		return fmt.Errorf("engine: column %d out of range for %q", col, t.Name)
+	}
+	for _, ch := range t.sealed {
+		cv := &ch.cols[col]
+		for i := 0; i < ch.n; i++ {
+			if err := fn(cv.value(i)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, row := range t.tail {
+		if err := fn(row[col]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEachRow calls fn for every row in order. The row slice is reused
+// between calls — callers must not retain it. Like the old exported Rows
+// field, iteration is not synchronized against concurrent appends.
+func (t *Table) ForEachRow(fn func(row []Value) error) error {
+	buf := make([]Value, len(t.Cols))
+	for _, ch := range t.sealed {
+		for i := 0; i < ch.n; i++ {
+			for j := range ch.cols {
+				buf[j] = ch.cols[j].value(i)
+			}
+			if err := fn(buf); err != nil {
+				return err
+			}
+		}
+	}
+	for _, row := range t.tail {
+		copy(buf, row)
+		if err := fn(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

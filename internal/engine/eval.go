@@ -8,25 +8,49 @@ import (
 )
 
 // relation is an intermediate result: a schema of (qualifier, name) columns
-// plus rows. Qualifiers come from table aliases; derived tables qualify
-// their output by their alias.
+// plus data. A base-table scan carries its columnar snapshot in src and
+// materializes boxed rows only when a consumer needs the row view (joins,
+// subqueries, interpreted evaluation); derived tables and join outputs are
+// row-major from the start.
 type relation struct {
 	qualifiers []string // per-column table qualifier ("" if none)
 	names      []string // per-column name
 	rows       [][]Value
+	src        *colSource // columnar source for base-table scans, else nil
 
 	// lazily built resolution maps
 	qualified map[string]int // "qual.name" (lower) -> index
 	bare      map[string]int // "name" (lower) -> index; ambiguousIdx if dup
 }
 
-const ambiguousIdx = -2
+const ambiguousIdx = AmbiguousColIndex
 
 func newRelation(quals, names []string, rows [][]Value) *relation {
 	return &relation{qualifiers: quals, names: names, rows: rows}
 }
 
+func newColRelation(quals, names []string, src *colSource) *relation {
+	return &relation{qualifiers: quals, names: names, src: src}
+}
+
 func (r *relation) width() int { return len(r.names) }
+
+// numRows is the relation's cardinality without forcing materialization.
+func (r *relation) numRows() int {
+	if r.rows == nil && r.src != nil {
+		return r.src.nrows
+	}
+	return len(r.rows)
+}
+
+// materialize returns the relation as boxed rows, converting a columnar
+// source through the cached chunk row views on first use.
+func (r *relation) materialize() [][]Value {
+	if r.rows == nil && r.src != nil {
+		r.rows = r.src.materialize()
+	}
+	return r.rows
+}
 
 func (r *relation) buildIndex() {
 	if r.bare != nil {
@@ -410,7 +434,9 @@ func arith(op string, l, r Value) (Value, error) {
 		}
 		return lf / rf, nil
 	case "%":
-		if rf == 0 {
+		// int64(rf) can be 0 for 0 < |rf| < 1; guard both so the modulo
+		// below cannot divide by zero.
+		if rf == 0 || int64(rf) == 0 {
 			return nil, nil
 		}
 		return float64(int64(lf) % int64(rf)), nil

@@ -21,8 +21,9 @@ type ResultSet struct {
 	colIdx  map[string]int
 }
 
-// ColIndex returns the index of the named output column, or -1. The
-// lowercase lookup map is built once on first use.
+// ColIndex returns the index of the named output column, -1 when absent,
+// or AmbiguousColIndex when several output columns share the name
+// case-insensitively. The lowercase lookup map is built once on first use.
 func (rs *ResultSet) ColIndex(name string) int {
 	rs.colOnce.Do(func() {
 		rs.colIdx = buildLowerIndex(rs.Cols)
@@ -122,6 +123,9 @@ func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
 	if len(s.Columns) > 0 {
 		for _, c := range s.Columns {
 			idx := t.ColIndex(c)
+			if idx == AmbiguousColIndex {
+				return nil, fmt.Errorf("engine: ambiguous column %q in insert", c)
+			}
 			if idx < 0 {
 				return nil, fmt.Errorf("engine: unknown column %q in insert", c)
 			}
@@ -212,7 +216,6 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 	// Compile the WHERE predicate once per query; uncompilable predicates
 	// (subqueries, outer references) leave wherePred nil and use the
 	// interpreted loop.
-	rows := rel.rows
 	var wherePred compiledExpr
 	wherePure := true
 	if sel.Where != nil {
@@ -226,17 +229,22 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 	hasAgg := len(aggCalls) > 0 || len(sel.GroupBy) > 0
 
 	var entries []*entry
+	var cols []string
+	var projRows [][]Value
+	var outColsPre []outCol // derived by the vectorized gate, reused by project
+	projDone := false
 	if hasAgg {
-		// Fused compiled scan→filter→aggregate; morsel-parallel when every
-		// expression is pure, serial otherwise. Falls back to the
-		// interpreted pipeline when anything fails to compile.
+		// Fused compiled scan→filter→aggregate; vectorized chunk-at-a-time
+		// over columnar sources, morsel-parallel when every expression is
+		// pure, serial otherwise. Falls back to the interpreted pipeline
+		// when anything fails to compile.
 		if plan, ok := buildScanPlan(qc.eng, rel, sel, aggCalls, wherePred, wherePure); ok {
-			entries, err = plan.run(rows)
+			entries, err = plan.run(rel)
 			if err != nil {
 				return nil, err
 			}
 		} else {
-			rows, err = filterRows(qc, baseEnv, rows, sel.Where, wherePred, wherePure)
+			rows, err := filterRows(qc, baseEnv, rel.materialize(), sel.Where, wherePred, wherePure)
 			if err != nil {
 				return nil, err
 			}
@@ -246,13 +254,41 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 			}
 		}
 	} else {
-		rows, err = filterRows(qc, baseEnv, rows, sel.Where, wherePred, wherePure)
-		if err != nil {
-			return nil, err
+		// Non-aggregate select over a columnar source: fused vectorized
+		// filter→project when every clause supports it. ORDER BY is
+		// restricted to output aliases/positions because the vectorized
+		// pipeline never materializes the pre-projection rows the
+		// expression form would need.
+		if rel.src != nil && rel.rows == nil && !qc.eng.noVec.Load() &&
+			len(winCalls) == 0 && sel.Having == nil &&
+			(sel.Where == nil || (wherePred != nil && wherePure)) {
+			outCols, ocErr := deriveOutCols(rel, sel)
+			if ocErr == nil {
+				outColsPre = outCols
+			}
+			if ocErr == nil && orderByOutputsOnly(sel, outCols) {
+				if vs := buildVecSelect(qc.eng, rel, outCols, wherePred, sel.Where); vs != nil {
+					projRows, err = vs.run(rel.src)
+					if err != nil {
+						return nil, err
+					}
+					cols = make([]string, len(outCols))
+					for i, oc := range outCols {
+						cols[i] = oc.name
+					}
+					projDone = true
+				}
+			}
 		}
-		entries = make([]*entry, len(rows))
-		for i, row := range rows {
-			entries[i] = &entry{row: row}
+		if !projDone {
+			rows, ferr := filterRows(qc, baseEnv, rel.materialize(), sel.Where, wherePred, wherePure)
+			if ferr != nil {
+				return nil, ferr
+			}
+			entries = make([]*entry, len(rows))
+			for i, row := range rows {
+				entries[i] = &entry{row: row}
+			}
 		}
 	}
 
@@ -274,17 +310,19 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 	}
 	baseEnv.aggVals = nil
 
-	// Window functions over the (possibly aggregated) entries.
-	if len(winCalls) > 0 {
-		if err := computeWindows(baseEnv, entries, winCalls); err != nil {
+	if !projDone {
+		// Window functions over the (possibly aggregated) entries.
+		if len(winCalls) > 0 {
+			if err := computeWindows(baseEnv, entries, winCalls); err != nil {
+				return nil, err
+			}
+		}
+
+		// Projection.
+		cols, projRows, err = project(baseEnv, rel, entries, sel, hasAgg, outColsPre)
+		if err != nil {
 			return nil, err
 		}
-	}
-
-	// Projection.
-	cols, projRows, err := project(baseEnv, rel, entries, sel, hasAgg)
-	if err != nil {
-		return nil, err
 	}
 
 	// DISTINCT.
@@ -598,14 +636,17 @@ func computeWindows(baseEnv *env, entries []*entry, winCalls []*sqlparser.FuncCa
 	return nil
 }
 
-// project evaluates the select list for every entry.
-func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.SelectStmt, hasAgg bool) ([]string, [][]Value, error) {
-	// Determine output columns.
-	type outCol struct {
-		name string
-		expr sqlparser.Expr // nil means direct column copy
-		idx  int            // source index for star expansion
-	}
+// outCol is one output column of a SELECT list: either a direct copy of
+// source column idx (expr nil, from star expansion) or an expression.
+type outCol struct {
+	name string
+	expr sqlparser.Expr // nil means direct column copy
+	idx  int            // source index for star expansion
+}
+
+// deriveOutCols expands the select list into output columns, resolving
+// star items against the relation schema.
+func deriveOutCols(rel *relation, sel *sqlparser.SelectStmt) ([]outCol, error) {
 	var outCols []outCol
 	for i, it := range sel.Items {
 		switch {
@@ -625,7 +666,7 @@ func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.Selec
 					}
 				}
 				if !found {
-					return nil, nil, fmt.Errorf("engine: unknown table %q in %s.*", it.StarTable, it.StarTable)
+					return nil, fmt.Errorf("engine: unknown table %q in %s.*", it.StarTable, it.StarTable)
 				}
 			}
 		default:
@@ -634,6 +675,48 @@ func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.Selec
 				name = deriveColName(it.Expr, i)
 			}
 			outCols = append(outCols, outCol{name: name, expr: it.Expr, idx: -1})
+		}
+	}
+	return outCols, nil
+}
+
+// orderByOutputsOnly reports whether every ORDER BY term is a 1-based
+// output position or an output alias — the forms orderRows can evaluate
+// from the projected rows alone, without the pre-projection entries the
+// vectorized pipeline never materializes.
+func orderByOutputsOnly(sel *sqlparser.SelectStmt, outCols []outCol) bool {
+	for _, ob := range sel.OrderBy {
+		if lit, ok := ob.Expr.(*sqlparser.Literal); ok {
+			if p, isInt := lit.Val.(int64); isInt && p >= 1 && int(p) <= len(outCols) {
+				continue
+			}
+			return false
+		}
+		if cr, ok := ob.Expr.(*sqlparser.ColumnRef); ok && cr.Table == "" {
+			found := false
+			for _, oc := range outCols {
+				if strings.EqualFold(oc.name, cr.Name) {
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// project evaluates the select list for every entry. outCols may carry the
+// columns already derived by the caller; nil derives them here.
+func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.SelectStmt, hasAgg bool, outCols []outCol) ([]string, [][]Value, error) {
+	if outCols == nil {
+		var err error
+		outCols, err = deriveOutCols(rel, sel)
+		if err != nil {
+			return nil, nil, err
 		}
 	}
 

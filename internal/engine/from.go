@@ -19,7 +19,7 @@ func buildFrom(qc *queryCtx, from sqlparser.TableExpr, outer *env, preds []range
 	}
 	switch t := from.(type) {
 	case *sqlparser.TableRef:
-		tbl, rows, err := qc.eng.snapshot(t.Name)
+		tbl, src, err := qc.eng.snapshot(t.Name)
 		if err != nil {
 			return nil, err
 		}
@@ -36,17 +36,17 @@ func buildFrom(qc *queryCtx, from sqlparser.TableExpr, outer *env, preds []range
 				}
 			}
 			if len(mine) > 0 {
-				rows = pruneScan(tbl, rows, mine)
+				src = pruneChunks(tbl, src, mine)
 			}
 		}
-		qc.scanned += int64(len(rows))
+		qc.scanned += int64(src.nrows)
 		quals := make([]string, len(tbl.Cols))
 		names := make([]string, len(tbl.Cols))
 		for i, c := range tbl.Cols {
 			quals[i] = qual
 			names[i] = c.Name
 		}
-		return newRelation(quals, names, rows), nil
+		return newColRelation(quals, names, src), nil
 	case *sqlparser.DerivedTable:
 		rs, err := execSelectWithOuter(qc, t.Select, nil)
 		if err != nil {
@@ -82,6 +82,9 @@ func baseName(name string) string {
 // joinRelations implements hash-based equi-joins with residual predicates,
 // falling back to a nested-loop join when no equi-join pair exists.
 func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, outer *env) (*relation, error) {
+	// Joins are row-at-a-time: read both sides through the row view.
+	left.materialize()
+	right.materialize()
 	combinedQuals := append(append([]string{}, left.qualifiers...), right.qualifiers...)
 	combinedNames := append(append([]string{}, left.names...), right.names...)
 	combined := newRelation(combinedQuals, combinedNames, nil)

@@ -6,16 +6,17 @@ import (
 	"verdictdb/internal/sqlparser"
 )
 
-// Morsel-parallel scan execution. The snapshot row slice is partitioned
-// into contiguous per-worker chunks; each worker runs the compiled
-// filter + partial aggregation over its chunk with a private group map,
-// and the partial states merge in chunk order. Because morsels are
-// contiguous and merged in order, the output group order equals the serial
-// first-seen scan order, so parallel execution is deterministic for a fixed
-// parallelism level. Exact float aggregates may differ from serial in the
-// last bits (partial sums reassociate); approximate sketch aggregates
-// (approx_median's reservoir) resample on merge and may differ from serial
-// by up to the sketch's rank error.
+// Morsel-parallel scan execution. The snapshot's chunk sequence is
+// partitioned into contiguous per-worker ranges; each worker runs the
+// vectorized (or compiled row-at-a-time, on fallback) filter + partial
+// aggregation over its chunks with a private group map, and the partial
+// states merge in chunk order. Because morsels are contiguous and merged in
+// order, the output group order equals the serial first-seen scan order, so
+// parallel execution is deterministic for a fixed parallelism level. Exact
+// float aggregates may differ from serial in the last bits (partial sums
+// reassociate); approximate sketch aggregates (approx_median's reservoir)
+// resample on merge and may differ from serial by up to the sketch's rank
+// error.
 //
 // Only plans whose every expression compiled pure take this path; impure
 // plans (rand()) and uncompilable ones run serially so that RNG draws
@@ -46,8 +47,8 @@ func (e *Engine) scanWorkers(n int) int {
 	return p
 }
 
-// runChunks splits [0,n) into nw contiguous chunks and runs fn on each
-// concurrently. The returned error is the one from the earliest chunk, so
+// runChunks splits [0,n) into nw contiguous ranges and runs fn on each
+// concurrently. The returned error is the one from the earliest range, so
 // error identity matches a serial scan.
 func runChunks(nw, n int, fn func(w, lo, hi int) error) error {
 	var wg sync.WaitGroup
@@ -126,21 +127,25 @@ func parallelFilter(e *Engine, rows [][]Value, pred compiledExpr, nw int) ([][]V
 }
 
 // aggSpec is one aggregate call with its compiled argument (nil for
-// count(*)-style star calls).
+// count(*)-style star calls) and the argument AST for vector lowering.
 type aggSpec struct {
-	fc  *sqlparser.FuncCall
-	arg compiledExpr
+	fc     *sqlparser.FuncCall
+	arg    compiledExpr
+	argAST sqlparser.Expr
 }
 
 // scanPlan is a fully compiled scan→filter→aggregate pipeline for one
-// SELECT block.
+// SELECT block. It keeps the source ASTs so the vectorized path can lower
+// them to chunk-at-a-time kernels.
 type scanPlan struct {
-	eng    *Engine
-	rel    *relation
-	where  compiledExpr // nil when the query has no WHERE
-	keyFns []compiledExpr
-	specs  []aggSpec
-	pure   bool
+	eng      *Engine
+	rel      *relation
+	where    compiledExpr // nil when the query has no WHERE
+	whereAST sqlparser.Expr
+	keyFns   []compiledExpr
+	keyASTs  []sqlparser.Expr
+	specs    []aggSpec
+	pure     bool
 }
 
 // buildScanPlan compiles WHERE, GROUP BY keys, and aggregate arguments.
@@ -150,7 +155,7 @@ func buildScanPlan(eng *Engine, rel *relation, sel *sqlparser.SelectStmt, aggCal
 	if sel.Where != nil && wherePred == nil {
 		return nil, false
 	}
-	p := &scanPlan{eng: eng, rel: rel, where: wherePred}
+	p := &scanPlan{eng: eng, rel: rel, where: wherePred, whereAST: sel.Where}
 	pure := sel.Where == nil || wherePure
 	for _, ge := range sel.GroupBy {
 		fn, pu, ok := compileExpr(eng, rel, ge)
@@ -159,6 +164,7 @@ func buildScanPlan(eng *Engine, rel *relation, sel *sqlparser.SelectStmt, aggCal
 		}
 		pure = pure && pu
 		p.keyFns = append(p.keyFns, fn)
+		p.keyASTs = append(p.keyASTs, ge)
 	}
 	for _, fc := range aggCalls {
 		if fc.Star {
@@ -173,7 +179,7 @@ func buildScanPlan(eng *Engine, rel *relation, sel *sqlparser.SelectStmt, aggCal
 			return nil, false
 		}
 		pure = pure && pu
-		p.specs = append(p.specs, aggSpec{fc: fc, arg: fn})
+		p.specs = append(p.specs, aggSpec{fc: fc, arg: fn, argAST: fc.Args[0]})
 	}
 	// No upfront accumulator validation: newAccumulator errors (unknown
 	// aggregate, bad percentile fraction) surface from run() with exactly
@@ -214,15 +220,18 @@ type chunkGroups struct {
 	order []string
 }
 
-// scanChunk filters (when applyWhere) and partially aggregates one morsel.
-func (p *scanPlan) scanChunk(rows [][]Value, applyWhere bool) (*chunkGroups, error) {
-	cg := &chunkGroups{m: map[string]*groupAcc{}}
+func newChunkGroups() *chunkGroups { return &chunkGroups{m: map[string]*groupAcc{}} }
+
+// scanRowsInto filters (when applyWhere) and partially aggregates rows
+// into cg — the row-at-a-time path, used for impure/serial plans and as
+// the per-chunk fallback when a vector kernel errors.
+func (p *scanPlan) scanRowsInto(cg *chunkGroups, rows [][]Value, applyWhere bool) error {
 	var buf []byte
 	for _, row := range rows {
 		if applyWhere && p.where != nil {
 			v, err := p.where(row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if b, ok := ToBool(v); !ok || !b {
 				continue
@@ -232,7 +241,7 @@ func (p *scanPlan) scanChunk(rows [][]Value, applyWhere bool) (*chunkGroups, err
 		for _, kf := range p.keyFns {
 			v, err := kf(row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			buf = appendGroupKey(buf, v)
 			buf = append(buf, keySep)
@@ -241,7 +250,7 @@ func (p *scanPlan) scanChunk(rows [][]Value, applyWhere bool) (*chunkGroups, err
 		if !ok {
 			accs, err := p.newAccs()
 			if err != nil {
-				return nil, err
+				return err
 			}
 			g = &groupAcc{repr: row, accs: accs}
 			key := string(buf)
@@ -255,20 +264,23 @@ func (p *scanPlan) scanChunk(rows [][]Value, applyWhere bool) (*chunkGroups, err
 			}
 			v, err := sp.arg(row)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if err := g.accs[i].add(v); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return cg, nil
+	return nil
 }
 
 // mergeChunkGroups folds per-worker states together in chunk order, which
 // reproduces the global first-seen group order of a serial scan.
 func mergeChunkGroups(results []*chunkGroups) (*chunkGroups, error) {
 	dst := results[0]
+	if dst == nil {
+		dst = newChunkGroups()
+	}
 	for _, src := range results[1:] {
 		if src == nil {
 			continue
@@ -291,11 +303,41 @@ func mergeChunkGroups(results []*chunkGroups) (*chunkGroups, error) {
 	return dst, nil
 }
 
-// run executes the plan: morsel-parallel when pure and the snapshot is
-// large, otherwise serial with the same two-phase (filter, then aggregate)
-// structure as the interpreted path so impure expressions draw from the
-// engine RNG in the identical order.
-func (p *scanPlan) run(rows [][]Value) ([]*entry, error) {
+// finish converts the merged group state into output entries, emitting the
+// single zero-row entry a global aggregate requires.
+func (p *scanPlan) finish(cg *chunkGroups) ([]*entry, error) {
+	if len(cg.order) == 0 && len(p.keyFns) == 0 {
+		accs, err := p.newAccs()
+		if err != nil {
+			return nil, err
+		}
+		cg.m[""] = &groupAcc{repr: make([]Value, p.rel.width()), accs: accs}
+		cg.order = append(cg.order, "")
+	}
+	entries := make([]*entry, 0, len(cg.order))
+	for _, key := range cg.order {
+		g := cg.m[key]
+		av := make(map[*sqlparser.FuncCall]Value, len(p.specs))
+		for i, sp := range p.specs {
+			av[sp.fc] = g.accs[i].result()
+		}
+		entries = append(entries, &entry{row: g.repr, aggVals: av})
+	}
+	return entries, nil
+}
+
+// run executes the plan. Pure plans over a columnar source run vectorized,
+// chunk-at-a-time morsels (vecexec.go); pure plans over materialized rows
+// fan out row morsels; impure plans run serially with the same two-phase
+// (filter, then aggregate) structure as the interpreted path so impure
+// expressions draw from the engine RNG in the identical order.
+func (p *scanPlan) run(rel *relation) ([]*entry, error) {
+	if p.pure && rel.rows == nil && rel.src != nil && !p.eng.noVec.Load() {
+		if vp := buildVecPlan(p); vp != nil {
+			return vp.run(rel.src)
+		}
+	}
+	rows := rel.materialize()
 	nw := 1
 	if p.pure {
 		nw = p.eng.scanWorkers(len(rows))
@@ -304,9 +346,9 @@ func (p *scanPlan) run(rows [][]Value) ([]*entry, error) {
 	if nw > 1 {
 		results := make([]*chunkGroups, nw)
 		err := runChunks(nw, len(rows), func(w, lo, hi int) error {
-			g, err := p.scanChunk(rows[lo:hi], true)
+			g := newChunkGroups()
 			results[w] = g
-			return err
+			return p.scanRowsInto(g, rows[lo:hi], true)
 		})
 		if err != nil {
 			return nil, err
@@ -324,33 +366,12 @@ func (p *scanPlan) run(rows [][]Value) ([]*entry, error) {
 				return nil, err
 			}
 		}
-		var err error
-		cg, err = p.scanChunk(rows, false)
-		if err != nil {
+		cg = newChunkGroups()
+		if err := p.scanRowsInto(cg, rows, false); err != nil {
 			return nil, err
 		}
 	}
-
-	// A global aggregate over zero rows still yields one output row.
-	if len(cg.order) == 0 && len(p.keyFns) == 0 {
-		accs, err := p.newAccs()
-		if err != nil {
-			return nil, err
-		}
-		cg.m[""] = &groupAcc{repr: make([]Value, p.rel.width()), accs: accs}
-		cg.order = append(cg.order, "")
-	}
-
-	entries := make([]*entry, 0, len(cg.order))
-	for _, key := range cg.order {
-		g := cg.m[key]
-		av := make(map[*sqlparser.FuncCall]Value, len(p.specs))
-		for i, sp := range p.specs {
-			av[sp.fc] = g.accs[i].result()
-		}
-		entries = append(entries, &entry{row: g.repr, aggVals: av})
-	}
-	return entries, nil
+	return p.finish(cg)
 }
 
 // projCol is one compiled projection column: either a direct copy of a

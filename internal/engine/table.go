@@ -15,31 +15,39 @@ type Column struct {
 	Type ColType
 }
 
-// Table is an in-memory row-store table. Rows are append-only; readers take
-// a snapshot of the row slice header under the engine lock, so concurrent
-// queries see a consistent prefix.
+// Table is an in-memory columnar table: sealed immutable chunks of typed
+// vectors plus an open row-major tail (see columnar.go). Rows are
+// append-only; readers take a snapshot of the chunk and tail slice headers
+// under the engine lock, so concurrent queries see a consistent prefix.
 type Table struct {
 	Name string
 	Cols []Column
-	Rows [][]Value
+
+	sealed []*chunk  // immutable chunkRows-row columnar chunks
+	tail   [][]Value // open rows not yet sealed (< chunkRows)
+	nrows  int
 
 	// colIdx maps lowercase column names to positions. The engine builds it
 	// when it registers a table (columns are immutable afterwards); tables
 	// constructed by hand fall back to a linear scan.
 	colIdx map[string]int
-
-	// zone holds lazily built per-column chunk min/max summaries for
-	// scan-range pruning (see zonemap.go). Valid forever because rows are
-	// append-only and never mutated in place.
-	zone zoneState
 }
 
-// buildLowerIndex maps lowercase names to their first position.
+// AmbiguousColIndex is returned by ColIndex when the name matches more than
+// one column case-insensitively. It is negative, so callers that only probe
+// for existence (idx < 0) keep working — but callers that would otherwise
+// silently read the first match can now tell ambiguity from absence.
+const AmbiguousColIndex = -2
+
+// buildLowerIndex maps lowercase names to their position; names shared by
+// several columns map to AmbiguousColIndex rather than the first match.
 func buildLowerIndex(names []string) map[string]int {
 	m := make(map[string]int, len(names))
 	for i, n := range names {
 		low := strings.ToLower(n)
-		if _, dup := m[low]; !dup {
+		if _, dup := m[low]; dup {
+			m[low] = AmbiguousColIndex
+		} else {
 			m[low] = i
 		}
 	}
@@ -54,7 +62,8 @@ func (t *Table) initColIndex() {
 	t.colIdx = buildLowerIndex(names)
 }
 
-// ColIndex returns the index of the named column (case-insensitive), or -1.
+// ColIndex returns the index of the named column (case-insensitive), -1
+// when absent, or AmbiguousColIndex when several columns share the name.
 func (t *Table) ColIndex(name string) int {
 	if t.colIdx != nil {
 		if i, ok := t.colIdx[strings.ToLower(name)]; ok {
@@ -62,12 +71,16 @@ func (t *Table) ColIndex(name string) int {
 		}
 		return -1
 	}
+	idx := -1
 	for i, c := range t.Cols {
 		if strings.EqualFold(c.Name, name) {
-			return i
+			if idx >= 0 {
+				return AmbiguousColIndex
+			}
+			idx = i
 		}
 	}
-	return -1
+	return idx
 }
 
 // Engine is an in-memory SQL database. All access is through SQL via Exec
@@ -83,6 +96,11 @@ type Engine struct {
 	// counts scans that actually fanned out (tests assert the fallback).
 	maxPar        atomic.Int32
 	parallelScans atomic.Int64
+
+	// noVec disables the vectorized chunk-at-a-time execution path,
+	// forcing every query through the row-view fallback. Test knob for
+	// columnar ≡ row-view parity checks.
+	noVec atomic.Bool
 }
 
 // SetParallelism caps the number of workers a single scan may use. n = 1
@@ -102,6 +120,11 @@ func (e *Engine) Parallelism() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// SetVectorized toggles the vectorized execution path (on by default).
+// With it off, scans read through the chunk row views exactly like the
+// interpreted fallback — the parity tests compare the two.
+func (e *Engine) SetVectorized(on bool) { e.noVec.Store(!on) }
 
 // ParallelScans returns how many scans have run morsel-parallel since the
 // engine was created. Impure queries (rand()) and subquery-bearing ones
@@ -220,7 +243,7 @@ func (e *Engine) RowCount(name string) int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if t, ok := e.tables[strings.ToLower(name)]; ok {
-		return len(t.Rows)
+		return t.nrows
 	}
 	return 0
 }
@@ -242,20 +265,20 @@ func (e *Engine) InsertRows(name string, rows [][]Value) error {
 		for i, v := range r {
 			nr[i] = Normalize(v)
 		}
-		t.Rows = append(t.Rows, nr)
+		t.appendRow(nr)
 	}
 	return nil
 }
 
-// snapshot returns the table plus a stable view of its rows.
-func (e *Engine) snapshot(name string) (*Table, [][]Value, error) {
+// snapshot returns the table plus a stable columnar view of its rows.
+func (e *Engine) snapshot(name string) (*Table, *colSource, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	t, ok := e.tables[strings.ToLower(name)]
 	if !ok {
 		return nil, nil, fmt.Errorf("engine: unknown table %q", name)
 	}
-	return t, t.Rows, nil
+	return t, &colSource{sealed: t.sealed, tail: t.tail, nrows: t.nrows}, nil
 }
 
 // storeResult registers a table materialized from a query result (CTAS).
@@ -269,8 +292,11 @@ func (e *Engine) storeResult(name string, cols []Column, rows [][]Value, ifNotEx
 		}
 		return fmt.Errorf("engine: table %q already exists", name)
 	}
-	t := &Table{Name: name, Cols: cols, Rows: rows}
+	t := &Table{Name: name, Cols: cols}
 	t.initColIndex()
+	for _, r := range rows {
+		t.appendRow(r)
+	}
 	e.tables[key] = t
 	return nil
 }

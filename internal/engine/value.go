@@ -255,27 +255,49 @@ const keySep = '\x1f'
 func appendGroupKey(dst []byte, v Value) []byte {
 	switch x := v.(type) {
 	case nil:
-		return append(dst, '\x00', 'N')
+		return appendGroupKeyNull(dst)
 	case int64:
-		dst = append(dst, 'i')
-		return strconv.AppendInt(dst, x, 10)
+		return appendGroupKeyInt(dst, x)
 	case float64:
-		if x == float64(int64(x)) {
-			dst = append(dst, 'i')
-			return strconv.AppendInt(dst, int64(x), 10)
-		}
-		dst = append(dst, 'f')
-		return strconv.AppendFloat(dst, x, 'g', -1, 64)
+		return appendGroupKeyFloat(dst, x)
 	case string:
-		dst = append(dst, 's')
-		return append(dst, x...)
+		return appendGroupKeyStr(dst, x)
 	case bool:
-		if x {
-			return append(dst, 'b', '1')
-		}
-		return append(dst, 'b', '0')
+		return appendGroupKeyBool(dst, x)
 	}
 	return append(dst, fmt.Sprintf("?%v", v)...)
+}
+
+// Typed variants of appendGroupKey used by the vectorized scan to render
+// keys straight from chunk vectors without boxing. Encodings must stay
+// byte-identical to GroupKey.
+
+func appendGroupKeyNull(dst []byte) []byte { return append(dst, '\x00', 'N') }
+
+func appendGroupKeyInt(dst []byte, x int64) []byte {
+	dst = append(dst, 'i')
+	return strconv.AppendInt(dst, x, 10)
+}
+
+func appendGroupKeyFloat(dst []byte, x float64) []byte {
+	if x == float64(int64(x)) {
+		dst = append(dst, 'i')
+		return strconv.AppendInt(dst, int64(x), 10)
+	}
+	dst = append(dst, 'f')
+	return strconv.AppendFloat(dst, x, 'g', -1, 64)
+}
+
+func appendGroupKeyStr(dst []byte, x string) []byte {
+	dst = append(dst, 's')
+	return append(dst, x...)
+}
+
+func appendGroupKeyBool(dst []byte, x bool) []byte {
+	if x {
+		return append(dst, 'b', '1')
+	}
+	return append(dst, 'b', '0')
 }
 
 // GroupKey renders a value into a group-by key fragment. Numeric values that

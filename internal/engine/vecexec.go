@@ -1,0 +1,408 @@
+package engine
+
+import (
+	"bytes"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// Vectorized execution drivers: the chunk-at-a-time scan→filter→aggregate
+// pipeline and the chunk-at-a-time filter→project pipeline for
+// non-aggregate selects. Both hand out whole chunks as morsels (contiguous
+// chunk ranges per worker, merged/concatenated in chunk order), so results
+// and group order match the serial row scan. Any chunk whose vector
+// evaluation errors is transparently re-run through the row-compiled
+// closures over the chunk's cached row view before any state was mutated —
+// semantics, including error behavior, stay identical to the row path.
+
+// vecPlan is a scanPlan lowered to vector kernels.
+type vecPlan struct {
+	p          *scanPlan
+	where      vnode   // nil when the query has no WHERE
+	whereConjs []vnode // top-level AND conjuncts of where
+	keys       []vnode // GROUP BY keys
+	args       []vnode // aggregate arguments; nil for count(*)-style stars
+	nbuf       int
+}
+
+// buildVecPlan lowers a pure compiled scan plan to vector kernels; nil
+// when some expression cannot run on the vectorized path.
+func buildVecPlan(p *scanPlan) *vecPlan {
+	c := &vecCompiler{eng: p.eng, rel: p.rel}
+	vp := &vecPlan{p: p}
+	if p.whereAST != nil {
+		vp.where, vp.whereConjs = c.lowerWhere(p.whereAST)
+		if vp.where == nil {
+			return nil
+		}
+	}
+	for _, ke := range p.keyASTs {
+		n := c.lower(ke)
+		if n == nil {
+			return nil
+		}
+		vp.keys = append(vp.keys, n)
+	}
+	for _, sp := range p.specs {
+		if sp.fc.Star {
+			vp.args = append(vp.args, nil)
+			continue
+		}
+		n := c.lower(sp.argAST)
+		if n == nil {
+			return nil
+		}
+		vp.args = append(vp.args, n)
+	}
+	vp.nbuf = c.nbuf
+	return vp
+}
+
+func (vp *vecPlan) newCtx() *vecCtx {
+	return newVecCtx(vp.nbuf, len(vp.keys), len(vp.args), 0)
+}
+
+// run executes the vectorized plan over the snapshot, morsel-parallel when
+// the snapshot is large enough.
+func (vp *vecPlan) run(src *colSource) ([]*entry, error) {
+	chunks := src.scanChunks()
+	nw := vp.p.eng.scanWorkers(src.nrows)
+	if nw > len(chunks) {
+		nw = len(chunks)
+	}
+	var cg *chunkGroups
+	if nw > 1 {
+		results := make([]*chunkGroups, nw)
+		err := runChunks(nw, len(chunks), func(w, lo, hi int) error {
+			vc := vp.newCtx()
+			g := newChunkGroups()
+			results[w] = g
+			for _, ch := range chunks[lo:hi] {
+				if err := vp.scanChunk(g, vc, ch); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cg, err = mergeChunkGroups(results)
+		if err != nil {
+			return nil, err
+		}
+		vp.p.eng.parallelScans.Add(1)
+	} else {
+		cg = newChunkGroups()
+		vc := vp.newCtx()
+		for _, ch := range chunks {
+			if err := vp.scanChunk(cg, vc, ch); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return vp.p.finish(cg)
+}
+
+// scanChunk filters and partially aggregates one chunk into cg. Vector
+// evaluation happens before any accumulator is touched, so an erroring
+// kernel can fall back to the row path for the whole chunk.
+func (vp *vecPlan) scanChunk(cg *chunkGroups, vc *vecCtx, ch *chunk) error {
+	lanes := ch.n
+	var sel []int32
+	if vp.where != nil {
+		var all bool
+		var err error
+		sel, all, err = evalFilter(vc, ch, vp.where, vp.whereConjs)
+		if err != nil {
+			return vp.p.scanRowsInto(cg, ch.rows(), true)
+		}
+		if all {
+			sel = nil
+		} else {
+			lanes = len(sel)
+			if lanes == 0 {
+				return nil
+			}
+		}
+	}
+	for i, kn := range vp.keys {
+		v, err := kn.eval(vc, ch, sel)
+		if err != nil {
+			return vp.p.scanRowsInto(cg, ch.rows(), true)
+		}
+		vc.keys[i] = v
+	}
+	for i, an := range vp.args {
+		if an == nil {
+			vc.args[i] = nil
+			continue
+		}
+		v, err := an.eval(vc, ch, sel)
+		if err != nil {
+			return vp.p.scanRowsInto(cg, ch.rows(), true)
+		}
+		vc.args[i] = v
+	}
+
+	// Lane loop: render the group key from typed lanes, find or create the
+	// group, and feed each accumulator through its typed entry point. The
+	// one-element group memo catches the global-aggregate case (one group)
+	// and runs of identical keys without a map probe.
+	buf := vc.keyBuf
+	var lastKey []byte
+	var lastG *groupAcc
+	for k := 0; k < lanes; k++ {
+		buf = buf[:0]
+		for _, kv := range vc.keys {
+			buf = appendGroupKeyLane(buf, kv, k)
+			buf = append(buf, keySep)
+		}
+		g := lastG
+		if g == nil || !bytes.Equal(buf, lastKey) {
+			var ok bool
+			g, ok = cg.m[string(buf)]
+			if !ok {
+				accs, err := vp.p.newAccs()
+				if err != nil {
+					vc.keyBuf = buf
+					return err
+				}
+				ri := k
+				if sel != nil {
+					ri = int(sel[k])
+				}
+				g = &groupAcc{repr: ch.materializeRow(ri), accs: accs}
+				key := string(buf)
+				cg.m[key] = g
+				cg.order = append(cg.order, key)
+			}
+			lastKey = append(lastKey[:0], buf...)
+			lastG = g
+		}
+		for i := range vp.args {
+			av := vc.args[i]
+			if av == nil {
+				g.accs[i].addStar()
+				continue
+			}
+			if err := addLane(g.accs[i], av, k); err != nil {
+				vc.keyBuf = buf
+				return err
+			}
+		}
+	}
+	vc.keyBuf = buf
+	return nil
+}
+
+// appendGroupKeyLane renders lane k of a key vector with the same encoding
+// as appendGroupKey, reading typed storage directly.
+func appendGroupKeyLane(dst []byte, v *vec, k int) []byte {
+	if v.isNull(k) {
+		return appendGroupKeyNull(dst)
+	}
+	switch v.kind {
+	case TInt:
+		return appendGroupKeyInt(dst, v.ints[k])
+	case TFloat:
+		return appendGroupKeyFloat(dst, v.floats[k])
+	case TString:
+		return appendGroupKeyStr(dst, v.strs[k])
+	case TBool:
+		return appendGroupKeyBool(dst, v.bools[k])
+	}
+	return appendGroupKey(dst, v.anys[k])
+}
+
+// addLane feeds lane k of an argument vector into an accumulator, using
+// the typed entry points when the accumulator provides them so numeric
+// scans never box.
+func addLane(acc accumulator, v *vec, k int) error {
+	if v.isNull(k) {
+		return acc.add(nil)
+	}
+	switch v.kind {
+	case TInt:
+		if ta, ok := acc.(typedAdder); ok {
+			ta.addInt(v.ints[k])
+			return nil
+		}
+		return acc.add(v.ints[k])
+	case TFloat:
+		if ta, ok := acc.(typedAdder); ok {
+			ta.addFloat(v.floats[k])
+			return nil
+		}
+		return acc.add(v.floats[k])
+	case TString:
+		if sa, ok := acc.(stringAdder); ok {
+			sa.addStr(v.strs[k])
+			return nil
+		}
+		return acc.add(v.strs[k])
+	case TBool:
+		return acc.add(v.bools[k]) // bool boxes are interned
+	}
+	return acc.add(v.anys[k])
+}
+
+// vecSelect is a non-aggregate SELECT lowered to a fused vectorized
+// filter→project pipeline: the WHERE kernel yields a selection vector and
+// every output column is computed over the selected lanes, materializing
+// boxed rows only at the ResultSet boundary.
+type vecSelect struct {
+	eng        *Engine
+	where      vnode
+	whereConjs []vnode
+	whereFn    compiledExpr // row-path fallback predicate
+	items      []vnode
+	itemFns    []projCol // row-path fallback projections
+	nbuf       int
+}
+
+// buildVecSelect lowers the WHERE and output columns of a non-aggregate
+// SELECT; nil when any of them cannot run vectorized.
+func buildVecSelect(eng *Engine, rel *relation, outCols []outCol, wherePred compiledExpr, whereAST sqlparser.Expr) *vecSelect {
+	c := &vecCompiler{eng: eng, rel: rel}
+	vs := &vecSelect{eng: eng, whereFn: wherePred}
+	if whereAST != nil {
+		vs.where, vs.whereConjs = c.lowerWhere(whereAST)
+		if vs.where == nil {
+			return nil
+		}
+	}
+	for _, oc := range outCols {
+		if oc.expr == nil {
+			vs.items = append(vs.items, &vnCol{id: c.newID(), col: oc.idx})
+			vs.itemFns = append(vs.itemFns, projCol{idx: oc.idx})
+			continue
+		}
+		n := c.lower(oc.expr)
+		if n == nil {
+			return nil
+		}
+		fn, pure, ok := compileExpr(eng, rel, oc.expr)
+		if !ok || !pure {
+			return nil
+		}
+		vs.items = append(vs.items, n)
+		vs.itemFns = append(vs.itemFns, projCol{fn: fn})
+	}
+	vs.nbuf = c.nbuf
+	return vs
+}
+
+func (vs *vecSelect) run(src *colSource) ([][]Value, error) {
+	chunks := src.scanChunks()
+	nw := vs.eng.scanWorkers(src.nrows)
+	if nw > len(chunks) {
+		nw = len(chunks)
+	}
+	if nw <= 1 {
+		vc := newVecCtx(vs.nbuf, 0, 0, len(vs.items))
+		var out [][]Value
+		for _, ch := range chunks {
+			var err error
+			out, err = vs.projectChunk(out, vc, ch)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	outs := make([][][]Value, nw)
+	err := runChunks(nw, len(chunks), func(w, lo, hi int) error {
+		vc := newVecCtx(vs.nbuf, 0, 0, len(vs.items))
+		var out [][]Value
+		for _, ch := range chunks[lo:hi] {
+			var err error
+			out, err = vs.projectChunk(out, vc, ch)
+			if err != nil {
+				return err
+			}
+		}
+		outs[w] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	res := make([][]Value, 0, total)
+	for _, o := range outs {
+		res = append(res, o...)
+	}
+	vs.eng.parallelScans.Add(1)
+	return res, nil
+}
+
+// projectChunk filters and projects one chunk, appending the output rows.
+func (vs *vecSelect) projectChunk(out [][]Value, vc *vecCtx, ch *chunk) ([][]Value, error) {
+	lanes := ch.n
+	var sel []int32
+	if vs.where != nil {
+		var all bool
+		var err error
+		sel, all, err = evalFilter(vc, ch, vs.where, vs.whereConjs)
+		if err != nil {
+			return vs.projectChunkRows(out, ch)
+		}
+		if all {
+			sel = nil
+		} else {
+			lanes = len(sel)
+			if lanes == 0 {
+				return out, nil
+			}
+		}
+	}
+	for j, it := range vs.items {
+		v, err := it.eval(vc, ch, sel)
+		if err != nil {
+			return vs.projectChunkRows(out, ch)
+		}
+		vc.items[j] = v
+	}
+	for k := 0; k < lanes; k++ {
+		row := make([]Value, len(vs.items))
+		for j := range vs.items {
+			row[j] = laneValue(vc.items[j], k)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// projectChunkRows is the per-chunk row-path fallback: filter and project
+// through the compiled closures over the cached row view.
+func (vs *vecSelect) projectChunkRows(out [][]Value, ch *chunk) ([][]Value, error) {
+	for _, r := range ch.rows() {
+		if vs.whereFn != nil {
+			v, err := vs.whereFn(r)
+			if err != nil {
+				return nil, err
+			}
+			if b, ok := ToBool(v); !ok || !b {
+				continue
+			}
+		}
+		row := make([]Value, len(vs.itemFns))
+		for j, it := range vs.itemFns {
+			if it.fn == nil {
+				row[j] = r[it.idx]
+				continue
+			}
+			v, err := it.fn(r)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

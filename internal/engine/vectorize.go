@@ -1,0 +1,1284 @@
+package engine
+
+import (
+	"strconv"
+
+	"verdictdb/internal/sqlparser"
+)
+
+// Chunk-at-a-time vectorized expression evaluation. The row compiler in
+// compile.go lowers an expression to a per-row closure; this file lowers
+// the same ASTs to vector kernels that consume a sealed chunk's typed
+// columns directly and produce typed output vectors, so the scan hot path
+// never boxes values. WHERE predicates produce a selection vector; GROUP BY
+// keys render straight from typed lanes into the reusable key buffer;
+// aggregate arguments feed accumulators through typed entry points
+// (agg.go). Every kernel replicates the row path's semantics exactly —
+// NULL propagation, numeric coercion through float64, three-valued
+// AND/OR — and shapes without a kernel (CASE, subqueries-free scalar
+// functions, string concatenation, ...) fall back to evaluating the
+// row-compiled closure per selected lane against the chunk's cached row
+// view, which by construction matches the interpreter bit for bit. If a
+// kernel reports an error the caller re-runs the whole chunk through the
+// row path, so even error behavior (e.g. short-circuit AND skipping an
+// erroring operand) is identical.
+//
+// Only pure expressions are ever vectorized: anything drawing from the
+// engine RNG keeps the serial row path so sample scrambles stay
+// byte-identical.
+
+// vec is a batch of values for the lanes of one chunk (or its selected
+// subset). Exactly one typed slice is populated according to kind; TAny
+// means boxed values in anys, where a nil box is NULL. For typed kinds,
+// nulls flags NULL lanes (nil when none).
+type vec struct {
+	kind   ColType
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	anys   []Value
+	nulls  []bool
+}
+
+func (v *vec) isNull(k int) bool {
+	if v.kind == TAny {
+		return v.anys[k] == nil
+	}
+	return v.nulls != nil && v.nulls[k]
+}
+
+// laneValue boxes lane k back into a dynamic Value.
+func laneValue(v *vec, k int) Value {
+	if v.kind == TAny {
+		return v.anys[k]
+	}
+	if v.nulls != nil && v.nulls[k] {
+		return nil
+	}
+	switch v.kind {
+	case TInt:
+		return v.ints[k]
+	case TFloat:
+		return v.floats[k]
+	case TString:
+		return v.strs[k]
+	case TBool:
+		return v.bools[k]
+	}
+	return nil
+}
+
+// laneFloat extracts lane k as float64 for Compare-style numeric
+// comparison. ok is false for non-numeric kinds (bools are not numeric in
+// Compare, matching the row path).
+func laneFloat(v *vec, k int) (float64, bool) {
+	switch v.kind {
+	case TInt:
+		return float64(v.ints[k]), true
+	case TFloat:
+		return v.floats[k], true
+	}
+	return 0, false
+}
+
+// laneStr renders lane k like ToStr (callers have excluded NULL lanes).
+func laneStr(v *vec, k int) string {
+	switch v.kind {
+	case TString:
+		return v.strs[k]
+	case TInt:
+		return strconv.FormatInt(v.ints[k], 10)
+	case TFloat:
+		return strconv.FormatFloat(v.floats[k], 'g', -1, 64)
+	case TBool:
+		if v.bools[k] {
+			return "true"
+		}
+		return "false"
+	}
+	return ToStr(v.anys[k])
+}
+
+// laneBool mirrors ToBool on lane k: b/ok like ToBool, null for NULL lanes.
+func laneBool(v *vec, k int) (b, ok, null bool) {
+	if v.isNull(k) {
+		return false, false, true
+	}
+	switch v.kind {
+	case TBool:
+		return v.bools[k], true, false
+	case TInt:
+		return v.ints[k] != 0, true, false
+	case TFloat:
+		return v.floats[k] != 0, true, false
+	case TString:
+		return false, false, false
+	}
+	b, ok = ToBool(v.anys[k])
+	return b, ok, false
+}
+
+// vbuf owns one node's output storage across chunks, so steady-state
+// evaluation allocates nothing. The v field is the current view — it may
+// alias chunk storage (column references with a full selection), which is
+// safe because every kernel writes only its own buffer.
+type vbuf struct {
+	v      vec
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	anys   []Value
+	nulls  []bool
+
+	// litLanes caches how many lanes a vnLit has already broadcast into
+	// this buffer: the constant never changes, so later chunks reslice
+	// instead of refilling.
+	litLanes int
+}
+
+// vecCtx is one worker's evaluation state: per-node buffers plus reusable
+// selection/key scratch. Never shared between goroutines.
+type vecCtx struct {
+	bufs   []vbuf
+	sel    []int32
+	sel2   []int32
+	keyBuf []byte
+	keys   []*vec
+	args   []*vec
+	items  []*vec
+}
+
+func newVecCtx(nbuf, nkeys, nargs, nitems int) *vecCtx {
+	return &vecCtx{
+		bufs:  make([]vbuf, nbuf),
+		keys:  make([]*vec, nkeys),
+		args:  make([]*vec, nargs),
+		items: make([]*vec, nitems),
+	}
+}
+
+// out prepares node id's buffer for lanes values of the given kind and
+// returns the view to fill.
+func (vc *vecCtx) out(id int, kind ColType, lanes int) *vec {
+	b := &vc.bufs[id]
+	b.v.kind = kind
+	b.v.ints, b.v.floats, b.v.strs, b.v.bools, b.v.anys, b.v.nulls = nil, nil, nil, nil, nil, nil
+	switch kind {
+	case TInt:
+		if cap(b.ints) < lanes {
+			b.ints = make([]int64, lanes)
+		}
+		b.v.ints = b.ints[:lanes]
+	case TFloat:
+		if cap(b.floats) < lanes {
+			b.floats = make([]float64, lanes)
+		}
+		b.v.floats = b.floats[:lanes]
+	case TString:
+		if cap(b.strs) < lanes {
+			b.strs = make([]string, lanes)
+		}
+		b.v.strs = b.strs[:lanes]
+	case TBool:
+		if cap(b.bools) < lanes {
+			b.bools = make([]bool, lanes)
+		}
+		b.v.bools = b.bools[:lanes]
+	case TAny:
+		if cap(b.anys) < lanes {
+			b.anys = make([]Value, lanes)
+		}
+		b.v.anys = b.anys[:lanes]
+		for i := range b.v.anys {
+			b.v.anys[i] = nil
+		}
+	}
+	return &b.v
+}
+
+// nullbuf returns node id's cleared null-flag slice, attaching it to the
+// current view. Kernels call it on the first NULL they produce.
+func (vc *vecCtx) nullbuf(id, lanes int) []bool {
+	b := &vc.bufs[id]
+	if cap(b.nulls) < lanes {
+		b.nulls = make([]bool, lanes)
+	}
+	n := b.nulls[:lanes]
+	for i := range n {
+		n[i] = false
+	}
+	b.v.nulls = n
+	return n
+}
+
+func laneCount(ch *chunk, sel []int32) int {
+	if sel != nil {
+		return len(sel)
+	}
+	return ch.n
+}
+
+// vnode is one vectorized expression node. eval computes the node over the
+// chunk's selected lanes (sel nil = all rows) into a context-owned buffer.
+type vnode interface {
+	eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error)
+}
+
+// ---- leaves ----
+
+type vnCol struct {
+	id, col int
+}
+
+func (n *vnCol) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	cv := &ch.cols[n.col]
+	if sel == nil {
+		// Borrow the chunk's storage wholesale — zero copies.
+		b := &vc.bufs[n.id]
+		b.v = vec{kind: cv.kind, ints: cv.ints, floats: cv.floats,
+			strs: cv.strs, bools: cv.bools, anys: cv.anys, nulls: cv.nulls}
+		return &b.v, nil
+	}
+	lanes := len(sel)
+	ov := vc.out(n.id, cv.kind, lanes)
+	switch cv.kind {
+	case TInt:
+		for k, i := range sel {
+			ov.ints[k] = cv.ints[i]
+		}
+	case TFloat:
+		for k, i := range sel {
+			ov.floats[k] = cv.floats[i]
+		}
+	case TString:
+		for k, i := range sel {
+			ov.strs[k] = cv.strs[i]
+		}
+	case TBool:
+		for k, i := range sel {
+			ov.bools[k] = cv.bools[i]
+		}
+	case TAny:
+		for k, i := range sel {
+			ov.anys[k] = cv.anys[i]
+		}
+	}
+	if cv.nulls != nil && cv.kind != TAny {
+		var nulls []bool
+		for k, i := range sel {
+			if cv.nulls[i] {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[k] = true
+			}
+		}
+	}
+	return ov, nil
+}
+
+type vnLit struct {
+	id  int
+	val Value
+}
+
+func (n *vnLit) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	lanes := laneCount(ch, sel)
+	b := &vc.bufs[n.id]
+	if b.litLanes >= lanes {
+		// Already broadcast at least this wide: reslice the cached fill.
+		v := &b.v
+		switch v.kind {
+		case TInt:
+			v.ints = b.ints[:lanes]
+		case TFloat:
+			v.floats = b.floats[:lanes]
+		case TString:
+			v.strs = b.strs[:lanes]
+		case TBool:
+			v.bools = b.bools[:lanes]
+		case TAny:
+			v.anys = b.anys[:lanes]
+		}
+		return v, nil
+	}
+	fill := lanes
+	if fill < chunkRows {
+		fill = chunkRows // broadcast once at full width for later chunks
+	}
+	var ov *vec
+	switch x := n.val.(type) {
+	case int64:
+		ov = vc.out(n.id, TInt, fill)
+		for k := range ov.ints {
+			ov.ints[k] = x
+		}
+		ov.ints = ov.ints[:lanes]
+	case float64:
+		ov = vc.out(n.id, TFloat, fill)
+		for k := range ov.floats {
+			ov.floats[k] = x
+		}
+		ov.floats = ov.floats[:lanes]
+	case string:
+		ov = vc.out(n.id, TString, fill)
+		for k := range ov.strs {
+			ov.strs[k] = x
+		}
+		ov.strs = ov.strs[:lanes]
+	case bool:
+		ov = vc.out(n.id, TBool, fill)
+		for k := range ov.bools {
+			ov.bools[k] = x
+		}
+		ov.bools = ov.bools[:lanes]
+	default:
+		// NULL (or exotic) literal: boxed lanes.
+		ov = vc.out(n.id, TAny, fill)
+		if n.val != nil {
+			for k := range ov.anys {
+				ov.anys[k] = n.val
+			}
+		}
+		ov.anys = ov.anys[:lanes]
+	}
+	b.litLanes = fill
+	return ov, nil
+}
+
+// vnScalar evaluates a pure row-compiled closure per selected lane against
+// the chunk's cached row view — the graceful-degradation path for shapes
+// without a vector kernel (CASE, coalesce, ||, date arithmetic, ...).
+type vnScalar struct {
+	id int
+	fn compiledExpr
+}
+
+func (n *vnScalar) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	rows := ch.rows()
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TAny, lanes)
+	for k := 0; k < lanes; k++ {
+		i := k
+		if sel != nil {
+			i = int(sel[k])
+		}
+		v, err := n.fn(rows[i])
+		if err != nil {
+			return nil, err
+		}
+		ov.anys[k] = v
+	}
+	return ov, nil
+}
+
+// ---- arithmetic ----
+
+type vnArith struct {
+	id   int
+	op   string
+	l, r vnode
+}
+
+func (n *vnArith) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	lv, err := n.l.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := n.r.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	lNum := lv.kind == TInt || lv.kind == TFloat
+	rNum := rv.kind == TInt || rv.kind == TFloat
+
+	if lv.kind == TInt && rv.kind == TInt && n.op != "/" {
+		ov := vc.out(n.id, TInt, lanes)
+		var nulls []bool
+		setNull := func(k int) {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+		}
+		for k := 0; k < lanes; k++ {
+			if lv.isNull(k) || rv.isNull(k) {
+				setNull(k)
+				continue
+			}
+			a, b := lv.ints[k], rv.ints[k]
+			switch n.op {
+			case "+":
+				ov.ints[k] = a + b
+			case "-":
+				ov.ints[k] = a - b
+			case "*":
+				ov.ints[k] = a * b
+			case "%":
+				if b == 0 {
+					setNull(k)
+					continue
+				}
+				ov.ints[k] = a % b
+			}
+		}
+		return ov, nil
+	}
+
+	if lNum && rNum {
+		ov := vc.out(n.id, TFloat, lanes)
+		var nulls []bool
+		setNull := func(k int) {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+		}
+		for k := 0; k < lanes; k++ {
+			if lv.isNull(k) || rv.isNull(k) {
+				setNull(k)
+				continue
+			}
+			lf, _ := laneFloat(lv, k)
+			rf, _ := laneFloat(rv, k)
+			switch n.op {
+			case "+":
+				ov.floats[k] = lf + rf
+			case "-":
+				ov.floats[k] = lf - rf
+			case "*":
+				ov.floats[k] = lf * rf
+			case "/":
+				if rf == 0 {
+					setNull(k)
+					continue
+				}
+				ov.floats[k] = lf / rf
+			case "%":
+				if rf == 0 || int64(rf) == 0 {
+					setNull(k)
+					continue
+				}
+				ov.floats[k] = float64(int64(lf) % int64(rf))
+			}
+		}
+		return ov, nil
+	}
+
+	// Mixed/boxed kinds: per-lane through the row path's arith.
+	ov := vc.out(n.id, TAny, lanes)
+	for k := 0; k < lanes; k++ {
+		if lv.isNull(k) || rv.isNull(k) {
+			continue // nil box = NULL
+		}
+		res, err := arith(n.op, laneValue(lv, k), laneValue(rv, k))
+		if err != nil {
+			return nil, err
+		}
+		ov.anys[k] = res
+	}
+	return ov, nil
+}
+
+type vnNeg struct {
+	id int
+	x  vnode
+}
+
+func (n *vnNeg) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	switch xv.kind {
+	case TInt:
+		ov := vc.out(n.id, TInt, lanes)
+		var nulls []bool
+		for k := 0; k < lanes; k++ {
+			if xv.isNull(k) {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[k] = true
+				continue
+			}
+			ov.ints[k] = -xv.ints[k]
+		}
+		return ov, nil
+	case TFloat:
+		ov := vc.out(n.id, TFloat, lanes)
+		var nulls []bool
+		for k := 0; k < lanes; k++ {
+			if xv.isNull(k) {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[k] = true
+				continue
+			}
+			ov.floats[k] = -xv.floats[k]
+		}
+		return ov, nil
+	}
+	ov := vc.out(n.id, TAny, lanes)
+	for k := 0; k < lanes; k++ {
+		if xv.isNull(k) {
+			continue
+		}
+		switch x := laneValue(xv, k).(type) {
+		case int64:
+			ov.anys[k] = -x
+		case float64:
+			ov.anys[k] = -x
+		default:
+			return nil, errCannotNegate(x)
+		}
+	}
+	return ov, nil
+}
+
+// ---- comparisons ----
+
+type vnCmp struct {
+	id   int
+	op   string
+	l, r vnode
+}
+
+func (n *vnCmp) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	lv, err := n.l.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := n.r.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	test := cmpTest(n.op)
+	var nulls []bool
+	setNull := func(k int) {
+		if nulls == nil {
+			nulls = vc.nullbuf(n.id, lanes)
+		}
+		nulls[k] = true
+	}
+	lNum := lv.kind == TInt || lv.kind == TFloat
+	rNum := rv.kind == TInt || rv.kind == TFloat
+	switch {
+	case lNum && rNum:
+		for k := 0; k < lanes; k++ {
+			if lv.isNull(k) || rv.isNull(k) {
+				setNull(k)
+				continue
+			}
+			lf, _ := laneFloat(lv, k)
+			rf, _ := laneFloat(rv, k)
+			ov.bools[k] = test(cmpFloat64(lf, rf))
+		}
+	case lv.kind == TString && rv.kind == TString:
+		for k := 0; k < lanes; k++ {
+			if lv.isNull(k) || rv.isNull(k) {
+				setNull(k)
+				continue
+			}
+			a, b := lv.strs[k], rv.strs[k]
+			switch {
+			case a < b:
+				ov.bools[k] = test(-1)
+			case a > b:
+				ov.bools[k] = test(1)
+			default:
+				ov.bools[k] = test(0)
+			}
+		}
+	default:
+		for k := 0; k < lanes; k++ {
+			if lv.isNull(k) || rv.isNull(k) {
+				setNull(k)
+				continue
+			}
+			ov.bools[k] = test(Compare(laneValue(lv, k), laneValue(rv, k)))
+		}
+	}
+	return ov, nil
+}
+
+// ---- logic ----
+
+type vnLogic struct {
+	id   int
+	and  bool
+	l, r vnode
+}
+
+func (n *vnLogic) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	lv, err := n.l.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := n.r.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	var nulls []bool
+	setNull := func(k int) {
+		if nulls == nil {
+			nulls = vc.nullbuf(n.id, lanes)
+		}
+		nulls[k] = true
+	}
+	// Replicates the row path's three-valued logic exactly, including its
+	// treatment of unconvertible (non-bool, non-numeric) operands.
+	for k := 0; k < lanes; k++ {
+		lb, lok, lnull := laneBool(lv, k)
+		rb, rok, rnull := laneBool(rv, k)
+		if n.and {
+			if (lok && !lb) || (rok && !rb) {
+				ov.bools[k] = false
+				continue
+			}
+			if lnull || rnull {
+				setNull(k)
+				continue
+			}
+			ov.bools[k] = true
+		} else {
+			if (lok && lb) || (rok && rb) {
+				ov.bools[k] = true
+				continue
+			}
+			if lnull || rnull {
+				setNull(k)
+				continue
+			}
+			ov.bools[k] = false
+		}
+	}
+	return ov, nil
+}
+
+type vnNot struct {
+	id int
+	x  vnode
+}
+
+func (n *vnNot) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	var nulls []bool
+	for k := 0; k < lanes; k++ {
+		if xv.isNull(k) {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		b, ok, _ := laneBool(xv, k)
+		if !ok {
+			return nil, errNotNonBool(laneValue(xv, k))
+		}
+		ov.bools[k] = !b
+	}
+	return ov, nil
+}
+
+// ---- predicates ----
+
+type vnBetween struct {
+	id        int
+	x, lo, hi vnode
+	not       bool
+}
+
+func (n *vnBetween) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := n.lo.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := n.hi.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	var nulls []bool
+	setNull := func(k int) {
+		if nulls == nil {
+			nulls = vc.nullbuf(n.id, lanes)
+		}
+		nulls[k] = true
+	}
+	num := func(v *vec) bool { return v.kind == TInt || v.kind == TFloat }
+	switch {
+	case num(xv) && num(lo) && num(hi):
+		for k := 0; k < lanes; k++ {
+			if xv.isNull(k) || lo.isNull(k) || hi.isNull(k) {
+				setNull(k)
+				continue
+			}
+			xf, _ := laneFloat(xv, k)
+			lf, _ := laneFloat(lo, k)
+			hf, _ := laneFloat(hi, k)
+			in := cmpFloat64(xf, lf) >= 0 && cmpFloat64(xf, hf) <= 0
+			ov.bools[k] = in != n.not
+		}
+	case xv.kind == TString && lo.kind == TString && hi.kind == TString:
+		for k := 0; k < lanes; k++ {
+			if xv.isNull(k) || lo.isNull(k) || hi.isNull(k) {
+				setNull(k)
+				continue
+			}
+			s := xv.strs[k]
+			in := s >= lo.strs[k] && s <= hi.strs[k]
+			ov.bools[k] = in != n.not
+		}
+	default:
+		for k := 0; k < lanes; k++ {
+			if xv.isNull(k) || lo.isNull(k) || hi.isNull(k) {
+				setNull(k)
+				continue
+			}
+			x := laneValue(xv, k)
+			in := Compare(x, laneValue(lo, k)) >= 0 && Compare(x, laneValue(hi, k)) <= 0
+			ov.bools[k] = in != n.not
+		}
+	}
+	return ov, nil
+}
+
+type vnIn struct {
+	id   int
+	x    vnode
+	list []vnode
+	not  bool
+}
+
+func (n *vnIn) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lvs := make([]*vec, len(n.list))
+	for i, ln := range n.list {
+		lv, err := ln.eval(vc, ch, sel)
+		if err != nil {
+			return nil, err
+		}
+		lvs[i] = lv
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	var nulls []bool
+	for k := 0; k < lanes; k++ {
+		if xv.isNull(k) {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		found := false
+		for _, lv := range lvs {
+			if lv.isNull(k) {
+				continue
+			}
+			if lanesEqual(xv, lv, k) {
+				found = true
+				break
+			}
+		}
+		ov.bools[k] = found != n.not
+	}
+	return ov, nil
+}
+
+// lanesEqual mirrors Compare(a, b) == 0 for two non-NULL lanes.
+func lanesEqual(a, b *vec, k int) bool {
+	af, aok := laneFloat(a, k)
+	bf, bok := laneFloat(b, k)
+	if aok && bok {
+		return cmpFloat64(af, bf) == 0
+	}
+	if a.kind == TString && b.kind == TString {
+		return a.strs[k] == b.strs[k]
+	}
+	return Compare(laneValue(a, k), laneValue(b, k)) == 0
+}
+
+type vnLike struct {
+	id     int
+	x, pat vnode
+	not    bool
+}
+
+func (n *vnLike) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	pv, err := n.pat.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	var nulls []bool
+	for k := 0; k < lanes; k++ {
+		if xv.isNull(k) || pv.isNull(k) {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		ov.bools[k] = likeMatch(laneStr(xv, k), laneStr(pv, k)) != n.not
+	}
+	return ov, nil
+}
+
+type vnIsNull struct {
+	id  int
+	x   vnode
+	not bool
+}
+
+func (n *vnIsNull) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	for k := 0; k < lanes; k++ {
+		ov.bools[k] = xv.isNull(k) != n.not
+	}
+	return ov, nil
+}
+
+// ---- scan-hot scalar functions ----
+
+type vnSubstr struct {
+	id            int
+	x             vnode
+	start, length int64
+}
+
+func (n *vnSubstr) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TString, lanes)
+	var nulls []bool
+	for k := 0; k < lanes; k++ {
+		if xv.isNull(k) {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		s := laneStr(xv, k)
+		if int(n.start) > len(s) {
+			ov.strs[k] = ""
+			continue
+		}
+		rest := s[n.start-1:]
+		if int(n.length) < len(rest) {
+			rest = rest[:n.length]
+		}
+		ov.strs[k] = rest
+	}
+	return ov, nil
+}
+
+type vnYear struct {
+	id int
+	x  vnode
+}
+
+func (n *vnYear) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	xv, err := n.x.eval(vc, ch, sel)
+	if err != nil {
+		return nil, err
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TInt, lanes)
+	var nulls []bool
+	setNull := func(k int) {
+		if nulls == nil {
+			nulls = vc.nullbuf(n.id, lanes)
+		}
+		nulls[k] = true
+	}
+	for k := 0; k < lanes; k++ {
+		if xv.isNull(k) {
+			setNull(k)
+			continue
+		}
+		s := laneStr(xv, k)
+		if len(s) >= 4 {
+			if y, ok := ToInt(s[:4]); ok {
+				ov.ints[k] = y
+				continue
+			}
+		}
+		setNull(k)
+	}
+	return ov, nil
+}
+
+// ---- lowering ----
+
+type vecCompiler struct {
+	eng  *Engine
+	rel  *relation
+	nbuf int
+}
+
+func (c *vecCompiler) newID() int {
+	id := c.nbuf
+	c.nbuf++
+	return id
+}
+
+// lower returns a vectorized node for e: a kernel when one exists, else a
+// per-lane wrapper around the pure row-compiled closure. nil means e
+// cannot run on the vectorized path at all (impure, subqueries, columns
+// that resolve only in enclosing scopes).
+func (c *vecCompiler) lower(e sqlparser.Expr) vnode {
+	if n := c.lowerVec(e); n != nil {
+		return n
+	}
+	fn, pure, ok := compileExpr(c.eng, c.rel, e)
+	if !ok || !pure {
+		return nil
+	}
+	return &vnScalar{id: c.newID(), fn: fn}
+}
+
+func (c *vecCompiler) lowerVec(e sqlparser.Expr) vnode {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		return &vnLit{id: c.newID(), val: x.Val}
+	case *sqlparser.ColumnRef:
+		idx, err := c.rel.resolve(x.Table, x.Name)
+		if err != nil {
+			return nil
+		}
+		return &vnCol{id: c.newID(), col: idx}
+	case *sqlparser.BinaryExpr:
+		switch x.Op {
+		case "AND", "OR":
+			l, r := c.lower(x.L), c.lower(x.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return &vnLogic{id: c.newID(), and: x.Op == "AND", l: l, r: r}
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, r := c.lower(x.L), c.lower(x.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return &vnCmp{id: c.newID(), op: x.Op, l: l, r: r}
+		case "+", "-", "*", "/", "%":
+			if _, isInterval := x.R.(*sqlparser.IntervalExpr); isInterval {
+				return nil // date arithmetic: scalar fallback
+			}
+			l, r := c.lower(x.L), c.lower(x.R)
+			if l == nil || r == nil {
+				return nil
+			}
+			return &vnArith{id: c.newID(), op: x.Op, l: l, r: r}
+		}
+		return nil
+	case *sqlparser.UnaryExpr:
+		xn := c.lower(x.X)
+		if xn == nil {
+			return nil
+		}
+		switch x.Op {
+		case "-":
+			return &vnNeg{id: c.newID(), x: xn}
+		case "NOT":
+			return &vnNot{id: c.newID(), x: xn}
+		}
+		return nil
+	case *sqlparser.BetweenExpr:
+		xn, lo, hi := c.lower(x.X), c.lower(x.Lo), c.lower(x.Hi)
+		if xn == nil || lo == nil || hi == nil {
+			return nil
+		}
+		return &vnBetween{id: c.newID(), x: xn, lo: lo, hi: hi, not: x.Not}
+	case *sqlparser.InExpr:
+		if x.Subquery != nil {
+			return nil
+		}
+		xn := c.lower(x.X)
+		if xn == nil {
+			return nil
+		}
+		list := make([]vnode, len(x.List))
+		for i, le := range x.List {
+			ln := c.lower(le)
+			if ln == nil {
+				return nil
+			}
+			list[i] = ln
+		}
+		return &vnIn{id: c.newID(), x: xn, list: list, not: x.Not}
+	case *sqlparser.LikeExpr:
+		xn, pn := c.lower(x.X), c.lower(x.Pattern)
+		if xn == nil || pn == nil {
+			return nil
+		}
+		return &vnLike{id: c.newID(), x: xn, pat: pn, not: x.Not}
+	case *sqlparser.IsNullExpr:
+		xn := c.lower(x.X)
+		if xn == nil {
+			return nil
+		}
+		return &vnIsNull{id: c.newID(), x: xn, not: x.Not}
+	case *sqlparser.FuncCall:
+		if x.Over != nil || sqlparser.AggregateFuncs[x.Name] || x.Star {
+			return nil
+		}
+		switch x.Name {
+		case "substr", "substring":
+			if len(x.Args) == 3 {
+				start, okS := literalInt(x.Args[1])
+				length, okL := literalInt(x.Args[2])
+				if okS && okL && start >= 1 && length >= 0 {
+					xn := c.lower(x.Args[0])
+					if xn == nil {
+						return nil
+					}
+					return &vnSubstr{id: c.newID(), x: xn, start: start, length: length}
+				}
+			}
+		case "year":
+			if len(x.Args) == 1 {
+				xn := c.lower(x.Args[0])
+				if xn == nil {
+					return nil
+				}
+				return &vnYear{id: c.newID(), x: xn}
+			}
+		}
+		return nil // other scalar functions: per-lane fallback
+	}
+	return nil
+}
+
+// lowerConjuncts flattens the top-level AND conjuncts of a WHERE clause
+// and lowers each one, so the filter can evaluate them one at a time over
+// a shrinking selection vector — the vectorized analogue of the row path's
+// short-circuit AND. Returns nil when any conjunct cannot lower (the full
+// predicate could not either).
+func (c *vecCompiler) lowerConjuncts(e sqlparser.Expr) []vnode {
+	var conjs []vnode
+	var walk func(e sqlparser.Expr) bool
+	walk = func(e sqlparser.Expr) bool {
+		if be, ok := e.(*sqlparser.BinaryExpr); ok && be.Op == "AND" {
+			return walk(be.L) && walk(be.R)
+		}
+		n := c.lower(e)
+		if n == nil {
+			return false
+		}
+		conjs = append(conjs, n)
+		return true
+	}
+	if !walk(e) {
+		return nil
+	}
+	return conjs
+}
+
+// lowerWhere lowers a WHERE clause for the conjunct-pipeline filter: the
+// conjunct list plus the full predicate for evalFilter's unconvertible
+// bail path. A single-conjunct clause reuses the conjunct node as the full
+// predicate rather than lowering the tree twice. Both nil when the clause
+// cannot run vectorized.
+func (c *vecCompiler) lowerWhere(e sqlparser.Expr) (full vnode, conjs []vnode) {
+	conjs = c.lowerConjuncts(e)
+	if conjs == nil {
+		return nil, nil
+	}
+	if len(conjs) == 1 {
+		return conjs[0], conjs
+	}
+	if full = c.lower(e); full == nil {
+		return nil, nil
+	}
+	return full, conjs
+}
+
+// evalFilter applies the conjunct pipeline to one chunk: each conjunct is
+// evaluated only over the lanes the previous ones kept. NULL conjuncts
+// drop the lane (a NULL AND chain is never true), matching filter-level
+// ToBool semantics. If a conjunct produces a value ToBool cannot convert —
+// where the row path's quirky three-valued AND could still yield true —
+// the whole predicate is re-evaluated un-split so semantics stay identical.
+// sel == nil with all == true means every row passed.
+func evalFilter(vc *vecCtx, ch *chunk, full vnode, conjs []vnode) (sel []int32, all bool, err error) {
+	all = true
+	for _, cn := range conjs {
+		v, err := cn.eval(vc, ch, sel)
+		if err != nil {
+			return nil, false, err
+		}
+		lanes := laneCount(ch, sel)
+		next, ok := refineSel(vc, v, sel, lanes)
+		if !ok {
+			// Unconvertible conjunct value: bail to the un-split predicate.
+			wv, err := full.eval(vc, ch, nil)
+			if err != nil {
+				return nil, false, err
+			}
+			sel, all = buildSel(vc, wv, ch.n)
+			if all {
+				sel = nil
+			}
+			return sel, all, nil
+		}
+		if len(next) == lanes {
+			continue // every candidate lane passed; selection unchanged
+		}
+		all = false
+		sel = next
+		if len(sel) == 0 {
+			return sel, false, nil
+		}
+	}
+	return sel, all, nil
+}
+
+// refineSel keeps the lanes of cur (nil = all chunk lanes) where v is
+// ToBool-true. ok is false when a non-NULL lane cannot convert to bool —
+// the caller must re-evaluate the full predicate instead.
+func refineSel(vc *vecCtx, v *vec, cur []int32, lanes int) (next []int32, ok bool) {
+	if cap(vc.sel2) < lanes {
+		vc.sel2 = make([]int32, 0, lanes)
+	}
+	out := vc.sel2[:0]
+	keep := func(k int) {
+		if cur != nil {
+			out = append(out, cur[k])
+		} else {
+			out = append(out, int32(k))
+		}
+	}
+	switch v.kind {
+	case TBool:
+		for k := 0; k < lanes; k++ {
+			if !v.isNull(k) && v.bools[k] {
+				keep(k)
+			}
+		}
+	case TInt:
+		for k := 0; k < lanes; k++ {
+			if !v.isNull(k) && v.ints[k] != 0 {
+				keep(k)
+			}
+		}
+	case TFloat:
+		for k := 0; k < lanes; k++ {
+			if !v.isNull(k) && v.floats[k] != 0 {
+				keep(k)
+			}
+		}
+	case TString:
+		for k := 0; k < lanes; k++ {
+			if !v.isNull(k) {
+				return nil, false
+			}
+		}
+	default:
+		for k := 0; k < lanes; k++ {
+			x := v.anys[k]
+			if x == nil {
+				continue
+			}
+			b, bok := ToBool(x)
+			if !bok {
+				return nil, false
+			}
+			if b {
+				keep(k)
+			}
+		}
+	}
+	// Swap buffers so the next conjunct's refine does not overwrite the
+	// selection it is iterating.
+	vc.sel2 = vc.sel[:0]
+	vc.sel = out
+	return out, true
+}
+
+// buildSel collects the lanes a WHERE vector keeps (ToBool semantics: keep
+// when the value converts to true) into the context's reusable selection
+// buffer. all reports that every lane passed, letting callers keep the
+// full-chunk fast path.
+func buildSel(vc *vecCtx, v *vec, lanes int) (sel []int32, all bool) {
+	if cap(vc.sel) < lanes {
+		vc.sel = make([]int32, 0, lanes)
+	}
+	out := vc.sel[:0]
+	switch v.kind {
+	case TBool:
+		if v.nulls == nil {
+			for k := 0; k < lanes; k++ {
+				if v.bools[k] {
+					out = append(out, int32(k))
+				}
+			}
+		} else {
+			for k := 0; k < lanes; k++ {
+				if !v.nulls[k] && v.bools[k] {
+					out = append(out, int32(k))
+				}
+			}
+		}
+	case TInt:
+		for k := 0; k < lanes; k++ {
+			if !v.isNull(k) && v.ints[k] != 0 {
+				out = append(out, int32(k))
+			}
+		}
+	case TFloat:
+		for k := 0; k < lanes; k++ {
+			if !v.isNull(k) && v.floats[k] != 0 {
+				out = append(out, int32(k))
+			}
+		}
+	case TString:
+		// ToBool fails on strings: nothing passes.
+	default:
+		for k := 0; k < lanes; k++ {
+			if b, ok := ToBool(v.anys[k]); ok && b {
+				out = append(out, int32(k))
+			}
+		}
+	}
+	vc.sel = out
+	return out, len(out) == lanes
+}

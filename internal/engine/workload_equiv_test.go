@@ -97,6 +97,90 @@ func rowsEquivalent(t *testing.T, id string, s, p *engine.ResultSet) {
 	}
 }
 
+// rowsIdentical requires byte-identical results: same columns, same row
+// order, same dynamic types, float cells equal to the last bit. The serial
+// vectorized scan consumes values in exactly the row order of the row-view
+// path, so at parallelism 1 the two pipelines must agree bitwise.
+func rowsIdentical(t *testing.T, id string, want, got *engine.ResultSet) {
+	t.Helper()
+	if len(want.Cols) != len(got.Cols) {
+		t.Fatalf("%s: col count %d vs %d", id, len(want.Cols), len(got.Cols))
+	}
+	if len(want.Rows) != len(got.Rows) {
+		t.Fatalf("%s: row count %d vs %d", id, len(want.Rows), len(got.Rows))
+	}
+	for r := range want.Rows {
+		for c := range want.Rows[r] {
+			wv, gv := want.Rows[r][c], got.Rows[r][c]
+			wf, wok := wv.(float64)
+			gf, gok := gv.(float64)
+			if wok || gok {
+				if !wok || !gok || math.Float64bits(wf) != math.Float64bits(gf) {
+					t.Fatalf("%s row %d col %d: %v (%T) vs %v (%T)", id, r, c, wv, wv, gv, gv)
+				}
+				continue
+			}
+			if wv != gv {
+				t.Fatalf("%s row %d col %d: %v (%T) vs %v (%T)", id, r, c, wv, wv, gv, gv)
+			}
+		}
+	}
+}
+
+// vecRowViewEquivalence runs every workload query on two identically
+// loaded engines — one vectorized, one forced through the chunk row views
+// — and requires byte-identical results, plus an order-insensitive match
+// against a morsel-parallel vectorized engine.
+func vecRowViewEquivalence(t *testing.T, load func(e *engine.Engine) error, queries []workload.Query) {
+	t.Helper()
+	vecEng := engine.NewSeeded(42)
+	rowEng := engine.NewSeeded(42)
+	parEng := engine.NewSeeded(42)
+	for _, e := range []*engine.Engine{vecEng, rowEng, parEng} {
+		if err := load(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vecEng.SetParallelism(1)
+	rowEng.SetParallelism(1)
+	rowEng.SetVectorized(false)
+	parEng.SetParallelism(8)
+	for _, q := range queries {
+		rsRow, err := rowEng.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s row-view: %v", q.ID, err)
+		}
+		rsVec, err := vecEng.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s vectorized: %v", q.ID, err)
+		}
+		rowsIdentical(t, q.ID, rsRow, rsVec)
+		rsPar, err := parEng.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s parallel vectorized: %v", q.ID, err)
+		}
+		rowsEquivalent(t, q.ID, rsRow, rsPar)
+	}
+}
+
+func TestTPCHVectorizedRowViewEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	vecRowViewEquivalence(t, func(e *engine.Engine) error {
+		return workload.LoadTPCH(e, 0.02, 42)
+	}, workload.TPCHQueries)
+}
+
+func TestInstaVectorizedRowViewEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	vecRowViewEquivalence(t, func(e *engine.Engine) error {
+		return workload.LoadInsta(e, 0.02, 42)
+	}, workload.InstaQueries)
+}
+
 func TestTPCHParallelSerialEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

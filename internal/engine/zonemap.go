@@ -2,78 +2,22 @@ package engine
 
 import (
 	"strings"
-	"sync"
 
 	"verdictdb/internal/sqlparser"
 )
 
-// Zone maps: per-(table, column) chunk min/max summaries enabling scan-range
+// Zone maps: per-(chunk, column) min/max summaries enabling scan-range
 // pruning — the engine-side analogue of the partition pruning columnar
 // warehouses apply to clustered tables. Scrambles are physically clustered
 // by their _vdb_block column at build time, so the progressive executor's
 // `_vdb_block <= K` prefix predicates skip the chunks holding later blocks
 // instead of scanning and filtering them.
 //
-// Tables are append-only and rows are never mutated in place, so a chunk
-// summary computed once stays valid forever; later scans only extend the
-// map with newly completed chunks. Rows beyond the last complete chunk are
-// always scanned (never pruned), which keeps a concurrent append safe.
-
-// zoneChunkRows is the pruning granularity.
-const zoneChunkRows = 256
-
-// zoneChunk summarizes rows [i*zoneChunkRows, (i+1)*zoneChunkRows) of a
-// column: min/max over non-NULL values, nil when every value is NULL.
-type zoneChunk struct {
-	min, max Value
-}
-
-type zoneMap struct {
-	chunks []zoneChunk
-}
-
-// zoneState is the lazily allocated per-table zone container.
-type zoneState struct {
-	mu    sync.Mutex
-	byCol map[int]*zoneMap
-}
-
-// zoneFor returns the column's chunk summaries covering the complete chunks
-// of rows, building missing chunks on first use.
-func (t *Table) zoneFor(col int, rows [][]Value) []zoneChunk {
-	full := len(rows) / zoneChunkRows
-	if full == 0 {
-		return nil
-	}
-	t.zone.mu.Lock()
-	defer t.zone.mu.Unlock()
-	if t.zone.byCol == nil {
-		t.zone.byCol = map[int]*zoneMap{}
-	}
-	z := t.zone.byCol[col]
-	if z == nil {
-		z = &zoneMap{}
-		t.zone.byCol[col] = z
-	}
-	for len(z.chunks) < full {
-		start := len(z.chunks) * zoneChunkRows
-		var mn, mx Value
-		for _, r := range rows[start : start+zoneChunkRows] {
-			v := r[col]
-			if v == nil {
-				continue
-			}
-			if mn == nil || Compare(v, mn) < 0 {
-				mn = v
-			}
-			if mx == nil || Compare(v, mx) > 0 {
-				mx = v
-			}
-		}
-		z.chunks = append(z.chunks, zoneChunk{min: mn, max: mx})
-	}
-	return z.chunks[:full]
-}
+// Summaries are computed eagerly when a chunk is sealed (buildChunk in
+// columnar.go) — the append-only storage makes a sealed chunk immutable, so
+// there is nothing to invalidate and no lazy build to lock. Tail rows
+// beyond the last sealed chunk are always scanned (never pruned), which
+// keeps a concurrent append safe.
 
 // rangePred is one scan-prunable WHERE conjunct: a qualified column compared
 // to a literal.
@@ -162,79 +106,71 @@ func isNumeric(v Value) bool {
 	return false
 }
 
-// chunkMaySatisfy reports whether some row of the chunk could satisfy
-// `col op lit`. All-NULL chunks (nil min) satisfy nothing.
-func chunkMaySatisfy(c zoneChunk, op string, lit Value) bool {
-	if c.min == nil {
+// chunkMaySatisfy reports whether some row of a chunk-column with the given
+// zone summary could satisfy `col op lit`. All-NULL columns (nil min)
+// satisfy nothing.
+func chunkMaySatisfy(min, max Value, op string, lit Value) bool {
+	if min == nil {
 		return false
 	}
-	if !comparableKinds(c.min, lit) || !comparableKinds(c.max, lit) {
+	if !comparableKinds(min, lit) || !comparableKinds(max, lit) {
 		return true // unprunable, keep
 	}
 	switch op {
 	case "<=":
-		return Compare(c.min, lit) <= 0
+		return Compare(min, lit) <= 0
 	case "<":
-		return Compare(c.min, lit) < 0
+		return Compare(min, lit) < 0
 	case ">=":
-		return Compare(c.max, lit) >= 0
+		return Compare(max, lit) >= 0
 	case ">":
-		return Compare(c.max, lit) > 0
+		return Compare(max, lit) > 0
 	case "=":
-		return Compare(c.min, lit) <= 0 && Compare(c.max, lit) >= 0
+		return Compare(min, lit) <= 0 && Compare(max, lit) >= 0
 	}
 	return true
 }
 
-// pruneScan drops whole chunks that cannot satisfy the table's pushdown
-// predicates, preserving row order. The tail beyond the last complete chunk
-// is always kept. Returns the original slice untouched when nothing prunes
-// (the common case), so unpruned scans stay allocation-free.
-func pruneScan(t *Table, rows [][]Value, preds []rangePred) [][]Value {
-	var chunks []zoneChunk
+// pruneChunks drops whole sealed chunks that cannot satisfy the table's
+// pushdown predicates, preserving chunk order. The tail is always kept.
+// Returns the source untouched when nothing prunes (the common case), so
+// unpruned scans stay allocation-free.
+func pruneChunks(t *Table, src *colSource, preds []rangePred) *colSource {
+	if len(src.sealed) == 0 {
+		return src
+	}
 	var keep []bool
 	for _, p := range preds {
 		col := t.ColIndex(p.col)
-		if col < 0 {
+		if col < 0 { // absent or ambiguous: never prune on it
 			continue
 		}
-		if chunks == nil {
-			chunks = t.zoneFor(col, rows)
-			if len(chunks) == 0 {
-				return rows
+		for i, ch := range src.sealed {
+			if keep != nil && !keep[i] {
+				continue
 			}
-			keep = make([]bool, len(chunks))
-			for i := range keep {
-				keep[i] = true
-			}
-		} else {
-			// Chunk summaries are per column; re-fetch for this predicate.
-			chunks = t.zoneFor(col, rows)
-		}
-		for i, c := range chunks {
-			if keep[i] && !chunkMaySatisfy(c, p.op, p.lit) {
+			cv := &ch.cols[col]
+			if !chunkMaySatisfy(cv.min, cv.max, p.op, p.lit) {
+				if keep == nil {
+					keep = make([]bool, len(src.sealed))
+					for j := range keep {
+						keep[j] = true
+					}
+				}
 				keep[i] = false
 			}
 		}
 	}
 	if keep == nil {
-		return rows
+		return src
 	}
-	pruned := false
-	for _, k := range keep {
-		if !k {
-			pruned = true
-			break
+	kept := make([]*chunk, 0, len(src.sealed))
+	n := len(src.tail)
+	for i, ch := range src.sealed {
+		if keep[i] {
+			kept = append(kept, ch)
+			n += ch.n
 		}
 	}
-	if !pruned {
-		return rows
-	}
-	out := make([][]Value, 0, len(rows))
-	for i, k := range keep {
-		if k {
-			out = append(out, rows[i*zoneChunkRows:(i+1)*zoneChunkRows]...)
-		}
-	}
-	return append(out, rows[len(keep)*zoneChunkRows:]...)
+	return &colSource{sealed: kept, tail: src.tail, nrows: n}
 }
