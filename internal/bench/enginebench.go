@@ -50,6 +50,11 @@ var engineBenchQueries = []struct{ name, sql string }{
 	{"E1Project", `
 		select g, x * (1 - y) as net, substr(d, 1, 4) as yr
 		from fact where flag <> 'N'`},
+	{"E1HashJoin", `
+		select d.cat, sum(f.x * (1 - f.y)) as rev, avg(f.x) as ax, count(*) as c
+		from fact f inner join dim d on f.g = d.g
+		where f.d <= '1998-09-02' and f.flag <> 'N'
+		group by d.cat`},
 }
 
 // EngineBench measures the engine hot path and writes the report to
@@ -80,6 +85,21 @@ func EngineBench(w io.Writer, outPath string, iters int) (*EngineBenchReport, er
 		}
 	}
 	if err := eng.InsertRows("fact", rows); err != nil {
+		return nil, err
+	}
+	// Dimension table for E1HashJoin: one row per fact.g value.
+	if err := eng.CreateTable("dim", []engine.Column{
+		{Name: "g", Type: engine.TInt},
+		{Name: "cat", Type: engine.TString},
+	}); err != nil {
+		return nil, err
+	}
+	cats := []string{"AUTO", "BLDG", "FURN", "HSLD", "MACH"}
+	drows := make([][]engine.Value, 25)
+	for g := range drows {
+		drows[g] = []engine.Value{int64(g), cats[g%len(cats)]}
+	}
+	if err := eng.InsertRows("dim", drows); err != nil {
 		return nil, err
 	}
 

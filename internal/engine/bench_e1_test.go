@@ -39,6 +39,21 @@ func e1Engine(b *testing.B) *Engine {
 	if err := e.InsertRows("fact", rows); err != nil {
 		b.Fatal(err)
 	}
+	// Dimension table for the hash-join benchmark: one row per fact.g value.
+	if err := e.CreateTable("dim", []Column{
+		{Name: "g", Type: TInt},
+		{Name: "cat", Type: TString},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	cats := []string{"AUTO", "BLDG", "FURN", "HSLD", "MACH"}
+	drows := make([][]Value, 25)
+	for g := range drows {
+		drows[g] = []Value{int64(g), cats[g%len(cats)]}
+	}
+	if err := e.InsertRows("dim", drows); err != nil {
+		b.Fatal(err)
+	}
 	return e
 }
 
@@ -79,4 +94,15 @@ func BenchmarkE1Project(b *testing.B) {
 	benchE1Query(b, e1Engine(b), `
 		select g, x * (1 - y) as net, substr(d, 1, 4) as yr
 		from fact where flag <> 'N'`)
+}
+
+// BenchmarkE1HashJoin is the tq-3/tq-5 shape: a big probe-side scan hash
+// joined against a dimension table, filtered and grouped downstream — the
+// path the vectorized join with late materialization targets.
+func BenchmarkE1HashJoin(b *testing.B) {
+	benchE1Query(b, e1Engine(b), `
+		select d.cat, sum(f.x * (1 - f.y)) as rev, avg(f.x) as ax, count(*) as c
+		from fact f inner join dim d on f.g = d.g
+		where f.d <= '1998-09-02' and f.flag <> 'N'
+		group by d.cat`)
 }

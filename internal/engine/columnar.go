@@ -79,11 +79,20 @@ func (c *colVec) value(i int) Value {
 	return c.anys[i]
 }
 
-// chunk is chunkRows rows (fewer only for the ephemeral tail chunk) stored
-// column-wise. Immutable after construction.
+// chunk is chunkRows rows (fewer only for the ephemeral tail chunk; more for
+// one-to-many join outputs) stored column-wise. Immutable after construction,
+// except that join-output chunks fill their column vectors lazily (see
+// gather below).
 type chunk struct {
 	cols []colVec
 	n    int
+
+	// gather is non-nil for join-output chunks: the chunk holds row
+	// references into its probe/build source chunks, and a column vector is
+	// gathered into cols only when first touched (late materialization —
+	// columns the query never reads are never copied). Plain storage chunks
+	// leave it nil.
+	gather *joinGather
 
 	// boxed is the lazily built row view for the interpreted fallback
 	// path, cached so repeated fallback queries (joins, subqueries) pay
@@ -91,6 +100,32 @@ type chunk struct {
 	// with the live tail rows as a pre-populated view.
 	boxOnce sync.Once
 	boxed   [][]Value
+}
+
+// col returns column j's vector, gathering it first for join-output chunks.
+func (c *chunk) col(j int) *colVec {
+	if c.gather != nil {
+		c.gather.fill(c, j)
+	}
+	return &c.cols[j]
+}
+
+// colKind reports column j's storage kind without forcing a gather.
+func (c *chunk) colKind(j int) ColType {
+	if c.gather != nil {
+		return c.gather.kindOf(j)
+	}
+	return c.cols[j].kind
+}
+
+// valueAt boxes cell (row i, column j). For join-output chunks it reads
+// through the row references without gathering the whole column — the
+// cheap path for boxing single rows (group representatives).
+func (c *chunk) valueAt(j, i int) Value {
+	if c.gather != nil {
+		return c.gather.valueAt(j, i)
+	}
+	return c.cols[j].value(i)
 }
 
 // storageKind classifies a non-NULL runtime value for vector storage.
@@ -109,10 +144,13 @@ func storageKind(v Value) ColType {
 }
 
 // buildChunk seals rows (all of width w) into a columnar chunk, computing
-// zone summaries in the same pass. keepRows retains the source rows as the
-// chunk's row view — used for the ephemeral tail chunk, where the boxed
-// rows already exist in table storage and cost nothing to keep.
-func buildChunk(rows [][]Value, w int, keepRows bool) *chunk {
+// zone summaries in the same pass when withZones is set. keepRows retains
+// the source rows as the chunk's row view — used for the ephemeral tail
+// chunk and for chunkified intermediate relations, where the boxed rows
+// already exist and cost nothing to keep. Zone summaries only matter for
+// table storage (scan pruning reads them); ephemeral chunks skip the
+// per-value Compare calls.
+func buildChunk(rows [][]Value, w int, keepRows, withZones bool) *chunk {
 	n := len(rows)
 	ch := &chunk{cols: make([]colVec, w), n: n}
 	if keepRows {
@@ -135,11 +173,13 @@ func buildChunk(rows [][]Value, w int, keepRows bool) *chunk {
 			} else if kind != t {
 				kind = TAny
 			}
-			if col.min == nil || Compare(v, col.min) < 0 {
-				col.min = v
-			}
-			if col.max == nil || Compare(v, col.max) > 0 {
-				col.max = v
+			if withZones {
+				if col.min == nil || Compare(v, col.min) < 0 {
+					col.min = v
+				}
+				if col.max == nil || Compare(v, col.max) > 0 {
+					col.max = v
+				}
 			}
 		}
 		if kind == -1 || kind == TAny {
@@ -202,9 +242,28 @@ func buildChunk(rows [][]Value, w int, keepRows bool) *chunk {
 func (c *chunk) materializeRow(i int) []Value {
 	row := make([]Value, len(c.cols))
 	for j := range c.cols {
-		row[j] = c.cols[j].value(i)
+		row[j] = c.valueAt(j, i)
 	}
 	return row
+}
+
+// chunkifyRows slices a row-major relation into ephemeral columnar chunks
+// so it can feed the vectorized join as a probe or build input. The boxed
+// rows are kept as each chunk's row view (they already exist), and no zone
+// summaries are computed (intermediate chunks are never pruned).
+func chunkifyRows(rows [][]Value, w int) []*chunk {
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make([]*chunk, 0, (len(rows)+chunkRows-1)/chunkRows)
+	for lo := 0; lo < len(rows); lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		out = append(out, buildChunk(rows[lo:hi], w, true, false))
+	}
+	return out
 }
 
 // rows returns the chunk's boxed row view, building and caching it on
@@ -249,7 +308,7 @@ func (s *colSource) scanChunks() []*chunk {
 	w := len(s.tail[0])
 	s.scan = make([]*chunk, 0, len(s.sealed)+1)
 	s.scan = append(s.scan, s.sealed...)
-	s.scan = append(s.scan, buildChunk(s.tail, w, true))
+	s.scan = append(s.scan, buildChunk(s.tail, w, true, false))
 	return s.scan
 }
 
@@ -275,7 +334,7 @@ func (t *Table) appendRow(row []Value) {
 	t.tail = append(t.tail, row)
 	t.nrows++
 	if len(t.tail) >= chunkRows {
-		t.sealed = append(t.sealed, buildChunk(t.tail, len(t.Cols), false))
+		t.sealed = append(t.sealed, buildChunk(t.tail, len(t.Cols), false, true))
 		// A fresh slice, not a truncation: concurrent readers may still
 		// hold the old tail header.
 		t.tail = nil

@@ -86,7 +86,9 @@ func (r *relation) resolve(table, name string) (int, error) {
 		return -1, fmt.Errorf("engine: unknown column %s", name)
 	}
 	if idx == ambiguousIdx {
-		return -1, fmt.Errorf("engine: ambiguous column %s", name)
+		// Keep the sentinel in the return so callers can tell ambiguity
+		// (an error even when enclosing scopes know the name) from absence.
+		return ambiguousIdx, fmt.Errorf("engine: ambiguous column %s", name)
 	}
 	return idx, nil
 }
@@ -138,15 +140,20 @@ func (ev *env) child(rel *relation, row []Value) *env {
 	}
 }
 
-// lookupColumn resolves a column in this scope or any enclosing scope.
+// lookupColumn resolves a column in this scope or any enclosing scope. A
+// name the innermost scope knows but finds ambiguous is an error — it must
+// not fall through to an enclosing scope (or to "unknown column").
 func (ev *env) lookupColumn(table, name string) (Value, error) {
 	for scope := ev; scope != nil; scope = scope.outer {
 		if scope.rel == nil {
 			continue
 		}
-		if scope.rel.canResolve(table, name) {
-			idx, _ := scope.rel.resolve(table, name)
+		idx, err := scope.rel.resolve(table, name)
+		if err == nil {
 			return scope.row[idx], nil
+		}
+		if idx == ambiguousIdx {
+			return nil, err
 		}
 	}
 	return nil, fmt.Errorf("engine: unknown column %s", joinName(table, name))

@@ -79,24 +79,34 @@ func baseName(name string) string {
 	return name
 }
 
-// joinRelations implements hash-based equi-joins with residual predicates,
-// falling back to a nested-loop join when no equi-join pair exists.
+// joinRelations implements hash-based equi-joins with residual predicates:
+// vectorized over columnar chunks with late materialization when the join
+// condition lowers to kernels (vecjoin.go), row-at-a-time otherwise, and a
+// nested-loop join when no equi-join pair exists.
 func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, outer *env) (*relation, error) {
-	// Joins are row-at-a-time: read both sides through the row view.
-	left.materialize()
-	right.materialize()
 	combinedQuals := append(append([]string{}, left.qualifiers...), right.qualifiers...)
 	combinedNames := append(append([]string{}, left.names...), right.names...)
 	combined := newRelation(combinedQuals, combinedNames, nil)
 
 	on := je.On
 	// JOIN ... USING (c1, ...) is sugar for equality on the named columns.
+	// Each column must resolve to exactly one column on each side; a silent
+	// unqualified ref could bind to the wrong column (or make the equality
+	// self-referential), so missing/ambiguous names are errors.
 	if len(je.Using) > 0 {
 		for _, c := range je.Using {
+			lq, err := usingQualifier(left, c, "left")
+			if err != nil {
+				return nil, err
+			}
+			rq, err := usingQualifier(right, c, "right")
+			if err != nil {
+				return nil, err
+			}
 			eq := &sqlparser.BinaryExpr{
 				Op: "=",
-				L:  &sqlparser.ColumnRef{Table: qualifierFor(left, c), Name: c},
-				R:  &sqlparser.ColumnRef{Table: qualifierFor(right, c), Name: c},
+				L:  &sqlparser.ColumnRef{Table: lq, Name: c},
+				R:  &sqlparser.ColumnRef{Table: rq, Name: c},
 			}
 			if on == nil {
 				on = eq
@@ -107,6 +117,25 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	}
 
 	leftKeys, rightKeys, residual := splitJoinCondition(left, right, on)
+
+	// Vectorized hash join: equi-keys whose expressions (and residual)
+	// lower to pure vector kernels run chunk-at-a-time with reference-based
+	// output; everything else — impure ON, subqueries in ON, no equi-key —
+	// keeps the row path below.
+	if len(leftKeys) > 0 && !qc.eng.noVec.Load() {
+		if vj := buildVecJoin(qc.eng, left, right, combined, je.Type, leftKeys, rightKeys, residual); vj != nil {
+			src, err := vj.run()
+			if err != nil {
+				return nil, err
+			}
+			combined.src = src
+			return combined, nil
+		}
+	}
+
+	// Row path: read both sides through the boxed row view.
+	left.materialize()
+	right.materialize()
 
 	// Evaluation environments for key extraction.
 	lEnv := &env{qc: qc, rel: left, outer: outer}
@@ -160,10 +189,15 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	var out [][]Value
 
 	if len(leftKeys) == 0 {
-		// Nested-loop join (cross join or non-equi condition).
-		if je.Type == CrossJoinType() && residual == nil {
+		// Nested-loop join (cross join or non-equi condition). A
+		// residual-free condition means every pair joins, so the output size
+		// is known up front — for CROSS JOIN and INNER JOIN alike.
+		if (je.Type == sqlparser.CrossJoin || je.Type == sqlparser.InnerJoin) && residual == nil {
 			out = make([][]Value, 0, len(left.rows)*max(1, len(right.rows)))
 		}
+		// All four outer/inner flavors keep a deterministic order: matched
+		// pairs in (left row, right row) order, LEFT/FULL null-extensions in
+		// place, RIGHT/FULL unmatched right rows trailing in right order.
 		switch je.Type {
 		case sqlparser.InnerJoin, sqlparser.CrossJoin:
 			for _, lrow := range left.rows {
@@ -194,8 +228,49 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 					out = appendJoined(out, lrow, nil)
 				}
 			}
-		default:
-			return nil, fmt.Errorf("engine: %s requires an equi-join condition", je.Type)
+		case sqlparser.RightJoin:
+			matchedR := make([]bool, len(right.rows))
+			for _, lrow := range left.rows {
+				for ri, rrow := range right.rows {
+					ok, err := matches(lrow, rrow)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matchedR[ri] = true
+						out = appendJoined(out, lrow, rrow)
+					}
+				}
+			}
+			for ri, rrow := range right.rows {
+				if !matchedR[ri] {
+					out = appendJoined(out, nil, rrow)
+				}
+			}
+		case sqlparser.FullJoin:
+			matchedR := make([]bool, len(right.rows))
+			for _, lrow := range left.rows {
+				matched := false
+				for ri, rrow := range right.rows {
+					ok, err := matches(lrow, rrow)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matched = true
+						matchedR[ri] = true
+						out = appendJoined(out, lrow, rrow)
+					}
+				}
+				if !matched {
+					out = appendJoined(out, lrow, nil)
+				}
+			}
+			for ri, rrow := range right.rows {
+				if !matchedR[ri] {
+					out = appendJoined(out, nil, rrow)
+				}
+			}
 		}
 		combined.rows = out
 		return combined, nil
@@ -204,17 +279,23 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	// Hash join: build on the right, probe from the left. Key expressions
 	// are compiled once per join when possible, and composite keys are
 	// rendered into a reusable byte buffer (the map only materializes a key
-	// string when a new bucket is inserted).
+	// string when a new bucket is inserted). RIGHT/FULL joins track matched
+	// flags per build-row position, so unmatched right rows — including
+	// NULL-key rows, which never enter a bucket but must still null-extend —
+	// emit in build order after the probe.
 	lKeyFns := compileKeyFns(qc.eng, left, leftKeys)
 	rKeyFns := compileKeyFns(qc.eng, right, rightKeys)
 	type bucket struct {
-		rows    [][]Value
-		matched []bool
+		rows [][]Value
+		idx  []int // build-row positions, for the matched flags
 	}
 	build := make(map[string]*bucket, len(right.rows))
-	var buildOrder []*bucket // insertion order, so outer-join fill is deterministic
+	var matched []bool
+	if je.Type == sqlparser.RightJoin || je.Type == sqlparser.FullJoin {
+		matched = make([]bool, len(right.rows))
+	}
 	var kbuf []byte
-	for _, rrow := range right.rows {
+	for ri, rrow := range right.rows {
 		var null bool
 		var err error
 		kbuf, null, err = appendJoinKey(kbuf[:0], rEnv, rrow, rightKeys, rKeyFns)
@@ -228,10 +309,9 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 		if !ok {
 			b = &bucket{}
 			build[string(kbuf)] = b
-			buildOrder = append(buildOrder, b)
 		}
 		b.rows = append(b.rows, rrow)
-		b.matched = append(b.matched, false)
+		b.idx = append(b.idx, ri)
 	}
 
 	for _, lrow := range left.rows {
@@ -251,7 +331,9 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 					}
 					if ok2 {
 						matchedLeft = true
-						b.matched[i] = true
+						if matched != nil {
+							matched[b.idx[i]] = true
+						}
 						out = appendJoined(out, lrow, rrow)
 					}
 				}
@@ -261,12 +343,10 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 			out = appendJoined(out, lrow, nil)
 		}
 	}
-	if je.Type == sqlparser.RightJoin || je.Type == sqlparser.FullJoin {
-		for _, b := range buildOrder {
-			for i, rrow := range b.rows {
-				if !b.matched[i] {
-					out = appendJoined(out, nil, rrow)
-				}
+	if matched != nil {
+		for ri, rrow := range right.rows {
+			if !matched[ri] {
+				out = appendJoined(out, nil, rrow)
 			}
 		}
 	}
@@ -274,17 +354,24 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	return combined, nil
 }
 
-// CrossJoinType returns the cross-join tag (avoids exporting sqlparser in
-// signatures above).
-func CrossJoinType() sqlparser.JoinType { return sqlparser.CrossJoin }
-
-func qualifierFor(r *relation, col string) string {
+// usingQualifier resolves a USING column on one join input, returning the
+// qualifier of its unique match. Zero matches or several are errors — the
+// old behavior of returning an unqualified ref silently bound to whatever
+// column the combined scope resolved first.
+func usingQualifier(r *relation, col, side string) (string, error) {
+	found := -1
 	for i, n := range r.names {
 		if strings.EqualFold(n, col) {
-			return r.qualifiers[i]
+			if found >= 0 {
+				return "", fmt.Errorf("engine: column %q in USING is ambiguous on the %s side of the join", col, side)
+			}
+			found = i
 		}
 	}
-	return ""
+	if found < 0 {
+		return "", fmt.Errorf("engine: column %q in USING not found in both join inputs", col)
+	}
+	return r.qualifiers[found], nil
 }
 
 // splitJoinCondition decomposes an ON condition into hash-join key pairs
@@ -399,11 +486,4 @@ func appendJoinKey(buf []byte, ev *env, row []Value, keys []sqlparser.Expr, fns 
 		buf = append(buf, keySep)
 	}
 	return buf, false, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

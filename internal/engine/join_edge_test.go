@@ -1,0 +1,331 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"verdictdb/internal/engine"
+)
+
+// Join edge-case suite: NULL join keys on each side for all four join
+// types, USING with missing/ambiguous columns, duplicate column names
+// across sides, empty build/probe sides, mixed-type keys, residuals on
+// outer joins, and multi-way joins — each asserted byte-identical between
+// the vectorized join path and the row path (SetVectorized(false)), plus a
+// morsel-parallel leg at parallelism 8 (join output order is chunk-order
+// merged, so even the parallel probe must match bitwise on non-aggregate
+// queries).
+
+// joinEngines returns three identically loaded engines: vectorized serial,
+// row-path serial, vectorized parallel(8).
+func joinEngines(t *testing.T, load func(e *engine.Engine) error) (vec, row, par *engine.Engine) {
+	t.Helper()
+	vec = engine.NewSeeded(1)
+	row = engine.NewSeeded(1)
+	par = engine.NewSeeded(1)
+	for _, e := range []*engine.Engine{vec, row, par} {
+		if err := load(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vec.SetParallelism(1)
+	row.SetParallelism(1)
+	row.SetVectorized(false)
+	par.SetParallelism(8)
+	return vec, row, par
+}
+
+// checkJoinIdentical runs one query on all three engines and requires the
+// vectorized results to match the row path byte for byte.
+func checkJoinIdentical(t *testing.T, vec, row, par *engine.Engine, id, sql string) {
+	t.Helper()
+	rsRow, err := row.Query(sql)
+	if err != nil {
+		t.Fatalf("%s row path: %v", id, err)
+	}
+	rsVec, err := vec.Query(sql)
+	if err != nil {
+		t.Fatalf("%s vectorized: %v", id, err)
+	}
+	rowsIdentical(t, id+" vec-vs-row", rsRow, rsVec)
+	rsPar, err := par.Query(sql)
+	if err != nil {
+		t.Fatalf("%s parallel: %v", id, err)
+	}
+	rowsIdentical(t, id+" par-vs-row", rsRow, rsPar)
+}
+
+func loadNullKeyTables(e *engine.Engine) error {
+	if err := e.CreateTable("l", []engine.Column{
+		{Name: "id", Type: engine.TInt}, {Name: "lv", Type: engine.TString},
+	}); err != nil {
+		return err
+	}
+	if err := e.CreateTable("r", []engine.Column{
+		{Name: "id", Type: engine.TInt}, {Name: "rv", Type: engine.TString},
+	}); err != nil {
+		return err
+	}
+	if err := e.InsertRows("l", [][]engine.Value{
+		{int64(1), "a"}, {int64(2), "b"}, {nil, "c"}, {int64(3), "d"}, {int64(2), "e"},
+	}); err != nil {
+		return err
+	}
+	return e.InsertRows("r", [][]engine.Value{
+		{int64(2), "x"}, {nil, "y"}, {int64(4), "z"}, {int64(2), "w"},
+	})
+}
+
+func TestJoinNullKeysAllTypes(t *testing.T) {
+	vec, row, par := joinEngines(t, loadNullKeyTables)
+	for _, jt := range []string{"inner join", "left join", "right join", "full join"} {
+		sql := "select l.id, l.lv, r.id, r.rv from l " + jt + " r on l.id = r.id"
+		checkJoinIdentical(t, vec, row, par, jt, sql)
+	}
+	// NULL keys never match: inner join output must only hold id=2 pairs.
+	rs, err := vec.Query("select count(*) from l inner join r on l.id = r.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0]; got != int64(4) {
+		t.Fatalf("inner join over NULL keys: want 4 pairs (2x2 for id=2), got %v", got)
+	}
+	// LEFT null-extends the NULL-key and unmatched probe rows; FULL adds
+	// the unmatched build rows (NULL key + id=4) at the end.
+	rs, err = vec.Query("select count(*) from l full join r on l.id = r.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0]; got != int64(9) {
+		t.Fatalf("full join: want 9 rows (4 matches + 3 left-extended + 2 right-extended), got %v", got)
+	}
+}
+
+func TestJoinResidualOuterTypes(t *testing.T) {
+	vec, row, par := joinEngines(t, loadNullKeyTables)
+	for _, jt := range []string{"inner join", "left join", "right join", "full join"} {
+		// Residuals over each side of the combined row, and over both.
+		for _, res := range []string{"r.rv <> 'x'", "l.lv <> 'b'", "l.lv < r.rv"} {
+			sql := "select l.id, l.lv, r.id, r.rv from l " + jt + " r on l.id = r.id and " + res
+			checkJoinIdentical(t, vec, row, par, jt+" residual "+res, sql)
+		}
+	}
+	// The residual changes match bookkeeping: id=2 probe rows still match
+	// (via rv='w'), but the rv='x' build row must null-extend in FULL.
+	rs, err := vec.Query(`select count(*) from l full join r on l.id = r.id and r.rv <> 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0]; got != int64(8) {
+		t.Fatalf("full join with residual: want 8 rows, got %v", got)
+	}
+}
+
+func TestJoinNonEquiAllTypes(t *testing.T) {
+	// No equi key: nested-loop path on both engines. RIGHT and FULL used to
+	// error with "requires an equi-join condition".
+	vec, row, par := joinEngines(t, loadNullKeyTables)
+	for _, jt := range []string{"inner join", "left join", "right join", "full join"} {
+		sql := "select l.id, l.lv, r.id, r.rv from l " + jt + " r on l.id < r.id"
+		checkJoinIdentical(t, vec, row, par, jt+" non-equi", sql)
+	}
+	rs, err := vec.Query("select count(*) from l right join r on l.id < r.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches: l.id 1 < {2,4,2} gives 3, l.id 2 (twice) and 3 each < 4 give
+	// 3 more = 6; the NULL-key right row never matches and null-extends → 7.
+	if got := rs.Rows[0][0]; got != int64(7) {
+		t.Fatalf("right non-equi join: want 7 rows, got %v", got)
+	}
+}
+
+func TestJoinUsingErrors(t *testing.T) {
+	vec, row, _ := joinEngines(t, loadNullKeyTables)
+	for _, e := range []*engine.Engine{vec, row} {
+		// Missing on one side must error, not silently bind unqualified.
+		_, err := e.Query("select * from l inner join r using (lv)")
+		if err == nil || !strings.Contains(err.Error(), "not found in both join inputs") {
+			t.Fatalf("USING with one-sided column: want 'not found in both join inputs' error, got %v", err)
+		}
+		// Missing on both sides.
+		_, err = e.Query("select * from l inner join r using (nope)")
+		if err == nil || !strings.Contains(err.Error(), "not found in both join inputs") {
+			t.Fatalf("USING with unknown column: want error, got %v", err)
+		}
+		// Ambiguous on one side: a derived table exposing the name twice.
+		_, err = e.Query("select * from (select id, id from l) x inner join r using (id)")
+		if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+			t.Fatalf("USING with ambiguous column: want ambiguity error, got %v", err)
+		}
+	}
+}
+
+func TestJoinUsingAndDuplicateNames(t *testing.T) {
+	vec, row, par := joinEngines(t, loadNullKeyTables)
+	// USING works and the combined schema keeps both sides' columns —
+	// including the duplicate id — in order.
+	sql := "select * from l inner join r using (id)"
+	checkJoinIdentical(t, vec, row, par, "using", sql)
+	rs, err := vec.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"id", "lv", "id", "rv"}; len(rs.Cols) != len(want) {
+		t.Fatalf("USING join columns: got %v", rs.Cols)
+	}
+	// An unqualified duplicate name in the select list stays ambiguous.
+	_, err = vec.Query("select id from l inner join r using (id)")
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("duplicate column select: want ambiguity error, got %v", err)
+	}
+	// Qualified references disambiguate.
+	checkJoinIdentical(t, vec, row, par, "using-qualified",
+		"select l.id, r.id from l inner join r using (id)")
+}
+
+func TestJoinEmptySides(t *testing.T) {
+	load := func(e *engine.Engine) error {
+		if err := loadNullKeyTables(e); err != nil {
+			return err
+		}
+		return e.CreateTable("empty", []engine.Column{
+			{Name: "id", Type: engine.TInt}, {Name: "ev", Type: engine.TString},
+		})
+	}
+	vec, row, par := joinEngines(t, load)
+	for _, jt := range []string{"inner join", "left join", "right join", "full join"} {
+		// Empty build (right) side.
+		checkJoinIdentical(t, vec, row, par, jt+" empty-build",
+			"select l.id, l.lv, e.id, e.ev from l "+jt+" empty e on l.id = e.id")
+		// Empty probe (left) side.
+		checkJoinIdentical(t, vec, row, par, jt+" empty-probe",
+			"select e.id, e.ev, r.id, r.rv from empty e "+jt+" r on e.id = r.id")
+	}
+	// Aggregates over empty join outputs.
+	checkJoinIdentical(t, vec, row, par, "empty agg",
+		"select count(*), sum(l.id) from l inner join empty e on l.id = e.id")
+}
+
+func TestJoinMixedTypeKeys(t *testing.T) {
+	load := func(e *engine.Engine) error {
+		if err := e.CreateTable("li", []engine.Column{
+			{Name: "k", Type: engine.TInt}, {Name: "v", Type: engine.TString},
+		}); err != nil {
+			return err
+		}
+		if err := e.CreateTable("rf", []engine.Column{
+			{Name: "k", Type: engine.TFloat}, {Name: "w", Type: engine.TString},
+		}); err != nil {
+			return err
+		}
+		if err := e.InsertRows("li", [][]engine.Value{
+			{int64(1), "a"}, {int64(2), "b"}, {int64(3), "c"},
+		}); err != nil {
+			return err
+		}
+		return e.InsertRows("rf", [][]engine.Value{
+			{2.0, "x"}, {2.5, "y"}, {3.0, "z"},
+		})
+	}
+	vec, row, par := joinEngines(t, load)
+	// Integral floats join against ints (the group-key encoding renders
+	// both as the same fragment, matching Compare's coercion).
+	checkJoinIdentical(t, vec, row, par, "int-float keys",
+		"select li.k, li.v, rf.k, rf.w from li inner join rf on li.k = rf.k")
+	rs, err := vec.Query("select count(*) from li inner join rf on li.k = rf.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0]; got != int64(2) {
+		t.Fatalf("mixed-type keys: want 2 matches, got %v", got)
+	}
+}
+
+// TestJoinLargeParallelProbe crosses sealed-chunk boundaries on both sides,
+// exercises the morsel-parallel probe, multi-way (join-of-join) inputs, and
+// aggregation over the reference-based join output.
+func TestJoinLargeParallelProbe(t *testing.T) {
+	load := func(e *engine.Engine) error {
+		if err := e.CreateTable("fact", []engine.Column{
+			{Name: "g", Type: engine.TInt}, {Name: "h", Type: engine.TInt},
+			{Name: "x", Type: engine.TFloat},
+		}); err != nil {
+			return err
+		}
+		if err := e.CreateTable("dim1", []engine.Column{
+			{Name: "g", Type: engine.TInt}, {Name: "cat", Type: engine.TString},
+		}); err != nil {
+			return err
+		}
+		if err := e.CreateTable("dim2", []engine.Column{
+			{Name: "h", Type: engine.TInt}, {Name: "region", Type: engine.TString},
+		}); err != nil {
+			return err
+		}
+		rows := make([][]engine.Value, 8200)
+		for i := range rows {
+			var g engine.Value
+			if i%97 == 0 {
+				g = nil // NULL keys sprinkled through the probe side
+			} else {
+				g = int64(i % 40)
+			}
+			rows[i] = []engine.Value{g, int64(i % 7), float64(i%1000) / 10}
+		}
+		if err := e.InsertRows("fact", rows); err != nil {
+			return err
+		}
+		cats := []string{"A", "B", "C"}
+		drows := make([][]engine.Value, 0, 38)
+		for g := 0; g < 38; g++ { // ids 38,39 dangle on the probe side
+			drows = append(drows, []engine.Value{int64(g), cats[g%3]})
+		}
+		if err := e.InsertRows("dim1", drows); err != nil {
+			return err
+		}
+		d2 := make([][]engine.Value, 0, 7)
+		for h := 0; h < 7; h++ {
+			d2 = append(d2, []engine.Value{int64(h), string(rune('p' + h))})
+		}
+		return e.InsertRows("dim2", d2)
+	}
+	vec, row, par := joinEngines(t, load)
+
+	// Non-aggregate multi-way join: byte-identical even at parallelism 8
+	// (probe morsels merge in chunk order).
+	checkJoinIdentical(t, vec, row, par, "multiway project", `
+		select f.g, d1.cat, d2.region, f.x
+		from fact f
+		inner join dim1 d1 on f.g = d1.g
+		inner join dim2 d2 on f.h = d2.h
+		where f.x < 42.5`)
+
+	// Aggregation over the join with LEFT dangling rows. The parallel leg
+	// is compared with float tolerance: downstream partial aggregation
+	// reassociates sums (the join output itself stays byte-identical, as
+	// the projection query above proves).
+	aggSQL := `
+		select d1.cat, count(*) as c, sum(f.x) as sx
+		from fact f left join dim1 d1 on f.g = d1.g
+		group by d1.cat`
+	rsRow, err := row.Query(aggSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsVec, err := vec.Query(aggSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsIdentical(t, "left agg vec-vs-row", rsRow, rsVec)
+	rsPar, err := par.Query(aggSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsEquivalent(t, "left agg par-vs-row", rsRow, rsPar)
+
+	// The parallel engine must actually fan the probe out.
+	if par.ParallelScans() == 0 {
+		t.Fatal("parallel engine never took the morsel-parallel path")
+	}
+}

@@ -126,6 +126,78 @@ func parallelFilter(e *Engine, rows [][]Value, pred compiledExpr, nw int) ([][]V
 	return res, nil
 }
 
+// parallelJoinProbe hands the probe side of a vectorized hash join out as
+// chunk morsels: contiguous probe-chunk ranges per worker, each probing the
+// shared (read-only) hash table with private kernel buffers, output chunks
+// concatenated in probe-chunk order — so join output order is identical to
+// a serial probe, the same contract the scan morsels keep. needMatched
+// allocates per-worker build-side matched bitmaps (RIGHT/FULL joins),
+// OR-merged after the barrier.
+func parallelJoinProbe(vj *vecJoin, needMatched bool) ([]*chunk, []bool, error) {
+	chunks := vj.probeChunks
+	nw := vj.eng.scanWorkers(vj.nProbe)
+	if nw > len(chunks) {
+		nw = len(chunks)
+	}
+	if nw <= 1 {
+		pc := vj.newProbeCtx(needMatched)
+		var out []*chunk
+		for _, ch := range chunks {
+			oc, err := vj.probeChunk(pc, ch)
+			if err != nil {
+				return nil, nil, err
+			}
+			if oc != nil {
+				out = append(out, oc)
+			}
+		}
+		return out, pc.matched, nil
+	}
+	outs := make([][]*chunk, nw)
+	bitmaps := make([][]bool, nw)
+	err := runChunks(nw, len(chunks), func(w, lo, hi int) error {
+		pc := vj.newProbeCtx(needMatched)
+		bitmaps[w] = pc.matched
+		for _, ch := range chunks[lo:hi] {
+			oc, err := vj.probeChunk(pc, ch)
+			if err != nil {
+				return err
+			}
+			if oc != nil {
+				outs[w] = append(outs[w], oc)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([]*chunk, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
+	var matched []bool
+	if needMatched {
+		matched = make([]bool, vj.nBuild)
+		for _, bm := range bitmaps {
+			if bm == nil {
+				continue
+			}
+			for i, m := range bm {
+				if m {
+					matched[i] = true
+				}
+			}
+		}
+	}
+	vj.eng.parallelScans.Add(1)
+	return out, matched, nil
+}
+
 // aggSpec is one aggregate call with its compiled argument (nil for
 // count(*)-style star calls) and the argument AST for vector lowering.
 type aggSpec struct {

@@ -33,3 +33,11 @@ func BenchmarkE1ProjectRowPath(b *testing.B) {
 		select g, x * (1 - y) as net, substr(d, 1, 4) as yr
 		from fact where flag <> 'N'`)
 }
+
+func BenchmarkE1HashJoinRowPath(b *testing.B) {
+	benchE1Query(b, rowPathEngine(b), `
+		select d.cat, sum(f.x * (1 - f.y)) as rev, avg(f.x) as ax, count(*) as c
+		from fact f inner join dim d on f.g = d.g
+		where f.d <= '1998-09-02' and f.flag <> 'N'
+		group by d.cat`)
+}

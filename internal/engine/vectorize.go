@@ -233,7 +233,10 @@ type vnCol struct {
 }
 
 func (n *vnCol) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
-	cv := &ch.cols[n.col]
+	// col() gathers the column first on join-output chunks — the point
+	// where late materialization actually copies values, and only for
+	// columns some kernel references.
+	cv := ch.col(n.col)
 	if sel == nil {
 		// Borrow the chunk's storage wholesale — zero copies.
 		b := &vc.bufs[n.id]
