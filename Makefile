@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-par bench bench-json bench-serve bench-progressive race vet
+.PHONY: build test test-par bench bench-json bench-serve bench-serve-robust bench-progressive race faultinject vet
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,10 @@ test-par: build
 
 race:
 	$(GO) test -race ./...
+
+# Deterministic fault injection (internal/faultpoint sites) under -race.
+faultinject:
+	$(GO) test -race -tags faultinject ./...
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +35,11 @@ bench-json:
 # Serving-layer throughput: concurrent clients + plan/rewrite cache.
 bench-serve:
 	$(GO) run ./cmd/benchrunner -exp serve -serveout BENCH_serve.json
+
+# Serving under pressure: per-query deadlines (degraded progressive answers)
+# plus randomly injected mid-flight cancels.
+bench-serve-robust:
+	$(GO) run ./cmd/benchrunner -exp serve -deadline 25 -cancel-rate 0.2 -serveout BENCH_serve_robust.json
 
 # Progressive execution: time-to-accuracy over block-partitioned scrambles.
 bench-progressive:

@@ -24,7 +24,10 @@
 //	serve        concurrent serving layer: N goroutine clients over the
 //	             mixed TPC-H/Insta workload; QPS, p50/p99 latency, and the
 //	             plan/rewrite cache's cold-vs-warm effect; writes
-//	             BENCH_serve.json (-serveout)
+//	             BENCH_serve.json (-serveout). With -deadline/-cancel-rate
+//	             the round also measures robustness under churn: degraded
+//	             (deadline-cut progressive) answer fraction and cancelled
+//	             queries
 //	progressive  accuracy-driven progressive execution over block-partitioned
 //	             scrambles: time-to-accuracy curves and early-termination
 //	             rates per target relative error; writes
@@ -54,6 +57,8 @@ func main() {
 	serveWorkers := flag.String("serveworkers", "1,2,4,8", "comma-separated worker counts for -exp serve")
 	servePer := flag.Int("serveper", 32, "queries per worker per serve round")
 	serveLatMs := flag.Float64("servelat", 25, "simulated per-query engine overhead for serve (ms, really slept)")
+	serveDeadlineMs := flag.Float64("deadline", 0, "per-query deadline for -exp serve (ms; 0 disables); expiring deadlines return degraded progressive answers, recorded in BENCH_serve.json")
+	serveCancelRate := flag.Float64("cancel-rate", 0, "fraction of -exp serve queries cancelled mid-flight (0..1)")
 	progOut := flag.String("progout", "BENCH_progressive.json", "progressive experiment JSON output (empty to skip)")
 	progTargets := flag.String("progtargets", "0.01,0.02,0.05,0.1", "comma-separated target relative errors for -exp progressive")
 	progBlockRows := flag.Int64("progblockrows", 0, "scramble block size for -exp progressive (0 = experiment default)")
@@ -161,8 +166,12 @@ func main() {
 			}
 			workers = append(workers, n)
 		}
+		if *serveCancelRate < 0 || *serveCancelRate > 1 {
+			return fmt.Errorf("bad -cancel-rate %g (want 0..1)", *serveCancelRate)
+		}
 		_, err := bench.ServeExperiment(w, serveCfg, *serveOut, workers, *servePer,
-			time.Duration(*serveLatMs*float64(time.Millisecond)))
+			time.Duration(*serveLatMs*float64(time.Millisecond)),
+			time.Duration(*serveDeadlineMs*float64(time.Millisecond)), *serveCancelRate)
 		return err
 	})
 	run("progressive", func() error {

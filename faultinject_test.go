@@ -1,0 +1,135 @@
+//go:build faultinject
+
+package verdictdb
+
+// Deterministic fault-injection tests (built only with -tags faultinject):
+// synthetic panics, errors, and stalls armed at named engine/core sites must
+// surface as the documented typed errors on the injected query alone, with
+// the connection serving byte-identical answers once disarmed. CI runs this
+// file under -race.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"verdictdb/internal/faultpoint"
+)
+
+func TestFaultpointEnabled(t *testing.T) {
+	if !faultpoint.Enabled() {
+		t.Fatal("built with -tags faultinject but faultpoint.Enabled() is false")
+	}
+}
+
+// TestInjectedScanPanicContained arms a panic inside the vectorized scan's
+// chunk loop — i.e. inside morsel workers — and asserts it comes back as
+// *InternalError carrying the synthetic PanicValue, the process survives,
+// and after disarming the same connection returns answers byte-identical to
+// the pre-fault baseline.
+func TestInjectedScanPanicContained(t *testing.T) {
+	defer faultpoint.Reset()
+	conn := instaConn(t)
+	const sql = "select reordered, avg(price) as p, count(*) as c from order_products group by reordered order by reordered"
+
+	baseline, err := conn.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultpoint.SetPanic("engine.scan.chunk")
+	_, err = conn.Query(sql)
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InternalError, got %v", err)
+	}
+	if pv, ok := ie.Panic.(faultpoint.PanicValue); !ok || pv.Site != "engine.scan.chunk" {
+		t.Fatalf("panic value: %#v", ie.Panic)
+	}
+	if ie.Query == "" || len(ie.Stack) == 0 {
+		t.Fatalf("InternalError missing query/stack: %+v", ie)
+	}
+
+	faultpoint.Clear("engine.scan.chunk")
+	again, err := conn.Query(sql)
+	if err != nil {
+		t.Fatalf("query after disarm: %v", err)
+	}
+	assertAnswersIdentical(t, "post-fault", baseline, again)
+	if faultpoint.Count("engine.scan.chunk") == 0 {
+		t.Fatal("site was never hit")
+	}
+}
+
+// TestInjectedQueryBoundaryPanic arms the top-of-query site: even a crash
+// before any worker spawns must surface as *InternalError, not kill the
+// process, and must NOT trigger the middleware's exact-execution fallback.
+func TestInjectedQueryBoundaryPanic(t *testing.T) {
+	defer faultpoint.Reset()
+	conn := instaConn(t)
+	faultpoint.SetPanic("engine.query")
+	a, err := conn.Query("select count(*) as c from order_products")
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InternalError, got a=%v err=%v", a, err)
+	}
+}
+
+// TestInjectedProgressivePrefixError arms an error between block prefixes:
+// progressive execution must return it as-is — aborted-query errors never
+// fall back to passthrough.
+func TestInjectedProgressivePrefixError(t *testing.T) {
+	defer faultpoint.Reset()
+	conn := instaConn(t)
+	sentinel := errors.New("faultpoint: prefix wire test")
+	faultpoint.SetError("core.progressive.prefix", sentinel)
+	a, err := conn.QueryWithAccuracyContext(context.Background(), "select count(*) as c from order_products", 1e-9)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want the injected error, got a=%v err=%v", a, err)
+	}
+}
+
+// TestInjectedMergePanicContained arms a panic in the core-side prefix
+// merge: containment at the middleware boundary must convert it, and the
+// connection must keep working once disarmed.
+func TestInjectedMergePanicContained(t *testing.T) {
+	defer faultpoint.Reset()
+	conn := instaConn(t)
+	const sql = "select count(*) as c from order_products"
+	faultpoint.SetPanic("core.merge.prefix")
+	_, err := conn.QueryWithAccuracyContext(context.Background(), sql, 1e-9)
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InternalError, got %v", err)
+	}
+	faultpoint.Clear("core.merge.prefix")
+	if a, err := conn.QueryWithAccuracyContext(context.Background(), sql, 0); err != nil || !a.Approximate {
+		t.Fatalf("after disarm: a=%+v err=%v", a, err)
+	}
+}
+
+// TestInjectedStallStaysCancellable stalls every scanned chunk and fires a
+// cancel mid-stall: the per-chunk poll right after each stall must observe
+// the cancel, so the query still returns promptly instead of serving out
+// the full stalled scan.
+func TestInjectedStallStaysCancellable(t *testing.T) {
+	defer faultpoint.Reset()
+	conn := instaConn(t)
+	faultpoint.SetStall("engine.scan.chunk", 5*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := conn.QueryContext(ctx, "select o.order_dow, sum(op.price) as r from orders o inner join order_products op on o.order_id = op.order_id group by o.order_dow")
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("want nil or context.Canceled, got %v", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		if lag := time.Since(start); lag > 2*time.Second {
+			t.Fatalf("cancel during stalls took %v", lag)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"time"
 
@@ -53,6 +54,15 @@ type ProgressiveReport struct {
 	BlockRows  int64               `json:"block_rows"`
 	Targets    []float64           `json:"targets"`
 	Results    []ProgressiveResult `json:"results"`
+}
+
+// finiteRelErr maps MaxRelativeError's "accuracy unknown" NaN to 0 for the
+// JSON reports (encoding/json rejects NaN).
+func finiteRelErr(a *verdictdb.Answer) float64 {
+	if re := a.MaxRelativeError(); !math.IsNaN(re) {
+		return re
+	}
+	return 0
 }
 
 // ProgressiveExperiment runs the block-prefix time-to-accuracy sweep and
@@ -114,7 +124,7 @@ func ProgressiveExperiment(w io.Writer, cfg Config, outPath string, targets []fl
 							Blocks:      u.BlocksScanned,
 							RowsScanned: u.Answer.RowsScanned,
 							ElapsedMs:   float64(u.Answer.ElapsedNanos) / 1e6,
-							EstRelErr:   u.Answer.MaxRelativeError(),
+							EstRelErr:   finiteRelErr(u.Answer),
 						})
 						return true
 					})

@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -11,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	verdictdb "verdictdb"
 	"verdictdb/internal/drivers"
 	"verdictdb/internal/engine"
 	"verdictdb/internal/workload"
@@ -37,17 +41,27 @@ type ServeShape struct {
 	WarmMs      float64 `json:"warm_ms"`
 }
 
-// ServeRound is one worker-count measurement.
+// ServeRound is one worker-count measurement. The robustness counters are
+// populated only when the round ran with a per-query deadline or cancel
+// rate: Degraded counts progressive answers cut short by the deadline but
+// still returned (Answer.Degraded()), DeadlineErrors counts queries whose
+// deadline expired before any block prefix completed, and Cancelled counts
+// queries whose context was cancelled mid-flight. Latency percentiles cover
+// only queries that ran to completion.
 type ServeRound struct {
-	Workers     int     `json:"workers"`
-	Queries     int     `json:"queries"`
-	WallMs      float64 `json:"wall_ms"`
-	QPS         float64 `json:"qps"`
-	P50Ms       float64 `json:"p50_ms"`
-	P99Ms       float64 `json:"p99_ms"`
-	CacheHits   int64   `json:"cache_hits"`
-	CacheMisses int64   `json:"cache_misses"`
-	SpeedupVs1  float64 `json:"speedup_vs_1"`
+	Workers        int     `json:"workers"`
+	Queries        int     `json:"queries"`
+	WallMs         float64 `json:"wall_ms"`
+	QPS            float64 `json:"qps"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	SpeedupVs1     float64 `json:"speedup_vs_1"`
+	Degraded       int64   `json:"degraded,omitempty"`
+	DegradedFrac   float64 `json:"degraded_frac,omitempty"`
+	DeadlineErrors int64   `json:"deadline_errors,omitempty"`
+	Cancelled      int64   `json:"cancelled,omitempty"`
 }
 
 // ServeReport is the BENCH_serve.json payload.
@@ -57,6 +71,8 @@ type ServeReport struct {
 	SimulatedOverheadMs float64      `json:"simulated_overhead_ms"`
 	TPCHScale           float64      `json:"tpch_scale"`
 	InstaScale          float64      `json:"insta_scale"`
+	DeadlineMs          float64      `json:"deadline_ms,omitempty"`
+	CancelRate          float64      `json:"cancel_rate,omitempty"`
 	Shapes              []ServeShape `json:"shapes"`
 	ColdTotalMs         float64      `json:"cold_total_ms"`
 	WarmTotalMs         float64      `json:"warm_total_ms"`
@@ -64,10 +80,24 @@ type ServeReport struct {
 	Rounds              []ServeRound `json:"rounds"`
 }
 
+// serveRobustTarget is the progressive target relative error used when the
+// serve experiment runs with a deadline: tight enough that most queries ramp
+// through several block prefixes, giving the deadline partial answers to
+// degrade to.
+const serveRobustTarget = 0.002
+
 // ServeExperiment measures serving-layer throughput and writes the report
 // to outPath ("" skips the file). workerCounts defaults to {1, 2, 4, 8};
 // perWorker is the number of queries each worker issues per round.
-func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int, perWorker int, overhead time.Duration) (*ServeReport, error) {
+//
+// deadline > 0 gives every throughput-round query a context deadline and
+// routes it through progressive execution, so an expiring deadline returns
+// the last completed block prefix's partial answer (counted in Degraded)
+// instead of an error. cancelRate in (0, 1] cancels that fraction of queries
+// at a random point mid-flight; a cancelled query must return promptly with
+// ctx.Err() and leave the engine consistent for the other workers — the
+// round fails if any query errors in a way the injected churn cannot explain.
+func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int, perWorker int, overhead time.Duration, deadline time.Duration, cancelRate float64) (*ServeReport, error) {
 	if len(workerCounts) == 0 {
 		workerCounts = []int{1, 2, 4, 8}
 	}
@@ -100,6 +130,8 @@ func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int
 		SimulatedOverheadMs: float64(overhead.Nanoseconds()) / 1e6,
 		TPCHScale:           cfg.TPCHScale,
 		InstaScale:          cfg.InstaScale,
+		DeadlineMs:          float64(deadline.Nanoseconds()) / 1e6,
+		CancelRate:          cancelRate,
 	}
 
 	// Cold vs warm: the first-ever execution of each shape pays the full
@@ -174,6 +206,7 @@ func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int
 		}
 		var next atomic.Int64
 		var errCount atomic.Int64
+		var degraded, deadlined, cancelled atomic.Int64
 		latencies := make([][]time.Duration, n)
 		h0, m0 := cacheTotals()
 		start := time.Now()
@@ -182,6 +215,9 @@ func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int
 			wg.Add(1)
 			go func(wkr int) {
 				defer wg.Done()
+				// Per-worker RNG: which queries get cancelled is deterministic
+				// given seed and worker, independent of scheduling.
+				rng := rand.New(rand.NewSource(cfg.Seed<<8 + int64(wkr)))
 				lats := make([]time.Duration, 0, perWorker+1)
 				for {
 					i := next.Add(1) - 1
@@ -189,11 +225,45 @@ func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int
 						break
 					}
 					bq := usable[int(i)%len(usable)]
+					ctx, cancel := context.Background(), context.CancelFunc(func() {})
+					if deadline > 0 {
+						ctx, cancel = context.WithTimeout(ctx, deadline)
+					}
+					injectCancel := cancelRate > 0 && rng.Float64() < cancelRate
+					var cancelTimer *time.Timer
+					if injectCancel {
+						var c2 context.CancelFunc
+						ctx, c2 = context.WithCancel(ctx)
+						// Fire at a random point inside the query's expected
+						// lifetime (the slept overhead plus some scan time).
+						window := overhead + 2*time.Millisecond
+						cancelTimer = time.AfterFunc(time.Duration(rng.Int63n(int64(window))), c2)
+					}
 					t0 := time.Now()
-					if _, err := bq.env.Conn.Query(bq.q.SQL); err != nil {
+					var a *verdictdb.Answer
+					var err error
+					if deadline > 0 {
+						a, err = bq.env.Conn.QueryWithAccuracyContext(ctx, bq.q.SQL, serveRobustTarget)
+					} else {
+						a, err = bq.env.Conn.QueryContext(ctx, bq.q.SQL)
+					}
+					elapsed := time.Since(t0)
+					if cancelTimer != nil {
+						cancelTimer.Stop()
+					}
+					cancel()
+					switch {
+					case err == nil && a != nil && a.Degraded():
+						degraded.Add(1)
+					case err == nil:
+						lats = append(lats, elapsed)
+					case errors.Is(err, context.Canceled) && injectCancel:
+						cancelled.Add(1)
+					case errors.Is(err, context.DeadlineExceeded) && deadline > 0:
+						deadlined.Add(1)
+					default:
 						errCount.Add(1)
 					}
-					lats = append(lats, time.Since(t0))
 				}
 				latencies[wkr] = lats
 			}(wkr)
@@ -210,15 +280,19 @@ func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int
 		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 		h1, m1 := cacheTotals()
 		round := ServeRound{
-			Workers:     n,
-			Queries:     total,
-			WallMs:      float64(wall.Nanoseconds()) / 1e6,
-			QPS:         float64(total) / wall.Seconds(),
-			P50Ms:       float64(percentileDur(all, 50).Nanoseconds()) / 1e6,
-			P99Ms:       float64(percentileDur(all, 99).Nanoseconds()) / 1e6,
-			CacheHits:   h1 - h0,
-			CacheMisses: m1 - m0,
+			Workers:        n,
+			Queries:        total,
+			WallMs:         float64(wall.Nanoseconds()) / 1e6,
+			QPS:            float64(total) / wall.Seconds(),
+			P50Ms:          float64(percentileDur(all, 50).Nanoseconds()) / 1e6,
+			P99Ms:          float64(percentileDur(all, 99).Nanoseconds()) / 1e6,
+			CacheHits:      h1 - h0,
+			CacheMisses:    m1 - m0,
+			Degraded:       degraded.Load(),
+			DeadlineErrors: deadlined.Load(),
+			Cancelled:      cancelled.Load(),
 		}
+		round.DegradedFrac = float64(round.Degraded) / float64(total)
 		if qps1 == 0 {
 			qps1 = round.QPS
 		}
@@ -227,6 +301,10 @@ func ServeExperiment(w io.Writer, cfg Config, outPath string, workerCounts []int
 		fmt.Fprintf(w, "%-8d %10.1f %10.2f %10.2f %10.1f %7.2fx   (cache %d hit / %d miss)\n",
 			n, round.QPS, round.P50Ms, round.P99Ms, round.WallMs, round.SpeedupVs1,
 			round.CacheHits, round.CacheMisses)
+		if deadline > 0 || cancelRate > 0 {
+			fmt.Fprintf(w, "%-8s %10s degraded %d (%.1f%%), deadline-errored %d, cancelled %d\n",
+				"", "", round.Degraded, 100*round.DegradedFrac, round.DeadlineErrors, round.Cancelled)
+		}
 	}
 
 	if outPath != "" {

@@ -10,7 +10,7 @@ func TestServeExperimentSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rep, err := ServeExperiment(io.Discard, QuickConfig(), "", []int{1, 2}, 2, time.Millisecond)
+	rep, err := ServeExperiment(io.Discard, QuickConfig(), "", []int{1, 2}, 2, time.Millisecond, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,5 +38,31 @@ func TestServeExperimentSmoke(t *testing.T) {
 	// (Per-shape noise is possible; the aggregate is stable.)
 	if !raceEnabled && rep.WarmTotalMs > rep.ColdTotalMs {
 		t.Errorf("warm total %.1fms slower than cold %.1fms", rep.WarmTotalMs, rep.ColdTotalMs)
+	}
+}
+
+func TestServeExperimentRobustnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := ServeExperiment(io.Discard, QuickConfig(), "", []int{2}, 4,
+		time.Millisecond, 15*time.Millisecond, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadlineMs != 15 || rep.CancelRate != 0.5 {
+		t.Fatalf("robustness knobs not recorded: %+v", rep)
+	}
+	for _, r := range rep.Rounds {
+		// Every query is accounted for as completed, degraded, deadline-cut,
+		// or cancelled; the experiment fails outright on any other error, so
+		// reaching here means the injected churn explained all failures.
+		churn := r.Degraded + r.DeadlineErrors + r.Cancelled
+		if churn > int64(r.Queries) {
+			t.Fatalf("more churn outcomes than queries: %+v", r)
+		}
+		if r.DegradedFrac < 0 || r.DegradedFrac > 1 {
+			t.Fatalf("bad degraded fraction: %+v", r)
+		}
 	}
 }

@@ -40,7 +40,17 @@ type Answer struct {
 	// execution (passthrough, non-progressive plans).
 	BlocksScanned int
 	BlocksTotal   int
+	// DeadlineDegraded marks a progressive answer returned because the
+	// query's deadline expired mid-ramp: it is the last completed block
+	// prefix's unbiased partial estimate, not the accuracy-target stopping
+	// point, and the guard rails (accuracy contract, cardinality check) were
+	// skipped. Its standard errors are still honest.
+	DeadlineDegraded bool
 }
+
+// Degraded reports whether the answer was cut short by a deadline rather
+// than reaching its accuracy target (see DeadlineDegraded).
+func (a *Answer) Degraded() bool { return a.DeadlineDegraded }
 
 // ColIndex returns the index of the named output column, or -1.
 func (a *Answer) ColIndex(name string) int {
@@ -107,18 +117,23 @@ func (a *Answer) RelativeError(row, col int) float64 {
 }
 
 // MaxRelativeError returns the largest relative error across all aggregate
-// cells (0 when none). It walks the StdErr matrix directly so rows the
-// merger dropped (or any Rows/StdErr length mismatch) are skipped rather
-// than recomputed from stale entries.
+// cells, or NaN when no cell has a defined relative error — a zero-row
+// partial (or one whose aggregates are all zero or stderr-less) carries no
+// accuracy information, and reporting rel-err 0 would let barely-scanned
+// prefixes fake perfect accuracy past early-stopping and contract checks.
+// NaN compares false against any threshold, so callers treat it as "accuracy
+// unknown". It walks the StdErr matrix directly so rows the merger dropped
+// (or any Rows/StdErr length mismatch) are skipped rather than recomputed
+// from stale entries.
 func (a *Answer) MaxRelativeError() float64 {
-	worst := 0.0
+	worst := math.NaN()
 	for r := range a.StdErr {
 		if r >= len(a.Rows) {
 			break
 		}
 		for c := range a.StdErr[r] {
 			re := a.RelativeError(r, c)
-			if !math.IsNaN(re) && re > worst {
+			if !math.IsNaN(re) && !(re <= worst) {
 				worst = re
 			}
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -37,14 +38,14 @@ type ResamplingParams struct {
 // runResamplingBaseline answers a query using traditional subsampling or
 // consolidated bootstrap. Only plain aggregate items (count/sum/avg) are
 // supported — the baselines exist for the Figure 7 comparison.
-func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp ConsolidatedPlan, original string) (*Answer, error) {
+func (m *Middleware) runResamplingBaseline(ctx context.Context, sel *sqlparser.SelectStmt, cp ConsolidatedPlan, original string) (*Answer, error) {
 	b := 100
 
 	// Substitute samples into FROM.
 	rw := &rewriter{plan: cp.Plan}
 	newFrom, src, err := rw.substituteFrom(sel.From)
 	if err != nil || src.sid == nil {
-		return m.passthrough(original, PassOther)
+		return m.passthrough(ctx, original, PassOther)
 	}
 
 	// Decompose items: group items and plain aggregates.
@@ -62,7 +63,7 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 	var aggs []aggSpec
 	for i, it := range sel.Items {
 		if it.Expr == nil {
-			return m.passthrough(original, PassOther)
+			return m.passthrough(ctx, original, PassOther)
 		}
 		if !sqlparser.ContainsAggregate(it.Expr) {
 			alias := fmt.Sprintf("g%d", len(groups))
@@ -75,11 +76,11 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 		}
 		fc, ok := it.Expr.(*sqlparser.FuncCall)
 		if !ok {
-			return m.passthrough(original, PassOther)
+			return m.passthrough(ctx, original, PassOther)
 		}
 		kind := classifyAgg(fc)
 		if kind != AggCount && kind != AggSum && kind != AggAvg {
-			return m.passthrough(original, PassOther)
+			return m.passthrough(ctx, original, PassOther)
 		}
 		var arg sqlparser.Expr
 		if len(fc.Args) > 0 {
@@ -92,7 +93,7 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 		aggs = append(aggs, aggSpec{itemIdx: i, kind: kind, arg: arg, name: name})
 	}
 	if len(aggs) == 0 {
-		return m.passthrough(original, PassOther)
+		return m.passthrough(ctx, original, PassOther)
 	}
 
 	start := time.Now()
@@ -102,14 +103,14 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 		if err != nil {
 			return fmt.Errorf("core: baseline SQL parse: %w (sql: %s)", err, canonical)
 		}
-		return m.db.Exec(drivers.Render(m.db, stmt))
+		return m.db.ExecContext(ctx, drivers.Render(m.db, stmt))
 	}
 	query := func(canonical string) (*engine.ResultSet, error) {
 		stmt, err := sqlparser.Parse(canonical)
 		if err != nil {
 			return nil, fmt.Errorf("core: baseline SQL parse: %w (sql: %s)", err, canonical)
 		}
-		rs, err := m.db.Query(drivers.Render(m.db, stmt))
+		rs, err := m.db.QueryContext(ctx, drivers.Render(m.db, stmt))
 		if rs != nil {
 			totalScanned += rs.RowsScanned
 		}
@@ -158,7 +159,7 @@ func (m *Middleware) runResamplingBaseline(sel *sqlparser.SelectStmt, cp Consoli
 	}
 	n, _ := engine.ToInt(rsN.Rows[0][0])
 	if n == 0 {
-		return m.passthrough(original, PassOther)
+		return m.passthrough(ctx, original, PassOther)
 	}
 	ns := int64(math.Sqrt(float64(n)))
 	if ns < 1 {

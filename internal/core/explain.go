@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -63,7 +64,7 @@ func (m *Middleware) Explain(sel *sqlparser.SelectStmt) (*Answer, error) {
 		a.StdErr = nanMatrix(len(a.Rows), 2)
 		return a, nil
 	}
-	if decline, err := m.groupCardinalityTooHigh(flat, plans[0].Plan); err == nil && decline {
+	if decline, err := m.groupCardinalityTooHigh(context.Background(), flat, plans[0].Plan); err == nil && decline {
 		add("plan", "declined: grouping cardinality too high for the sample")
 		add("execution", "passthrough to underlying engine")
 		a.StdErr = nanMatrix(len(a.Rows), 2)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -54,6 +55,12 @@ type Options struct {
 	// DisablePlanCache turns off the plan/rewrite cache (every query runs
 	// the full parse→plan→rewrite pipeline; used by ablations).
 	DisablePlanCache bool
+	// MemoryBudgetBytes bounds each query's estimated engine-side memory
+	// (group hash tables, join build sides, materialized rows). Overruns
+	// abort the query with engine.ErrMemoryBudget instead of OOMing the
+	// process. 0 means unbounded; a per-query engine.WithMemoryBudget on the
+	// query's context overrides it.
+	MemoryBudgetBytes int64
 }
 
 // DefaultOptions mirrors the paper's defaults.
@@ -176,7 +183,17 @@ func (m *Middleware) rowCount(table string, version int64) (int64, bool) {
 
 // Query runs one SQL statement through the AQP pipeline.
 func (m *Middleware) Query(sql string) (*Answer, error) {
-	if a, handled, err := m.QueryCached(sql); handled {
+	return m.QueryContext(context.Background(), sql)
+}
+
+// QueryContext runs one SQL statement through the AQP pipeline under ctx:
+// the query observes cancellation and deadlines at every engine poll point,
+// and any memory budget (Options.MemoryBudgetBytes or WithMemoryBudget on
+// ctx) bounds its engine-side allocations.
+func (m *Middleware) QueryContext(ctx context.Context, sql string) (a *Answer, err error) {
+	ctx = m.budgetCtx(ctx)
+	defer containPanic(&err, sql)
+	if a, handled, err := m.queryCached(ctx, sql); handled {
 		return a, err
 	}
 	stmt, err := sqlparser.Parse(sql)
@@ -187,13 +204,13 @@ func (m *Middleware) Query(sql string) (*Answer, error) {
 	if !ok {
 		// DDL/DML pass straight through; base data may have changed, so
 		// cached plans and row counts are stale.
-		if err := m.db.Exec(sql); err != nil {
+		if err := m.db.ExecContext(ctx, sql); err != nil {
 			return nil, err
 		}
 		m.InvalidateStats()
 		return &Answer{Status: PassNoAggregates, Confidence: m.opts.Confidence}, nil
 	}
-	return m.QuerySelect(sel, sql)
+	return m.querySelect(ctx, sel, sql)
 }
 
 // QueryCached answers sql from the plan/rewrite cache, skipping parse,
@@ -201,6 +218,17 @@ func (m *Middleware) Query(sql string) (*Answer, error) {
 // miss (the caller should run the full pipeline, which repopulates the
 // cache). Only statements previously built by QuerySelect can hit.
 func (m *Middleware) QueryCached(sql string) (a *Answer, handled bool, err error) {
+	return m.QueryCachedContext(context.Background(), sql)
+}
+
+// QueryCachedContext is QueryCached honoring the caller's context.
+func (m *Middleware) QueryCachedContext(ctx context.Context, sql string) (a *Answer, handled bool, err error) {
+	ctx = m.budgetCtx(ctx)
+	defer containPanic(&err, sql)
+	return m.queryCached(ctx, sql)
+}
+
+func (m *Middleware) queryCached(ctx context.Context, sql string) (a *Answer, handled bool, err error) {
 	if m.plans == nil {
 		return nil, false, nil
 	}
@@ -208,7 +236,7 @@ func (m *Middleware) QueryCached(sql string) (a *Answer, handled bool, err error
 	if e == nil {
 		return nil, false, nil
 	}
-	a, err = m.executeEntry(e, sql)
+	a, err = m.executeEntry(ctx, e, sql)
 	return a, true, err
 }
 
@@ -216,12 +244,23 @@ func (m *Middleware) QueryCached(sql string) (a *Answer, handled bool, err error
 // the user's SQL for passthrough execution (it must be the SQL sel was
 // parsed from — the plan cache maps original to sel's plan).
 func (m *Middleware) QuerySelect(sel *sqlparser.SelectStmt, original string) (*Answer, error) {
+	return m.QuerySelectContext(context.Background(), sel, original)
+}
+
+// QuerySelectContext is QuerySelect honoring the caller's context.
+func (m *Middleware) QuerySelectContext(ctx context.Context, sel *sqlparser.SelectStmt, original string) (a *Answer, err error) {
+	ctx = m.budgetCtx(ctx)
+	defer containPanic(&err, original)
+	return m.querySelect(ctx, sel, original)
+}
+
+func (m *Middleware) querySelect(ctx context.Context, sel *sqlparser.SelectStmt, original string) (*Answer, error) {
 	var gen int64
 	if m.plans != nil {
 		m.plans.countMiss() // a SELECT running the full pipeline
 		gen = m.plans.generation()
 	}
-	entry, direct, err := m.buildEntry(sel, original)
+	entry, direct, err := m.buildEntry(ctx, sel, original)
 	if err != nil {
 		return nil, err
 	}
@@ -231,14 +270,14 @@ func (m *Middleware) QuerySelect(sel *sqlparser.SelectStmt, original string) (*A
 	if m.plans != nil {
 		m.plans.put(normalizeSQL(original), entry, gen)
 	}
-	return m.executeEntry(entry, original)
+	return m.executeEntry(ctx, entry, original)
 }
 
 // buildEntry runs the deterministic half of the pipeline — analyze,
 // flatten, plan, rewrite, render — and packages the result as a cacheable
 // planEntry. Resampling-baseline methods execute immediately and return a
 // direct answer instead (their temp-table materialization isn't cacheable).
-func (m *Middleware) buildEntry(sel *sqlparser.SelectStmt, original string) (*planEntry, *Answer, error) {
+func (m *Middleware) buildEntry(ctx context.Context, sel *sqlparser.SelectStmt, original string) (*planEntry, *Answer, error) {
 	snapshot, version := m.cat.Snapshot()
 	pass := func(status SupportStatus) *planEntry {
 		return &planEntry{version: version, passthrough: true, status: status}
@@ -270,7 +309,7 @@ func (m *Middleware) buildEntry(sel *sqlparser.SelectStmt, original string) (*pl
 	}
 
 	// High-cardinality grouping check (Section 6.2: tq-3/8/15 declined).
-	if decline, err := m.groupCardinalityTooHigh(flat, plans[0].Plan); err == nil && decline {
+	if decline, err := m.groupCardinalityTooHigh(ctx, flat, plans[0].Plan); err == nil && decline {
 		return pass(PassOther), nil, nil
 	}
 
@@ -283,10 +322,10 @@ func (m *Middleware) buildEntry(sel *sqlparser.SelectStmt, original string) (*pl
 	switch m.opts.Method {
 	case MethodTraditionalSubsampling, MethodConsolidatedBootstrap:
 		if multi {
-			a, err := m.passthrough(original, PassOther)
+			a, err := m.passthrough(ctx, original, PassOther)
 			return nil, a, err
 		}
-		a, err := m.runResamplingBaseline(flat, plans[0], original)
+		a, err := m.runResamplingBaseline(ctx, flat, plans[0], original)
 		return nil, a, err
 	}
 
@@ -337,9 +376,9 @@ func (m *Middleware) buildEntry(sel *sqlparser.SelectStmt, original string) (*pl
 // partial queries, merge the partial answers, and apply the guard rails.
 // The entry is shared across concurrent queries and never mutated here —
 // anything an Answer could mutate later (column names) is cloned.
-func (m *Middleware) executeEntry(e *planEntry, original string) (*Answer, error) {
+func (m *Middleware) executeEntry(ctx context.Context, e *planEntry, original string) (*Answer, error) {
 	if e.passthrough {
-		return m.passthrough(original, e.status)
+		return m.passthrough(ctx, original, e.status)
 	}
 
 	answer := &Answer{
@@ -349,12 +388,18 @@ func (m *Middleware) executeEntry(e *planEntry, original string) (*Answer, error
 	}
 	mg := newMerger(len(e.names))
 	for _, st := range e.steps {
-		rs, elapsed, err := m.db.QueryTimed(st.sql)
+		rs, elapsed, err := m.db.QueryTimedContext(ctx, st.sql)
 		if err != nil {
+			// An aborted query (cancel, deadline, memory budget, contained
+			// panic) propagates: re-running it as a full exact scan would
+			// invert the user's intent.
+			if queryAborted(err) {
+				return nil, err
+			}
 			// A stale catalog (sample table dropped outside VerdictDB) or a
 			// dialect corner case must never break the user's query: fall
 			// back to exact execution, like the paper's middleware.
-			return m.passthrough(original, PassOther)
+			return m.passthrough(ctx, original, PassOther)
 		}
 		answer.RewrittenSQL = append(answer.RewrittenSQL, st.sql)
 		answer.SampleTables = append(answer.SampleTables, st.sampleTables...)
@@ -363,9 +408,12 @@ func (m *Middleware) executeEntry(e *planEntry, original string) (*Answer, error
 		mg.add(rs, st.columns)
 	}
 	if e.extreme != nil {
-		rs, elapsed, err := m.db.QueryTimed(e.extreme.sql)
+		rs, elapsed, err := m.db.QueryTimedContext(ctx, e.extreme.sql)
 		if err != nil {
-			return m.passthrough(original, PassOther)
+			if queryAborted(err) {
+				return nil, err
+			}
+			return m.passthrough(ctx, original, PassOther)
 		}
 		answer.ElapsedNanos += elapsed.Nanoseconds()
 		answer.RowsScanned += rs.RowsScanned
@@ -377,17 +425,17 @@ func (m *Middleware) executeEntry(e *planEntry, original string) (*Answer, error
 	answer.Cols = append([]string(nil), e.names...)
 	answer.Rows, answer.StdErr = mg.result()
 
-	return m.finishEntryAnswer(e, answer, original)
+	return m.finishEntryAnswer(ctx, e, answer, original)
 }
 
 // finishEntryAnswer applies the post-merge tail shared by single-shot and
 // progressive execution: middleware-side ORDER BY/LIMIT for merged plans,
 // the post-execution high-cardinality guard, the accuracy contract, and
 // user-visible error columns.
-func (m *Middleware) finishEntryAnswer(e *planEntry, answer *Answer, original string) (*Answer, error) {
+func (m *Middleware) finishEntryAnswer(ctx context.Context, e *planEntry, answer *Answer, original string) (*Answer, error) {
 	if e.multi {
 		if err := m.applyOrderLimit(e.flat, answer); err != nil {
-			return m.passthrough(original, PassOther)
+			return m.passthrough(ctx, original, PassOther)
 		}
 	}
 
@@ -402,13 +450,13 @@ func (m *Middleware) finishEntryAnswer(e *planEntry, answer *Answer, original st
 	// applicable when no LIMIT truncated the output.
 	if e.guardGroups &&
 		float64(len(answer.Rows)) > m.opts.MaxGroupsFraction*float64(maxI64(e.planSampleRows, 1)) {
-		return m.passthrough(original, PassOther)
+		return m.passthrough(ctx, original, PassOther)
 	}
 
 	// High-level Accuracy Contract (Section 2.4).
 	if m.opts.MinAccuracy > 0 {
 		if answer.MaxRelativeError() > (1 - m.opts.MinAccuracy) {
-			exact, err := m.passthrough(original, Supported)
+			exact, err := m.passthrough(ctx, original, Supported)
 			if err != nil {
 				return nil, err
 			}
@@ -424,8 +472,8 @@ func (m *Middleware) finishEntryAnswer(e *planEntry, answer *Answer, original st
 }
 
 // passthrough executes the original SQL unchanged.
-func (m *Middleware) passthrough(sql string, status SupportStatus) (*Answer, error) {
-	rs, elapsed, err := m.db.QueryTimed(sql)
+func (m *Middleware) passthrough(ctx context.Context, sql string, status SupportStatus) (*Answer, error) {
+	rs, elapsed, err := m.db.QueryTimedContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -490,7 +538,7 @@ func collectAllOccurrences(sel *sqlparser.SelectStmt, out map[string]*tableOccur
 // SQL's unambiguous-reference rule. The largest per-column cardinality
 // lower-bounds the group count. Non-column grouping expressions are skipped
 // — the probe is deliberately best-effort and conservative.
-func (m *Middleware) groupCardinalityTooHigh(sel *sqlparser.SelectStmt, plan CandidatePlan) (bool, error) {
+func (m *Middleware) groupCardinalityTooHigh(ctx context.Context, sel *sqlparser.SelectStmt, plan CandidatePlan) (bool, error) {
 	if len(sel.GroupBy) == 0 {
 		return false, nil
 	}
@@ -514,7 +562,7 @@ func (m *Middleware) groupCardinalityTooHigh(sel *sqlparser.SelectStmt, plan Can
 		return false, nil
 	}
 	ndvOf := func(col, tbl string) (int64, bool) {
-		rs, err := m.db.Query(fmt.Sprintf("select ndv(%s) from %s", col, tbl))
+		rs, err := m.db.QueryContext(ctx, fmt.Sprintf("select ndv(%s) from %s", col, tbl))
 		if err != nil {
 			return 0, false // column not in this table
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -248,7 +249,7 @@ func TestGroupCardinalityProbeResolvesOccurrence(t *testing.T) {
 	// Qualified c.city: must probe the cities base table (ndv 5000 ≫
 	// 8% of ~300 sample rows) and decline.
 	selHigh := parse("select c.city, count(*) from orders o inner join cities c on o.city = c.city group by c.city")
-	decline, err := env.m.groupCardinalityTooHigh(selHigh, plan)
+	decline, err := env.m.groupCardinalityTooHigh(context.Background(), selHigh, plan)
 	if err != nil || !decline {
 		t.Fatalf("qualified c.city: decline=%v err=%v, want decline=true", decline, err)
 	}
@@ -257,7 +258,7 @@ func TestGroupCardinalityProbeResolvesOccurrence(t *testing.T) {
 	// the unqualified probe could land on cities first ("c" sorts before
 	// "o") and wrongly decline.
 	selLow := parse("select o.city, count(*) from orders o inner join cities c on o.city = c.city group by o.city")
-	decline, err = env.m.groupCardinalityTooHigh(selLow, plan)
+	decline, err = env.m.groupCardinalityTooHigh(context.Background(), selLow, plan)
 	if err != nil || decline {
 		t.Fatalf("qualified o.city: decline=%v err=%v, want decline=false", decline, err)
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 
 	"verdictdb/internal/drivers"
 	"verdictdb/internal/engine"
+	"verdictdb/internal/faultpoint"
 	"verdictdb/internal/meta"
 	"verdictdb/internal/sqlparser"
 )
@@ -50,6 +53,15 @@ type ProgressiveCallback func(ProgressiveUpdate) bool
 // QueryCachedProgressive answers sql progressively from the plan cache,
 // mirroring QueryCached's contract: handled is false on a miss.
 func (m *Middleware) QueryCachedProgressive(sql string, targetRelErr float64, cb ProgressiveCallback) (a *Answer, handled bool, err error) {
+	return m.QueryCachedProgressiveContext(context.Background(), sql, targetRelErr, cb)
+}
+
+// QueryCachedProgressiveContext is QueryCachedProgressive honoring the
+// caller's context; see QuerySelectProgressiveContext for the deadline and
+// catalog-drift contract.
+func (m *Middleware) QueryCachedProgressiveContext(ctx context.Context, sql string, targetRelErr float64, cb ProgressiveCallback) (a *Answer, handled bool, err error) {
+	ctx = m.budgetCtx(ctx)
+	defer containPanic(&err, sql)
 	if m.plans == nil {
 		return nil, false, nil
 	}
@@ -57,19 +69,32 @@ func (m *Middleware) QueryCachedProgressive(sql string, targetRelErr float64, cb
 	if e == nil {
 		return nil, false, nil
 	}
-	a, err = m.executeProgressive(e, sql, targetRelErr, cb)
+	a, err = m.executeProgressive(ctx, e, sql, targetRelErr, cb)
 	return a, true, err
 }
 
 // QuerySelectProgressive runs a parsed SELECT through the AQP pipeline with
 // progressive execution. original must be the SQL sel was parsed from.
 func (m *Middleware) QuerySelectProgressive(sel *sqlparser.SelectStmt, original string, targetRelErr float64, cb ProgressiveCallback) (*Answer, error) {
+	return m.QuerySelectProgressiveContext(context.Background(), sel, original, targetRelErr, cb)
+}
+
+// QuerySelectProgressiveContext is QuerySelectProgressive honoring the
+// caller's context. Cancellation aborts with ctx.Err(). A deadline expiring
+// after at least one block prefix completed degrades gracefully: the last
+// completed prefix's unbiased partial answer is returned with
+// DeadlineDegraded set instead of an error (the anytime contract — a partial
+// answer with honest error bars beats no answer). Sample DDL racing the
+// query surfaces as ErrCatalogChanged between prefixes.
+func (m *Middleware) QuerySelectProgressiveContext(ctx context.Context, sel *sqlparser.SelectStmt, original string, targetRelErr float64, cb ProgressiveCallback) (a *Answer, err error) {
+	ctx = m.budgetCtx(ctx)
+	defer containPanic(&err, original)
 	var gen int64
 	if m.plans != nil {
 		m.plans.countMiss()
 		gen = m.plans.generation()
 	}
-	entry, direct, err := m.buildEntry(sel, original)
+	entry, direct, err := m.buildEntry(ctx, sel, original)
 	if err != nil {
 		return nil, err
 	}
@@ -80,16 +105,16 @@ func (m *Middleware) QuerySelectProgressive(sel *sqlparser.SelectStmt, original 
 	if m.plans != nil {
 		m.plans.put(normalizeSQL(original), entry, gen)
 	}
-	return m.executeProgressive(entry, original, targetRelErr, cb)
+	return m.executeProgressive(ctx, entry, original, targetRelErr, cb)
 }
 
 // executeProgressive runs a plan entry block-prefix by block-prefix,
 // stopping once the target relative error is met. Entries without a
 // progressive handle run single-shot.
-func (m *Middleware) executeProgressive(e *planEntry, original string, target float64, cb ProgressiveCallback) (*Answer, error) {
+func (m *Middleware) executeProgressive(ctx context.Context, e *planEntry, original string, target float64, cb ProgressiveCallback) (*Answer, error) {
 	p := e.prog
 	if p == nil {
-		a, err := m.executeEntry(e, original)
+		a, err := m.executeEntry(ctx, e, original)
 		if err == nil {
 			finalUpdate(cb, a)
 		}
@@ -100,26 +125,51 @@ func (m *Middleware) executeProgressive(e *planEntry, original string, target fl
 	schedule := blockSchedule(total, target)
 	var cumRows, cumNanos int64
 	var rewritten []string
+	// lastPartial is the most recent completed prefix's unbiased partial
+	// answer — the deadline-degraded result if time runs out mid-ramp.
+	var lastPartial *Answer
 	for idx := 0; idx < len(schedule); idx++ {
+		// Sample DDL between prefixes invalidates the plan: later prefixes
+		// would mix block layouts across catalog versions, silently biasing
+		// the estimate. Surface it as a typed error instead.
+		if m.cat.Version() != e.version {
+			return nil, ErrCatalogChanged
+		}
+		if err := faultpoint.Hit("core.progressive.prefix"); err != nil {
+			return nil, err
+		}
 		bound := schedule[idx]
 		frac := float64(prefixRows(p.blockCounts, bound)) / float64(p.totalRows)
 		ro, err := RewriteWithBlocks(e.flat, p.plan, p.itemIdx, true, &BlockContext{
 			Alias: p.alias, Bound: int64(bound), Frac: frac,
 		})
 		if err != nil {
-			return m.passthrough(original, PassOther)
+			return m.passthrough(ctx, original, PassOther)
 		}
 		sqlText := drivers.Render(m.db, ro.Stmt)
-		rs, elapsed, err := m.db.QueryTimed(sqlText)
+		rs, elapsed, err := m.db.QueryTimedContext(ctx, sqlText)
 		if err != nil {
+			// A deadline expiring mid-ramp degrades gracefully when at least
+			// one prefix completed: that prefix's answer is unbiased (its
+			// Horvitz-Thompson weights already fold in the prefix fraction),
+			// so returning it flagged beats returning nothing.
+			if errors.Is(err, context.DeadlineExceeded) && lastPartial != nil {
+				return m.degradeAnswer(lastPartial, cb), nil
+			}
+			if queryAborted(err) {
+				return nil, err
+			}
 			// Same contract as executeEntry: a stale catalog or dialect
 			// corner case falls back to exact execution.
-			return m.passthrough(original, PassOther)
+			return m.passthrough(ctx, original, PassOther)
 		}
 		cumNanos += elapsed.Nanoseconds()
 		cumRows += rs.RowsScanned
 		rewritten = append(rewritten, sqlText)
 
+		if err := faultpoint.Hit("core.merge.prefix"); err != nil {
+			return nil, err
+		}
 		answer := &Answer{
 			Approximate:   true,
 			Status:        Supported,
@@ -135,6 +185,7 @@ func (m *Middleware) executeProgressive(e *planEntry, original string, target fl
 		mg.add(rs, ro.Columns)
 		answer.Cols = append([]string(nil), e.names...)
 		answer.Rows, answer.StdErr = mg.result()
+		lastPartial = answer
 
 		last := idx == len(schedule)-1
 		met := target > 0 && minSubsamples(rs, ro.Columns) >= minStopSubsamples &&
@@ -146,7 +197,12 @@ func (m *Middleware) executeProgressive(e *planEntry, original string, target fl
 			stop = true // caller accepted this prefix's accuracy
 		}
 		if stop {
-			final, err := m.finishEntryAnswer(e, answer, original)
+			final, err := m.finishEntryAnswer(ctx, e, answer, original)
+			if err != nil && errors.Is(err, context.DeadlineExceeded) {
+				// The guard rails' exact re-run ran out of time; the
+				// completed prefix itself is still a valid partial.
+				return m.degradeAnswer(answer, cb), nil
+			}
 			if err == nil {
 				finalUpdate(cb, final)
 			}
@@ -164,7 +220,21 @@ func (m *Middleware) executeProgressive(e *planEntry, original string, target fl
 		}
 	}
 	// Unreachable: the schedule always ends with the full prefix.
-	return m.executeEntry(e, original)
+	return m.executeEntry(ctx, e, original)
+}
+
+// degradeAnswer finalizes a completed block-prefix partial after a deadline
+// expiry: the answer is flagged DeadlineDegraded and only the user-visible
+// error columns are applied — the guard rails (group-cardinality check,
+// accuracy contract) are skipped because both can demand an exact re-run
+// there is no time left to pay for.
+func (m *Middleware) degradeAnswer(partial *Answer, cb ProgressiveCallback) *Answer {
+	partial.DeadlineDegraded = true
+	if m.opts.ErrorColumns {
+		appendErrorColumns(partial)
+	}
+	finalUpdate(cb, partial)
+	return partial
 }
 
 // minStopSubsamples is the fewest subsamples any group may be estimated

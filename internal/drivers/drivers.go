@@ -12,6 +12,7 @@
 package drivers
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -30,11 +31,19 @@ type DB interface {
 	Dialect() sqlparser.Dialect
 	// Exec runs a DDL/DML statement.
 	Exec(sql string) error
+	// ExecContext is Exec honoring the caller's context: the statement
+	// observes cancellation, deadlines, and any memory budget ctx carries.
+	ExecContext(ctx context.Context, sql string) error
 	// Query runs a SELECT and returns its result set.
 	Query(sql string) (*engine.ResultSet, error)
+	// QueryContext is Query honoring the caller's context.
+	QueryContext(ctx context.Context, sql string) (*engine.ResultSet, error)
 	// QueryTimed runs a SELECT and reports its latency including the
 	// engine's modeled fixed overhead.
 	QueryTimed(sql string) (*engine.ResultSet, time.Duration, error)
+	// QueryTimedContext is QueryTimed honoring the caller's context; a
+	// simulated-overhead sleep is interrupted by cancellation too.
+	QueryTimedContext(ctx context.Context, sql string) (*engine.ResultSet, time.Duration, error)
 	// Columns returns the column names of a table (via a LIMIT 0 probe).
 	Columns(table string) ([]string, error)
 	// RowCount returns a table's cardinality from the engine's catalog
@@ -76,13 +85,23 @@ func (d *Driver) Overhead() time.Duration { return d.overhead }
 
 // Exec implements DB.
 func (d *Driver) Exec(sql string) error {
-	_, err := d.eng.Exec(sql)
+	return d.ExecContext(context.Background(), sql)
+}
+
+// ExecContext implements DB.
+func (d *Driver) ExecContext(ctx context.Context, sql string) error {
+	_, err := d.eng.ExecContext(ctx, sql)
 	return err
 }
 
 // Query implements DB.
 func (d *Driver) Query(sql string) (*engine.ResultSet, error) {
 	return d.eng.Query(sql)
+}
+
+// QueryContext implements DB.
+func (d *Driver) QueryContext(ctx context.Context, sql string) (*engine.ResultSet, error) {
+	return d.eng.QueryContext(ctx, sql)
 }
 
 // SetOverhead overrides the modeled fixed per-query overhead. When simulate
@@ -95,11 +114,24 @@ func (d *Driver) SetOverhead(overhead time.Duration, simulate bool) {
 
 // QueryTimed implements DB.
 func (d *Driver) QueryTimed(sql string) (*engine.ResultSet, time.Duration, error) {
+	return d.QueryTimedContext(context.Background(), sql)
+}
+
+// QueryTimedContext implements DB. A simulated overhead sleep races against
+// ctx so a cancel or deadline interrupts the modeled network wait, not just
+// the engine scan.
+func (d *Driver) QueryTimedContext(ctx context.Context, sql string) (*engine.ResultSet, time.Duration, error) {
 	start := time.Now()
-	if d.simulate {
-		time.Sleep(d.overhead)
+	if d.simulate && d.overhead > 0 {
+		t := time.NewTimer(d.overhead)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, time.Since(start), ctx.Err()
+		}
 	}
-	rs, err := d.eng.Query(sql)
+	rs, err := d.eng.QueryContext(ctx, sql)
 	elapsed := time.Since(start)
 	if !d.simulate {
 		elapsed += d.overhead

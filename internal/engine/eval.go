@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -104,6 +105,15 @@ type queryCtx struct {
 	eng     *Engine
 	scanned int64 // base-table rows read
 	depth   int   // subquery nesting guard
+
+	// Lifecycle control (lifecycle.go): the caller's context, the optional
+	// memory gauge, the poll counter for serial loops (unsynchronized —
+	// morsel workers call pollAbort directly), and the SQL for InternalError
+	// provenance.
+	ctx   context.Context
+	mem   *memGauge
+	polls int
+	query string
 
 	// Correlated-subquery memoization: a correlated scalar subquery is
 	// re-evaluated for every outer row, but its result depends only on the

@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
+	"verdictdb/internal/faultpoint"
 	"verdictdb/internal/sqlparser"
 )
 
@@ -36,6 +38,15 @@ func (rs *ResultSet) ColIndex(name string) int {
 
 // Query parses and executes a SELECT statement.
 func (e *Engine) Query(sql string) (*ResultSet, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a context: execution polls ctx between chunks
+// (or every pollEvery rows on interpreted paths) and returns ctx.Err() with
+// every morsel worker drained; a memory budget carried by ctx (or the
+// engine default) aborts with ErrMemoryBudget; panics anywhere below are
+// contained into *InternalError, leaving the engine usable.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (rs *ResultSet, err error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -44,10 +55,14 @@ func (e *Engine) Query(sql string) (*ResultSet, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: Query requires SELECT, got %T", stmt)
 	}
-	qc := &queryCtx{eng: e}
-	rs, err := execSelectWithOuter(qc, sel, nil)
-	if err != nil {
+	defer containPanic(&err, sql)
+	if err := faultpoint.Hit("engine.query"); err != nil {
 		return nil, err
+	}
+	qc := e.newQueryCtx(ctx, sql)
+	rs, err = execSelectWithOuter(qc, sel, nil)
+	if err != nil {
+		return nil, stampQuery(err, sql)
 	}
 	rs.RowsScanned = qc.scanned
 	return rs, nil
@@ -56,18 +71,41 @@ func (e *Engine) Query(sql string) (*ResultSet, error) {
 // Exec parses and executes any statement. SELECTs return their result set;
 // DDL/DML return an empty result set.
 func (e *Engine) Exec(sql string) (*ResultSet, error) {
+	return e.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec under a context; see QueryContext for the contract.
+func (e *Engine) ExecContext(ctx context.Context, sql string) (*ResultSet, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecStmt(stmt)
+	return e.execStmtContext(ctx, stmt, sql)
 }
 
 // ExecStmt executes an already-parsed statement.
 func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*ResultSet, error) {
+	return e.ExecStmtContext(context.Background(), stmt)
+}
+
+// ExecStmtContext executes an already-parsed statement under a context.
+func (e *Engine) ExecStmtContext(ctx context.Context, stmt sqlparser.Statement) (*ResultSet, error) {
+	return e.execStmtContext(ctx, stmt, "")
+}
+
+func (e *Engine) execStmtContext(ctx context.Context, stmt sqlparser.Statement, sql string) (rs *ResultSet, err error) {
+	defer containPanic(&err, sql)
+	rs, err = e.execStmtInner(ctx, stmt)
+	if err != nil {
+		return nil, stampQuery(err, sql)
+	}
+	return rs, nil
+}
+
+func (e *Engine) execStmtInner(ctx context.Context, stmt sqlparser.Statement) (*ResultSet, error) {
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		qc := &queryCtx{eng: e}
+		qc := e.newQueryCtx(ctx, "")
 		rs, err := execSelectWithOuter(qc, s, nil)
 		if err != nil {
 			return nil, err
@@ -76,7 +114,7 @@ func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*ResultSet, error) {
 		return rs, nil
 	case *sqlparser.CreateTableStmt:
 		if s.AsSelect != nil {
-			qc := &queryCtx{eng: e}
+			qc := e.newQueryCtx(ctx, "")
 			rs, err := execSelectWithOuter(qc, s.AsSelect, nil)
 			if err != nil {
 				return nil, err
@@ -107,13 +145,13 @@ func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*ResultSet, error) {
 		}
 		return &ResultSet{}, nil
 	case *sqlparser.InsertStmt:
-		return e.execInsert(s)
+		return e.execInsert(ctx, s)
 	default:
 		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 }
 
-func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
+func (e *Engine) execInsert(ctx context.Context, s *sqlparser.InsertStmt) (*ResultSet, error) {
 	t, err := e.Lookup(s.Table)
 	if err != nil {
 		return nil, err
@@ -138,14 +176,14 @@ func (e *Engine) execInsert(s *sqlparser.InsertStmt) (*ResultSet, error) {
 	}
 	var srcRows [][]Value
 	if s.Select != nil {
-		qc := &queryCtx{eng: e}
+		qc := e.newQueryCtx(ctx, "")
 		rs, err := execSelectWithOuter(qc, s.Select, nil)
 		if err != nil {
 			return nil, err
 		}
 		srcRows = rs.Rows
 	} else {
-		qc := &queryCtx{eng: e}
+		qc := e.newQueryCtx(ctx, "")
 		ev := &env{qc: qc}
 		for _, exprRow := range s.Rows {
 			row := make([]Value, len(exprRow))
@@ -196,6 +234,12 @@ type entry struct {
 // execSelectWithOuter runs one SELECT block. outer provides the enclosing
 // scope for correlated subqueries, or nil at top level.
 func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*ResultSet, error) {
+	// Cancellation gate per SELECT block: subqueries — including correlated
+	// ones evaluated per outer row — re-enter here, so even O(outer × inner)
+	// interpreted plans observe cancellation promptly.
+	if err := qc.pollAbort(); err != nil {
+		return nil, err
+	}
 	rel, err := buildFrom(qc, sel.From, outer, collectRangePreds(sel.Where))
 	if err != nil {
 		return nil, err
@@ -238,13 +282,13 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 		// over columnar sources, morsel-parallel when every expression is
 		// pure, serial otherwise. Falls back to the interpreted pipeline
 		// when anything fails to compile.
-		if plan, ok := buildScanPlan(qc.eng, rel, sel, aggCalls, wherePred, wherePure); ok {
+		if plan, ok := buildScanPlan(qc, rel, sel, aggCalls, wherePred, wherePure); ok {
 			entries, err = plan.run(rel)
 			if err != nil {
 				return nil, err
 			}
 		} else {
-			rows, err := filterRows(qc, baseEnv, rel.materialize(), sel.Where, wherePred, wherePure)
+			rows, err := filterRows(qc, baseEnv, qc.materialize(rel), sel.Where, wherePred, wherePure)
 			if err != nil {
 				return nil, err
 			}
@@ -267,7 +311,7 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 				outColsPre = outCols
 			}
 			if ocErr == nil && orderByOutputsOnly(sel, outCols) {
-				if vs := buildVecSelect(qc.eng, rel, outCols, wherePred, sel.Where); vs != nil {
+				if vs := buildVecSelect(qc, rel, outCols, wherePred, sel.Where); vs != nil {
 					projRows, err = vs.run(rel.src)
 					if err != nil {
 						return nil, err
@@ -281,7 +325,7 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 			}
 		}
 		if !projDone {
-			rows, ferr := filterRows(qc, baseEnv, rel.materialize(), sel.Where, wherePred, wherePure)
+			rows, ferr := filterRows(qc, baseEnv, qc.materialize(rel), sel.Where, wherePred, wherePure)
 			if ferr != nil {
 				return nil, ferr
 			}
@@ -417,13 +461,16 @@ func filterRows(qc *queryCtx, ev *env, rows [][]Value, where sqlparser.Expr, pre
 	if pred != nil {
 		if pure {
 			if nw := qc.eng.scanWorkers(len(rows)); nw > 1 {
-				return parallelFilter(qc.eng, rows, pred, nw)
+				return parallelFilter(qc, rows, pred, nw)
 			}
 		}
-		return serialFilter(rows, pred)
+		return serialFilter(qc, rows, pred)
 	}
 	filtered := rows[:0:0]
 	for _, row := range rows {
+		if err := qc.tick(); err != nil {
+			return nil, err
+		}
 		ev.row = row
 		v, err := ev.eval(where)
 		if err != nil {
@@ -504,6 +551,9 @@ func aggregate(baseEnv *env, rel *relation, rows [][]Value, sel *sqlparser.Selec
 	var order []string
 	var kb []byte
 	for _, row := range rows {
+		if err := baseEnv.qc.tick(); err != nil {
+			return nil, err
+		}
 		baseEnv.row = row
 		kb = kb[:0]
 		for _, ge := range sel.GroupBy {
@@ -521,6 +571,7 @@ func aggregate(baseEnv *env, rel *relation, rows [][]Value, sel *sqlparser.Selec
 			if err != nil {
 				return nil, err
 			}
+			baseEnv.qc.chargeMem(bytesPerGroup + int64(len(aggCalls))*bytesPerAcc)
 			key := string(kb)
 			groups[key] = g
 			order = append(order, key)
@@ -742,9 +793,12 @@ func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.Selec
 			allCompiled = false
 		}
 	}
+	// Projection output is freshly boxed rows: charge it up front, so a
+	// blow-up (huge unaggregated projection) aborts at the next poll.
+	baseEnv.qc.chargeMem(int64(len(entries)) * (int64(len(outCols)) + 2) * bytesPerValue)
 	if allCompiled && allPure {
 		if nw := baseEnv.qc.eng.scanWorkers(len(entries)); nw > 1 {
-			rowsOut, err := parallelProject(baseEnv.qc.eng, entries, items, nw)
+			rowsOut, err := parallelProject(baseEnv.qc, entries, items, nw)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -754,6 +808,9 @@ func project(baseEnv *env, rel *relation, entries []*entry, sel *sqlparser.Selec
 
 	rowsOut := make([][]Value, len(entries))
 	for ei, en := range entries {
+		if err := baseEnv.qc.tick(); err != nil {
+			return nil, nil, err
+		}
 		baseEnv.row = en.row
 		baseEnv.aggVals = en.aggVals
 		baseEnv.winVals = en.winVals

@@ -123,7 +123,7 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	// output; everything else — impure ON, subqueries in ON, no equi-key —
 	// keeps the row path below.
 	if len(leftKeys) > 0 && !qc.eng.noVec.Load() {
-		if vj := buildVecJoin(qc.eng, left, right, combined, je.Type, leftKeys, rightKeys, residual); vj != nil {
+		if vj := buildVecJoin(qc, left, right, combined, je.Type, leftKeys, rightKeys, residual); vj != nil {
 			src, err := vj.run()
 			if err != nil {
 				return nil, err
@@ -134,8 +134,8 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	}
 
 	// Row path: read both sides through the boxed row view.
-	left.materialize()
-	right.materialize()
+	qc.materialize(left)
+	qc.materialize(right)
 
 	// Evaluation environments for key extraction.
 	lEnv := &env{qc: qc, rel: left, outer: outer}
@@ -152,7 +152,14 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 		}
 	}
 	combinedBuf := make([]Value, left.width()+right.width())
+	// matches is probed once per candidate pair in every row-path variant,
+	// so the cancellation/budget tick here covers the O(left × right)
+	// nested-loop inner loops — the place a runaway cross join must be
+	// interruptible.
 	matches := func(lrow, rrow []Value) (bool, error) {
+		if err := qc.tick(); err != nil {
+			return false, err
+		}
 		if residual == nil {
 			return true, nil
 		}
@@ -173,7 +180,9 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 		return ok && b, nil
 	}
 
+	joinedRowBytes := (int64(left.width()+right.width()) + 2) * bytesPerValue
 	appendJoined := func(out [][]Value, lrow, rrow []Value) [][]Value {
+		qc.chargeMem(joinedRowBytes)
 		row := make([]Value, 0, left.width()+right.width())
 		if lrow == nil {
 			lrow = make([]Value, left.width())
@@ -296,6 +305,9 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	}
 	var kbuf []byte
 	for ri, rrow := range right.rows {
+		if err := qc.tick(); err != nil {
+			return nil, err
+		}
 		var null bool
 		var err error
 		kbuf, null, err = appendJoinKey(kbuf[:0], rEnv, rrow, rightKeys, rKeyFns)
@@ -305,6 +317,7 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 		if null {
 			continue // NULL join keys never match
 		}
+		qc.chargeMem(bytesPerRef * 2) // bucket slot + row reference
 		b, ok := build[string(kbuf)]
 		if !ok {
 			b = &bucket{}
@@ -315,6 +328,9 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	}
 
 	for _, lrow := range left.rows {
+		if err := qc.tick(); err != nil {
+			return nil, err
+		}
 		var null bool
 		var err error
 		kbuf, null, err = appendJoinKey(kbuf[:0], lEnv, lrow, leftKeys, lKeyFns)

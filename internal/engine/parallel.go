@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"runtime/debug"
 	"sync"
 
+	"verdictdb/internal/faultpoint"
 	"verdictdb/internal/sqlparser"
 )
 
@@ -49,7 +51,10 @@ func (e *Engine) scanWorkers(n int) int {
 
 // runChunks splits [0,n) into nw contiguous ranges and runs fn on each
 // concurrently. The returned error is the one from the earliest range, so
-// error identity matches a serial scan.
+// error identity matches a serial scan. A panicking worker is recovered
+// into an *InternalError (its range's error slot) rather than crossing the
+// goroutine boundary: sibling workers finish their morsels and the
+// WaitGroup always drains, so a crash in one morsel leaks nothing.
 func runChunks(nw, n int, fn func(w, lo, hi int) error) error {
 	var wg sync.WaitGroup
 	errs := make([]error, nw)
@@ -66,6 +71,11 @@ func runChunks(nw, n int, fn func(w, lo, hi int) error) error {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = &InternalError{Panic: r, Stack: debug.Stack()}
+				}
+			}()
 			errs[w] = fn(w, lo, hi)
 		}(w, lo, hi)
 	}
@@ -79,9 +89,12 @@ func runChunks(nw, n int, fn func(w, lo, hi int) error) error {
 }
 
 // serialFilter applies a compiled predicate in row order.
-func serialFilter(rows [][]Value, pred compiledExpr) ([][]Value, error) {
+func serialFilter(qc *queryCtx, rows [][]Value, pred compiledExpr) ([][]Value, error) {
 	out := rows[:0:0]
 	for _, row := range rows {
+		if err := qc.tick(); err != nil {
+			return nil, err
+		}
 		v, err := pred(row)
 		if err != nil {
 			return nil, err
@@ -95,11 +108,17 @@ func serialFilter(rows [][]Value, pred compiledExpr) ([][]Value, error) {
 
 // parallelFilter applies a pure compiled predicate across workers,
 // preserving row order by concatenating per-chunk keeps.
-func parallelFilter(e *Engine, rows [][]Value, pred compiledExpr, nw int) ([][]Value, error) {
+func parallelFilter(qc *queryCtx, rows [][]Value, pred compiledExpr, nw int) ([][]Value, error) {
 	outs := make([][][]Value, nw)
 	err := runChunks(nw, len(rows), func(w, lo, hi int) error {
 		var kept [][]Value
+		poll := 0
 		for _, row := range rows[lo:hi] {
+			if poll++; poll&(pollEvery-1) == 0 {
+				if err := qc.pollAbort(); err != nil {
+					return err
+				}
+			}
 			v, err := pred(row)
 			if err != nil {
 				return err
@@ -122,7 +141,7 @@ func parallelFilter(e *Engine, rows [][]Value, pred compiledExpr, nw int) ([][]V
 	for _, o := range outs {
 		res = append(res, o...)
 	}
-	e.parallelScans.Add(1)
+	qc.eng.parallelScans.Add(1)
 	return res, nil
 }
 
@@ -143,6 +162,12 @@ func parallelJoinProbe(vj *vecJoin, needMatched bool) ([]*chunk, []bool, error) 
 		pc := vj.newProbeCtx(needMatched)
 		var out []*chunk
 		for _, ch := range chunks {
+			if err := vj.qc.pollAbort(); err != nil {
+				return nil, nil, err
+			}
+			if err := faultpoint.Hit("engine.join.probe"); err != nil {
+				return nil, nil, err
+			}
 			oc, err := vj.probeChunk(pc, ch)
 			if err != nil {
 				return nil, nil, err
@@ -159,6 +184,12 @@ func parallelJoinProbe(vj *vecJoin, needMatched bool) ([]*chunk, []bool, error) 
 		pc := vj.newProbeCtx(needMatched)
 		bitmaps[w] = pc.matched
 		for _, ch := range chunks[lo:hi] {
+			if err := vj.qc.pollAbort(); err != nil {
+				return err
+			}
+			if err := faultpoint.Hit("engine.join.probe"); err != nil {
+				return err
+			}
 			oc, err := vj.probeChunk(pc, ch)
 			if err != nil {
 				return err
@@ -210,6 +241,7 @@ type aggSpec struct {
 // SELECT block. It keeps the source ASTs so the vectorized path can lower
 // them to chunk-at-a-time kernels.
 type scanPlan struct {
+	qc       *queryCtx
 	eng      *Engine
 	rel      *relation
 	where    compiledExpr // nil when the query has no WHERE
@@ -218,16 +250,19 @@ type scanPlan struct {
 	keyASTs  []sqlparser.Expr
 	specs    []aggSpec
 	pure     bool
+
+	groupBytes int64 // gauge charge per created group
 }
 
 // buildScanPlan compiles WHERE, GROUP BY keys, and aggregate arguments.
 // ok=false sends the query to the interpreted path (which also owns
 // reporting any expression errors, e.g. a bad percentile fraction).
-func buildScanPlan(eng *Engine, rel *relation, sel *sqlparser.SelectStmt, aggCalls []*sqlparser.FuncCall, wherePred compiledExpr, wherePure bool) (*scanPlan, bool) {
+func buildScanPlan(qc *queryCtx, rel *relation, sel *sqlparser.SelectStmt, aggCalls []*sqlparser.FuncCall, wherePred compiledExpr, wherePure bool) (*scanPlan, bool) {
 	if sel.Where != nil && wherePred == nil {
 		return nil, false
 	}
-	p := &scanPlan{eng: eng, rel: rel, where: wherePred, whereAST: sel.Where}
+	eng := qc.eng
+	p := &scanPlan{qc: qc, eng: eng, rel: rel, where: wherePred, whereAST: sel.Where}
 	pure := sel.Where == nil || wherePure
 	for _, ge := range sel.GroupBy {
 		fn, pu, ok := compileExpr(eng, rel, ge)
@@ -253,6 +288,9 @@ func buildScanPlan(eng *Engine, rel *relation, sel *sqlparser.SelectStmt, aggCal
 		pure = pure && pu
 		p.specs = append(p.specs, aggSpec{fc: fc, arg: fn, argAST: fc.Args[0]})
 	}
+	// Each created group costs a map entry, the accumulators, and a boxed
+	// representative row.
+	p.groupBytes = bytesPerGroup + int64(len(aggCalls))*bytesPerAcc + int64(rel.width())*bytesPerValue
 	// No upfront accumulator validation: newAccumulator errors (unknown
 	// aggregate, bad percentile fraction) surface from run() with exactly
 	// the message the interpreted path would produce, and validating here
@@ -298,8 +336,17 @@ func newChunkGroups() *chunkGroups { return &chunkGroups{m: map[string]*groupAcc
 // into cg — the row-at-a-time path, used for impure/serial plans and as
 // the per-chunk fallback when a vector kernel errors.
 func (p *scanPlan) scanRowsInto(cg *chunkGroups, rows [][]Value, applyWhere bool) error {
+	if err := faultpoint.Hit("engine.scan.rows"); err != nil {
+		return err
+	}
 	var buf []byte
+	poll := 0 // local counter: this runs inside morsel workers
 	for _, row := range rows {
+		if poll++; poll&(pollEvery-1) == 0 {
+			if err := p.qc.pollAbort(); err != nil {
+				return err
+			}
+		}
 		if applyWhere && p.where != nil {
 			v, err := p.where(row)
 			if err != nil {
@@ -324,6 +371,7 @@ func (p *scanPlan) scanRowsInto(cg *chunkGroups, rows [][]Value, applyWhere bool
 			if err != nil {
 				return err
 			}
+			p.qc.chargeMem(p.groupBytes)
 			g = &groupAcc{repr: row, accs: accs}
 			key := string(buf)
 			cg.m[key] = g
@@ -409,7 +457,7 @@ func (p *scanPlan) run(rel *relation) ([]*entry, error) {
 			return vp.run(rel.src)
 		}
 	}
-	rows := rel.materialize()
+	rows := p.qc.materialize(rel)
 	nw := 1
 	if p.pure {
 		nw = p.eng.scanWorkers(len(rows))
@@ -433,7 +481,7 @@ func (p *scanPlan) run(rel *relation) ([]*entry, error) {
 	} else {
 		if p.where != nil {
 			var err error
-			rows, err = serialFilter(rows, p.where)
+			rows, err = serialFilter(p.qc, rows, p.where)
 			if err != nil {
 				return nil, err
 			}
@@ -455,10 +503,16 @@ type projCol struct {
 
 // parallelProject computes the output rows for all entries across workers;
 // output order is positional, so the result is identical to a serial pass.
-func parallelProject(e *Engine, entries []*entry, items []projCol, nw int) ([][]Value, error) {
+func parallelProject(qc *queryCtx, entries []*entry, items []projCol, nw int) ([][]Value, error) {
 	out := make([][]Value, len(entries))
 	err := runChunks(nw, len(entries), func(w, lo, hi int) error {
+		poll := 0
 		for i := lo; i < hi; i++ {
+			if poll++; poll&(pollEvery-1) == 0 {
+				if err := qc.pollAbort(); err != nil {
+					return err
+				}
+			}
 			en := entries[i]
 			row := make([]Value, len(items))
 			for j, it := range items {
@@ -479,6 +533,6 @@ func parallelProject(e *Engine, entries []*entry, items []projCol, nw int) ([][]
 	if err != nil {
 		return nil, err
 	}
-	e.parallelScans.Add(1)
+	qc.eng.parallelScans.Add(1)
 	return out, nil
 }

@@ -101,6 +101,10 @@ type Engine struct {
 	// forcing every query through the row-view fallback. Test knob for
 	// columnar ≡ row-view parity checks.
 	noVec atomic.Bool
+
+	// memBudget is the default per-query memory budget in bytes (0 = none);
+	// see SetMemoryBudget and WithMemoryBudget in lifecycle.go.
+	memBudget atomic.Int64
 }
 
 // SetParallelism caps the number of workers a single scan may use. n = 1

@@ -3,6 +3,7 @@ package engine
 import (
 	"bytes"
 
+	"verdictdb/internal/faultpoint"
 	"verdictdb/internal/sqlparser"
 )
 
@@ -78,6 +79,9 @@ func (vp *vecPlan) run(src *colSource) ([]*entry, error) {
 			g := newChunkGroups()
 			results[w] = g
 			for _, ch := range chunks[lo:hi] {
+				if err := vp.p.qc.pollAbort(); err != nil {
+					return err
+				}
 				if err := vp.scanChunk(g, vc, ch); err != nil {
 					return err
 				}
@@ -96,6 +100,9 @@ func (vp *vecPlan) run(src *colSource) ([]*entry, error) {
 		cg = newChunkGroups()
 		vc := vp.newCtx()
 		for _, ch := range chunks {
+			if err := vp.p.qc.pollAbort(); err != nil {
+				return nil, err
+			}
 			if err := vp.scanChunk(cg, vc, ch); err != nil {
 				return nil, err
 			}
@@ -108,6 +115,9 @@ func (vp *vecPlan) run(src *colSource) ([]*entry, error) {
 // evaluation happens before any accumulator is touched, so an erroring
 // kernel can fall back to the row path for the whole chunk.
 func (vp *vecPlan) scanChunk(cg *chunkGroups, vc *vecCtx, ch *chunk) error {
+	if err := faultpoint.Hit("engine.scan.chunk"); err != nil {
+		return err
+	}
 	lanes := ch.n
 	var sel []int32
 	if vp.where != nil {
@@ -168,6 +178,7 @@ func (vp *vecPlan) scanChunk(cg *chunkGroups, vc *vecCtx, ch *chunk) error {
 					vc.keyBuf = buf
 					return err
 				}
+				vp.p.qc.chargeMem(vp.p.groupBytes)
 				ri := k
 				if sel != nil {
 					ri = int(sel[k])
@@ -252,6 +263,7 @@ func addLane(acc accumulator, v *vec, k int) error {
 // every output column is computed over the selected lanes, materializing
 // boxed rows only at the ResultSet boundary.
 type vecSelect struct {
+	qc         *queryCtx
 	eng        *Engine
 	where      vnode
 	whereConjs []vnode
@@ -263,9 +275,10 @@ type vecSelect struct {
 
 // buildVecSelect lowers the WHERE and output columns of a non-aggregate
 // SELECT; nil when any of them cannot run vectorized.
-func buildVecSelect(eng *Engine, rel *relation, outCols []outCol, wherePred compiledExpr, whereAST sqlparser.Expr) *vecSelect {
+func buildVecSelect(qc *queryCtx, rel *relation, outCols []outCol, wherePred compiledExpr, whereAST sqlparser.Expr) *vecSelect {
+	eng := qc.eng
 	c := &vecCompiler{eng: eng, rel: rel}
-	vs := &vecSelect{eng: eng, whereFn: wherePred}
+	vs := &vecSelect{qc: qc, eng: eng, whereFn: wherePred}
 	if whereAST != nil {
 		vs.where, vs.whereConjs = c.lowerWhere(whereAST)
 		if vs.where == nil {
@@ -303,6 +316,9 @@ func (vs *vecSelect) run(src *colSource) ([][]Value, error) {
 		vc := newVecCtx(vs.nbuf, 0, 0, len(vs.items))
 		var out [][]Value
 		for _, ch := range chunks {
+			if err := vs.qc.pollAbort(); err != nil {
+				return nil, err
+			}
 			var err error
 			out, err = vs.projectChunk(out, vc, ch)
 			if err != nil {
@@ -316,6 +332,9 @@ func (vs *vecSelect) run(src *colSource) ([][]Value, error) {
 		vc := newVecCtx(vs.nbuf, 0, 0, len(vs.items))
 		var out [][]Value
 		for _, ch := range chunks[lo:hi] {
+			if err := vs.qc.pollAbort(); err != nil {
+				return err
+			}
 			var err error
 			out, err = vs.projectChunk(out, vc, ch)
 			if err != nil {
@@ -367,6 +386,7 @@ func (vs *vecSelect) projectChunk(out [][]Value, vc *vecCtx, ch *chunk) ([][]Val
 		}
 		vc.items[j] = v
 	}
+	vs.qc.chargeMem(int64(lanes) * (int64(len(vs.items)) + 2) * bytesPerValue)
 	for k := 0; k < lanes; k++ {
 		row := make([]Value, len(vs.items))
 		for j := range vs.items {

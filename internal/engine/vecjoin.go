@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 
+	"verdictdb/internal/faultpoint"
 	"verdictdb/internal/sqlparser"
 )
 
@@ -45,6 +46,7 @@ type joinBucket struct{ refs []int64 }
 // vecJoin is one lowered hash join: chunked inputs, vector kernels for the
 // key and residual expressions, and their row-compiled fallbacks.
 type vecJoin struct {
+	qc     *queryCtx
 	eng    *Engine
 	jt     sqlparser.JoinType
 	leftW  int
@@ -90,9 +92,10 @@ func relationChunks(r *relation) []*chunk {
 // buildVecJoin lowers an equi-join for the vectorized path, or returns nil
 // when anything about it (impure or uncompilable keys, unlowerable
 // residual) needs the row path.
-func buildVecJoin(eng *Engine, left, right, combined *relation, jt sqlparser.JoinType,
+func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.JoinType,
 	leftKeys, rightKeys []sqlparser.Expr, residual sqlparser.Expr) *vecJoin {
-	vj := &vecJoin{eng: eng, jt: jt, leftW: left.width(), rightW: right.width()}
+	eng := qc.eng
+	vj := &vecJoin{qc: qc, eng: eng, jt: jt, leftW: left.width(), rightW: right.width()}
 
 	lc := &vecCompiler{eng: eng, rel: left}
 	for _, k := range leftKeys {
@@ -205,6 +208,15 @@ func (vj *vecJoin) buildHash() error {
 	var kbuf []byte
 	start := 0
 	for ci, ch := range vj.buildChunks {
+		if err := vj.qc.pollAbort(); err != nil {
+			return err
+		}
+		if err := faultpoint.Hit("engine.join.build"); err != nil {
+			return err
+		}
+		// Build-side entries: one packed reference per non-NULL-key row,
+		// plus bucket overhead folded into the flat per-row estimate.
+		vj.qc.chargeMem(int64(ch.n) * bytesPerRef)
 		vj.buildStart = append(vj.buildStart, start)
 		kernelOK := true
 		for i, kn := range vj.rKeyNodes {
@@ -491,6 +503,7 @@ func (vj *vecJoin) trailingChunk(matched []bool) *chunk {
 // newJoinChunk wraps a pair of row-reference vectors as a join-output
 // chunk; columns gather lazily (joinGather) when kernels touch them.
 func (vj *vecJoin) newJoinChunk(probe *chunk, sel []int32, refs []int64) *chunk {
+	vj.qc.chargeMem(int64(len(sel)) * 2 * bytesPerRef)
 	w := vj.leftW + vj.rightW
 	return &chunk{
 		cols: make([]colVec, w),
@@ -523,6 +536,9 @@ func (g *joinGather) fill(c *chunk, j int) {
 	if g.filled[j] {
 		return
 	}
+	// A gathered column is one typed vector of c.n slots. fill has no error
+	// path, so the charge surfaces at the caller's next poll.
+	g.j.qc.chargeMem(int64(c.n) * bytesPerRef)
 	if j < g.j.leftW {
 		g.fillProbe(c, j)
 	} else {

@@ -1,0 +1,44 @@
+//go:build !faultinject
+
+// Package faultpoint is a deterministic fault-injection hook for the
+// robustness test suite: named sites in the engine's scan/join paths and
+// the middleware's merge/progressive paths call Hit, and tests arm a site
+// to panic, stall, or return an error on that exact call. The real
+// implementation is compiled only under the "faultinject" build tag
+// (`go test -tags faultinject`); in normal builds every function here is an
+// inlinable no-op, so production code pays nothing for the hooks.
+//
+// Under the tag, sites can also be armed from the environment without test
+// code, e.g.:
+//
+//	VERDICT_FAULTPOINTS="engine.scan.chunk=panic,engine.join.probe=stall:50ms"
+//
+// The site catalog lives in the README's Robustness section.
+package faultpoint
+
+import "time"
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return false }
+
+// Hit marks one execution of a named site. No-op without the faultinject
+// build tag.
+func Hit(site string) error { return nil }
+
+// SetPanic arms site to panic on every Hit.
+func SetPanic(site string) {}
+
+// SetError arms site to return err from every Hit.
+func SetError(site string, err error) {}
+
+// SetStall arms site to sleep d on every Hit.
+func SetStall(site string, d time.Duration) {}
+
+// Clear disarms one site.
+func Clear(site string) {}
+
+// Reset disarms every site and zeroes hit counts.
+func Reset() {}
+
+// Count reports how many times site has been hit since the last Reset.
+func Count(site string) int64 { return 0 }

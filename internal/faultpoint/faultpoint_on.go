@@ -1,0 +1,138 @@
+//go:build faultinject
+
+// Fault-injection enabled: every Hit consults the armed-fault registry.
+// See faultpoint_off.go for the package contract and the env-var syntax.
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// PanicValue is the value injected panics carry, so recovery boundaries
+// (and tests) can recognize a synthetic crash.
+type PanicValue struct{ Site string }
+
+func (p PanicValue) String() string { return "faultpoint: injected panic at " + p.Site }
+
+type mode int
+
+const (
+	modePanic mode = iota
+	modeError
+	modeStall
+)
+
+type fault struct {
+	mode  mode
+	err   error
+	stall time.Duration
+}
+
+var (
+	mu     sync.Mutex
+	armed  = map[string]fault{}
+	counts = map[string]int64{}
+)
+
+func init() {
+	// VERDICT_FAULTPOINTS="site=panic,site=error:msg,site=stall:50ms"
+	spec := os.Getenv("VERDICT_FAULTPOINTS")
+	if spec == "" {
+		return
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		site, action, ok := strings.Cut(part, "=")
+		if !ok {
+			panic(fmt.Sprintf("faultpoint: bad VERDICT_FAULTPOINTS entry %q", part))
+		}
+		kind, arg, _ := strings.Cut(action, ":")
+		switch kind {
+		case "panic":
+			SetPanic(site)
+		case "error":
+			if arg == "" {
+				arg = "injected error at " + site
+			}
+			SetError(site, errors.New("faultpoint: "+arg))
+		case "stall":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				panic(fmt.Sprintf("faultpoint: bad stall duration %q: %v", arg, err))
+			}
+			SetStall(site, d)
+		default:
+			panic(fmt.Sprintf("faultpoint: unknown fault kind %q in %q", kind, part))
+		}
+	}
+}
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return true }
+
+// Hit marks one execution of a named site, firing whatever fault is armed
+// there: panics for SetPanic, sleeps for SetStall, the armed error for
+// SetError (nil when the site is disarmed).
+func Hit(site string) error {
+	mu.Lock()
+	counts[site]++
+	f, ok := armed[site]
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	switch f.mode {
+	case modePanic:
+		panic(PanicValue{Site: site})
+	case modeStall:
+		time.Sleep(f.stall)
+		return nil
+	default:
+		return f.err
+	}
+}
+
+// SetPanic arms site to panic (with a PanicValue) on every Hit.
+func SetPanic(site string) { set(site, fault{mode: modePanic}) }
+
+// SetError arms site to return err from every Hit.
+func SetError(site string, err error) { set(site, fault{mode: modeError, err: err}) }
+
+// SetStall arms site to sleep d on every Hit.
+func SetStall(site string, d time.Duration) { set(site, fault{mode: modeStall, stall: d}) }
+
+func set(site string, f fault) {
+	mu.Lock()
+	armed[site] = f
+	mu.Unlock()
+}
+
+// Clear disarms one site (hit counts are kept).
+func Clear(site string) {
+	mu.Lock()
+	delete(armed, site)
+	mu.Unlock()
+}
+
+// Reset disarms every site and zeroes hit counts.
+func Reset() {
+	mu.Lock()
+	armed = map[string]fault{}
+	counts = map[string]int64{}
+	mu.Unlock()
+}
+
+// Count reports how many times site has been hit since the last Reset.
+func Count(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return counts[site]
+}

@@ -18,6 +18,7 @@ package verdictdb
 // its connections are safe for the standard library's concurrent use.
 
 import (
+	"context"
 	"database/sql"
 	"database/sql/driver"
 	"fmt"
@@ -62,6 +63,8 @@ type sqlDriver struct {
 //	errcols=1                 append <col>_err columns to outputs
 //	target=0.05               progressive execution: stop scanning once the
 //	                          estimated relative error reaches the target
+//	membudget=268435456       per-query memory budget in bytes; overruns
+//	                          abort the query with ErrMemoryBudget
 func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
 	d.mu.Lock()
 	inst, ok := d.instances[dsn]
@@ -162,6 +165,12 @@ func buildFromDSN(dsn string) (*Conn, float64, error) {
 				return nil, 0, fmt.Errorf("verdictdb: bad target %q", val)
 			}
 			target = f
+		case "membudget":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, 0, fmt.Errorf("verdictdb: bad membudget %q", val)
+			}
+			opts.MemoryBudgetBytes = n
 		default:
 			return nil, 0, fmt.Errorf("verdictdb: unknown DSN option %q", key)
 		}
@@ -214,9 +223,15 @@ type sqlConn struct {
 }
 
 var (
-	_ driver.Conn    = (*sqlConn)(nil)
-	_ driver.Queryer = (*sqlConn)(nil) //nolint:staticcheck // Queryer is the pre-context interface
-	_ driver.Execer  = (*sqlConn)(nil) //nolint:staticcheck
+	_ driver.Conn               = (*sqlConn)(nil)
+	_ driver.Queryer            = (*sqlConn)(nil) //nolint:staticcheck // Queryer is the pre-context interface
+	_ driver.Execer             = (*sqlConn)(nil) //nolint:staticcheck
+	_ driver.QueryerContext     = (*sqlConn)(nil)
+	_ driver.ExecerContext      = (*sqlConn)(nil)
+	_ driver.ConnBeginTx        = (*sqlConn)(nil)
+	_ driver.ConnPrepareContext = (*sqlConn)(nil)
+	_ driver.StmtQueryContext   = (*sqlStmt)(nil)
+	_ driver.StmtExecContext    = (*sqlStmt)(nil)
 )
 
 func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
@@ -236,6 +251,22 @@ func (c *sqlConn) Close() error {
 
 func (c *sqlConn) Begin() (driver.Tx, error) {
 	return nil, fmt.Errorf("verdictdb: transactions are not supported")
+}
+
+// BeginTx implements driver.ConnBeginTx; without it database/sql would fall
+// back to Begin and silently drop the caller's context and isolation options.
+func (c *sqlConn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	return nil, fmt.Errorf("verdictdb: transactions are not supported")
+}
+
+// PrepareContext implements driver.ConnPrepareContext (preparation itself is
+// instant — the SQL is captured verbatim — but the statement's later
+// QueryContext/ExecContext honor their own contexts).
+func (c *sqlConn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &sqlStmt{conn: c.conn, query: query, target: c.target}, nil
 }
 
 // Query implements driver.Queryer.
@@ -261,6 +292,31 @@ func (c *sqlConn) Exec(query string, args []driver.Value) (driver.Result, error)
 	return driver.RowsAffected(0), nil
 }
 
+// QueryContext implements driver.QueryerContext: db.QueryContext cancels and
+// deadlines propagate into the engine scan instead of only abandoning the
+// result.
+func (c *sqlConn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, driver.ErrSkip
+	}
+	a, err := queryMaybeProgressiveContext(ctx, c.conn, query, c.target)
+	if err != nil {
+		return nil, err
+	}
+	return newSQLRows(a), nil
+}
+
+// ExecContext implements driver.ExecerContext.
+func (c *sqlConn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, driver.ErrSkip
+	}
+	if err := c.conn.ExecContext(ctx, query); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
 type sqlStmt struct {
 	conn   *Conn
 	query  string
@@ -270,10 +326,14 @@ type sqlStmt struct {
 // queryMaybeProgressive runs one statement, with accuracy-driven early
 // stopping when the DSN configured a target relative error.
 func queryMaybeProgressive(conn *Conn, query string, target float64) (*Answer, error) {
+	return queryMaybeProgressiveContext(context.Background(), conn, query, target)
+}
+
+func queryMaybeProgressiveContext(ctx context.Context, conn *Conn, query string, target float64) (*Answer, error) {
 	if target > 0 {
-		return conn.QueryWithAccuracy(query, target)
+		return conn.QueryWithAccuracyContext(ctx, query, target)
 	}
-	return conn.Query(query)
+	return conn.QueryContext(ctx, query)
 }
 
 func (s *sqlStmt) Close() error  { return nil }
@@ -292,6 +352,29 @@ func (s *sqlStmt) Query(args []driver.Value) (driver.Rows, error) {
 		return nil, err
 	}
 	return newSQLRows(a), nil
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *sqlStmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, driver.ErrSkip
+	}
+	a, err := queryMaybeProgressiveContext(ctx, s.conn, s.query, s.target)
+	if err != nil {
+		return nil, err
+	}
+	return newSQLRows(a), nil
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *sqlStmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, driver.ErrSkip
+	}
+	if err := s.conn.ExecContext(ctx, s.query); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
 }
 
 // sqlRows adapts an Answer to driver.Rows.

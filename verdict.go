@@ -19,6 +19,7 @@
 package verdictdb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -44,6 +45,26 @@ type ProgressiveUpdate = core.ProgressiveUpdate
 
 // SampleInfo re-exports sample metadata.
 type SampleInfo = meta.SampleInfo
+
+// InternalError re-exports the contained-panic error type: a crash inside
+// one query's execution surfaces as *InternalError on that query alone,
+// carrying the panic value and stack, while the engine keeps serving other
+// clients.
+type InternalError = engine.InternalError
+
+// ErrMemoryBudget re-exports the sentinel wrapped by every per-query
+// memory-budget overrun; test with errors.Is(err, verdictdb.ErrMemoryBudget).
+var ErrMemoryBudget = engine.ErrMemoryBudget
+
+// ErrCatalogChanged re-exports the progressive-execution sentinel returned
+// when sample DDL bumps the catalog version between block prefixes.
+var ErrCatalogChanged = core.ErrCatalogChanged
+
+// WithMemoryBudget returns a context carrying a per-query memory budget in
+// bytes for queries run under it; it overrides Options.MemoryBudgetBytes.
+func WithMemoryBudget(ctx context.Context, bytes int64) context.Context {
+	return engine.WithMemoryBudget(ctx, bytes)
+}
 
 // Defaults returns the paper's default options: 2% I/O budget, 95%
 // confidence, variational subsampling.
@@ -134,10 +155,18 @@ func (c *Conn) DropSample(sampleTable string) error {
 //	SHOW SAMPLES
 //	BYPASS <sql>          -- force exact execution
 func (c *Conn) Query(sql string) (*Answer, error) {
+	return c.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query honoring ctx end to end: cancellation or a deadline
+// stops the engine scan within one chunk of work, and a memory budget on ctx
+// (or Options.MemoryBudgetBytes) bounds the query's engine-side allocations,
+// aborting it with ErrMemoryBudget instead of OOMing the process.
+func (c *Conn) QueryContext(ctx context.Context, sql string) (*Answer, error) {
 	// Repeated SELECT shapes skip parse/analyze/plan/rewrite entirely: only
 	// statements QuerySelect previously built can hit, so the statement
 	// dispatch below is never bypassed for DDL or VerdictDB extensions.
-	if a, handled, err := c.mw.QueryCached(sql); handled {
+	if a, handled, err := c.mw.QueryCachedContext(ctx, sql); handled {
 		return a, err
 	}
 	stmt, err := sqlparser.Parse(sql)
@@ -161,21 +190,21 @@ func (c *Conn) Query(sql string) (*Answer, error) {
 	case *sqlparser.BypassStmt:
 		if sel, ok := s.Inner.(*sqlparser.SelectStmt); ok {
 			_ = sel
-			rs, err := c.db.Query(s.SQL)
+			rs, err := c.db.QueryContext(ctx, s.SQL)
 			if err != nil {
 				return nil, err
 			}
 			return exactToAnswer(rs, c.opts.Confidence), nil
 		}
-		if err := c.db.Exec(s.SQL); err != nil {
+		if err := c.db.ExecContext(ctx, s.SQL); err != nil {
 			return nil, err
 		}
 		c.mw.InvalidateStats()
 		return &Answer{Confidence: c.opts.Confidence}, nil
 	case *sqlparser.SelectStmt:
-		return c.mw.QuerySelect(s, sql)
+		return c.mw.QuerySelectContext(ctx, s, sql)
 	default:
-		if err := c.db.Exec(sql); err != nil {
+		if err := c.db.ExecContext(ctx, sql); err != nil {
 			return nil, err
 		}
 		// DDL/DML may change base data: cached plans and row-count
@@ -188,6 +217,12 @@ func (c *Conn) Query(sql string) (*Answer, error) {
 // Exec is Query for statements whose result the caller ignores.
 func (c *Conn) Exec(sql string) error {
 	_, err := c.Query(sql)
+	return err
+}
+
+// ExecContext is QueryContext for statements whose result the caller ignores.
+func (c *Conn) ExecContext(ctx context.Context, sql string) error {
+	_, err := c.QueryContext(ctx, sql)
 	return err
 }
 
@@ -204,12 +239,27 @@ func (c *Conn) QueryWithAccuracy(sql string, targetRelErr float64) (*Answer, err
 	return c.QueryProgressive(sql, targetRelErr, nil)
 }
 
+// QueryWithAccuracyContext is QueryWithAccuracy honoring ctx. A deadline
+// expiring after at least one block prefix completed returns that prefix's
+// unbiased partial answer flagged Answer.Degraded() instead of an error;
+// cancellation always returns ctx.Err(). Sample DDL racing the query
+// surfaces as ErrCatalogChanged.
+func (c *Conn) QueryWithAccuracyContext(ctx context.Context, sql string, targetRelErr float64) (*Answer, error) {
+	return c.QueryProgressiveContext(ctx, sql, targetRelErr, nil)
+}
+
 // QueryProgressive is QueryWithAccuracy with a streaming callback: cb (when
 // non-nil) receives each block prefix's intermediate answer as it is
 // computed, then the final answer with Final set. Returning false from cb
 // accepts the current prefix's accuracy and stops the scan early.
 func (c *Conn) QueryProgressive(sql string, targetRelErr float64, cb func(ProgressiveUpdate) bool) (*Answer, error) {
-	if a, handled, err := c.mw.QueryCachedProgressive(sql, targetRelErr, cb); handled {
+	return c.QueryProgressiveContext(context.Background(), sql, targetRelErr, cb)
+}
+
+// QueryProgressiveContext is QueryProgressive honoring ctx; see
+// QueryWithAccuracyContext for the deadline-degradation contract.
+func (c *Conn) QueryProgressiveContext(ctx context.Context, sql string, targetRelErr float64, cb func(ProgressiveUpdate) bool) (*Answer, error) {
+	if a, handled, err := c.mw.QueryCachedProgressiveContext(ctx, sql, targetRelErr, cb); handled {
 		return a, err
 	}
 	stmt, err := sqlparser.Parse(sql)
@@ -217,11 +267,11 @@ func (c *Conn) QueryProgressive(sql string, targetRelErr float64, cb func(Progre
 		return nil, err
 	}
 	if sel, ok := stmt.(*sqlparser.SelectStmt); ok {
-		return c.mw.QuerySelectProgressive(sel, sql, targetRelErr, cb)
+		return c.mw.QuerySelectProgressiveContext(ctx, sel, sql, targetRelErr, cb)
 	}
 	// VerdictDB extension statements and DDL/DML have no progressive form;
 	// route them through the normal dispatch.
-	return c.Query(sql)
+	return c.QueryContext(ctx, sql)
 }
 
 // CreateUniformSample builds a uniform sample with parameter tau.
