@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-par bench bench-json bench-serve bench-serve-robust bench-progressive race faultinject vet
+.PHONY: build test test-par bench bench-json bench-serve bench-serve-robust bench-progressive race faultinject vet lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,17 @@ faultinject:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific analyzers (internal/lint) run through the standard vet
+# driver. Fails on any diagnostic; see README "Static analysis & invariants".
+lint:
+	$(GO) build -o bin/verdictlint ./cmd/verdictlint
+	$(GO) vet -vettool=$(CURDIR)/bin/verdictlint ./...
+
+# Third-party static analysis, pinned. Needs network/module cache, so this is
+# a CI (or online-dev) target, not part of the offline default loop.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1 ./...
 
 # Engine hot-path microbenchmarks (compare against a previous checkout with
 # benchstat, or diff the JSON from `make bench-json`).

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"verdictdb/internal/drivers"
@@ -13,8 +14,9 @@ import (
 // Explain describes — without executing anything against base data — how
 // the middleware would answer a SELECT: support status, the consolidated
 // sample plans with scores and I/O costs, extreme-statistic decomposition,
-// and the rewritten SQL that would be sent to the engine.
-func (m *Middleware) Explain(sel *sqlparser.SelectStmt) (*Answer, error) {
+// and the rewritten SQL that would be sent to the engine. ctx bounds the
+// catalog and cardinality probes Explain issues while planning.
+func (m *Middleware) Explain(ctx context.Context, sel *sqlparser.SelectStmt) (*Answer, error) {
 	a := &Answer{
 		Cols:       []string{"step", "detail"},
 		Confidence: m.opts.Confidence,
@@ -47,6 +49,7 @@ func (m *Middleware) Explain(sel *sqlparser.SelectStmt) (*Answer, error) {
 	for al, o := range occ {
 		aliases = append(aliases, fmt.Sprintf("%s=%s", al, o.Base))
 	}
+	sort.Strings(aliases)
 	add("tables", strings.Join(aliases, ", "))
 
 	all, err := m.cat.List()
@@ -64,7 +67,7 @@ func (m *Middleware) Explain(sel *sqlparser.SelectStmt) (*Answer, error) {
 		a.StdErr = nanMatrix(len(a.Rows), 2)
 		return a, nil
 	}
-	if decline, err := m.groupCardinalityTooHigh(context.Background(), flat, plans[0].Plan); err == nil && decline {
+	if decline, err := m.groupCardinalityTooHigh(ctx, flat, plans[0].Plan); err == nil && decline {
 		add("plan", "declined: grouping cardinality too high for the sample")
 		add("execution", "passthrough to underlying engine")
 		a.StdErr = nanMatrix(len(a.Rows), 2)
@@ -81,6 +84,7 @@ func (m *Middleware) Explain(sel *sqlparser.SelectStmt) (*Answer, error) {
 				choices = append(choices, fmt.Sprintf("%s->base", al))
 			}
 		}
+		sort.Strings(choices)
 		add(fmt.Sprintf("plan %d", i+1),
 			fmt.Sprintf("items %v via %s (score %.4f, cost %d rows)",
 				cp.ItemIdx, strings.Join(choices, ", "), cp.Plan.Score, cp.Plan.Cost))

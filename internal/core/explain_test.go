@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,7 +15,7 @@ func TestExplainSupportedQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := env.m.Explain(sel)
+	a, err := env.m.Explain(context.Background(), sel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestExplainDeclinedQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := env.m.Explain(sel)
+	a, err := env.m.Explain(context.Background(), sel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestExplainDeclinedQuery(t *testing.T) {
 func TestExplainDoesNotExecute(t *testing.T) {
 	env := newEnv(t, Options{})
 	sel, _ := sqlparser.ParseSelect("select count(*) from orders")
-	a, err := env.m.Explain(sel)
+	a, err := env.m.Explain(context.Background(), sel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestExplainDoesNotExecute(t *testing.T) {
 func TestExplainExtremeDecomposition(t *testing.T) {
 	env := newEnv(t, Options{})
 	sel, _ := sqlparser.ParseSelect("select count(*) as c, max(price) as m from orders")
-	a, err := env.m.Explain(sel)
+	a, err := env.m.Explain(context.Background(), sel)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -166,9 +166,11 @@ func combineSources(l, r vsource, on sqlparser.Expr) vsource {
 			ratio:  math.Min(l.ratio, r.ratio),
 		}
 		out.hashedCols = map[string]bool{}
+		//verdict:unordered set union into a map; insertion order is unobservable
 		for k := range l.hashedCols {
 			out.hashedCols[k] = true
 		}
+		//verdict:unordered set union into a map; insertion order is unobservable
 		for k := range r.hashedCols {
 			out.hashedCols[k] = true
 		}

@@ -296,6 +296,7 @@ func (m *Middleware) buildEntry(ctx context.Context, sel *sqlparser.SelectStmt, 
 	if err := collectAllOccurrences(flat, occ); err != nil {
 		return pass(PassOther), nil, nil
 	}
+	//verdict:unordered per-entry mutation keyed by the entry itself; no cross-entry effects
 	for _, o := range occ {
 		if n, ok := m.rowCount(o.Base, version); ok {
 			o.Rows = n
@@ -507,6 +508,7 @@ func collectAllOccurrences(sel *sqlparser.SelectStmt, out map[string]*tableOccur
 			if err := collectOccurrences(tt.Select.From, sub); err != nil {
 				return err
 			}
+			//verdict:unordered alias-keyed fold; each alias's outcome depends only on its own presence
 			for a, o := range sub {
 				if _, dup := out[a]; dup {
 					delete(out, a) // ambiguous alias: fall back to base
@@ -545,6 +547,7 @@ func (m *Middleware) groupCardinalityTooHigh(ctx context.Context, sel *sqlparser
 	var sampleRows int64
 	probeByAlias := map[string]string{} // alias -> table to probe
 	aliases := make([]string, 0, len(plan.Choices))
+	//verdict:unordered commutative sum plus keyed map writes; aliases are sorted right below
 	for a, c := range plan.Choices {
 		switch {
 		case c.Sample != nil:

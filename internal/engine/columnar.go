@@ -319,6 +319,7 @@ func (s *colSource) materialize() [][]Value {
 		return s.mat
 	}
 	out := make([][]Value, 0, s.nrows)
+	//verdict:nopoll boxing-only materialization; the interpreted consumers poll per row
 	for _, ch := range s.sealed {
 		out = append(out, ch.rows()...)
 	}
@@ -354,6 +355,7 @@ func (t *Table) ScanColumn(col int, fn func(v Value) error) error {
 	if col < 0 || col >= len(t.Cols) {
 		return fmt.Errorf("engine: column %d out of range for %q", col, t.Name)
 	}
+	//verdict:nopoll exported table utility with no query context; consumers (baselines, loaders) run outside query execution
 	for _, ch := range t.sealed {
 		cv := &ch.cols[col]
 		for i := 0; i < ch.n; i++ {
@@ -375,6 +377,7 @@ func (t *Table) ScanColumn(col int, fn func(v Value) error) error {
 // field, iteration is not synchronized against concurrent appends.
 func (t *Table) ForEachRow(fn func(row []Value) error) error {
 	buf := make([]Value, len(t.Cols))
+	//verdict:nopoll exported table utility with no query context; consumers (baselines, loaders) run outside query execution
 	for _, ch := range t.sealed {
 		for i := 0; i < ch.n; i++ {
 			for j := range ch.cols {

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -37,7 +38,7 @@ func (e *Engine) ImportCSVReader(table string, r io.Reader) (int, error) {
 	var types []ColType
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

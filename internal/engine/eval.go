@@ -89,7 +89,7 @@ func (r *relation) resolve(table, name string) (int, error) {
 	if idx == ambiguousIdx {
 		// Keep the sentinel in the return so callers can tell ambiguity
 		// (an error even when enclosing scopes know the name) from absence.
-		return ambiguousIdx, fmt.Errorf("engine: ambiguous column %s", name)
+		return ambiguousIdx, fmt.Errorf("%w %s", ErrAmbiguousColumn, name)
 	}
 	return idx, nil
 }

@@ -56,7 +56,7 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (rs *ResultSet, e
 		return nil, fmt.Errorf("engine: Query requires SELECT, got %T", stmt)
 	}
 	defer containPanic(&err, sql)
-	if err := faultpoint.Hit("engine.query"); err != nil {
+	if err := faultpoint.Hit(faultpoint.SiteEngineQuery); err != nil {
 		return nil, err
 	}
 	qc := e.newQueryCtx(ctx, sql)
@@ -162,7 +162,7 @@ func (e *Engine) execInsert(ctx context.Context, s *sqlparser.InsertStmt) (*Resu
 		for _, c := range s.Columns {
 			idx := t.ColIndex(c)
 			if idx == AmbiguousColIndex {
-				return nil, fmt.Errorf("engine: ambiguous column %q in insert", c)
+				return nil, fmt.Errorf("%w: %q in insert", ErrAmbiguousColumn, c)
 			}
 			if idx < 0 {
 				return nil, fmt.Errorf("engine: unknown column %q in insert", c)
@@ -340,6 +340,9 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 	if sel.Having != nil {
 		kept := entries[:0:0]
 		for _, en := range entries {
+			if err := baseEnv.qc.tick(); err != nil {
+				return nil, err
+			}
 			baseEnv.row = en.row
 			baseEnv.aggVals = en.aggVals
 			v, err := baseEnv.eval(sel.Having)
@@ -630,6 +633,9 @@ func computeWindows(baseEnv *env, entries []*entry, winCalls []*sqlparser.FuncCa
 		var order []string
 		var kb []byte
 		for _, en := range entries {
+			if err := baseEnv.qc.tick(); err != nil {
+				return err
+			}
 			baseEnv.row = en.row
 			baseEnv.aggVals = en.aggVals
 			kb = kb[:0]
@@ -660,6 +666,9 @@ func computeWindows(baseEnv *env, entries []*entry, winCalls []*sqlparser.FuncCa
 				return err
 			}
 			for _, en := range members {
+				if err := baseEnv.qc.tick(); err != nil {
+					return err
+				}
 				if wc.Star {
 					acc.addStar()
 					continue

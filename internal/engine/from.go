@@ -379,13 +379,13 @@ func usingQualifier(r *relation, col, side string) (string, error) {
 	for i, n := range r.names {
 		if strings.EqualFold(n, col) {
 			if found >= 0 {
-				return "", fmt.Errorf("engine: column %q in USING is ambiguous on the %s side of the join", col, side)
+				return "", fmt.Errorf("%w: %q in USING is ambiguous on the %s side of the join", ErrAmbiguousColumn, col, side)
 			}
 			found = i
 		}
 	}
 	if found < 0 {
-		return "", fmt.Errorf("engine: column %q in USING not found in both join inputs", col)
+		return "", fmt.Errorf("%w: %q in USING", ErrJoinColumnNotFound, col)
 	}
 	return r.qualifiers[found], nil
 }

@@ -1,7 +1,7 @@
 package engine_test
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"verdictdb/internal/engine"
@@ -145,18 +145,18 @@ func TestJoinUsingErrors(t *testing.T) {
 	for _, e := range []*engine.Engine{vec, row} {
 		// Missing on one side must error, not silently bind unqualified.
 		_, err := e.Query("select * from l inner join r using (lv)")
-		if err == nil || !strings.Contains(err.Error(), "not found in both join inputs") {
-			t.Fatalf("USING with one-sided column: want 'not found in both join inputs' error, got %v", err)
+		if !errors.Is(err, engine.ErrJoinColumnNotFound) {
+			t.Fatalf("USING with one-sided column: want ErrJoinColumnNotFound, got %v", err)
 		}
 		// Missing on both sides.
 		_, err = e.Query("select * from l inner join r using (nope)")
-		if err == nil || !strings.Contains(err.Error(), "not found in both join inputs") {
-			t.Fatalf("USING with unknown column: want error, got %v", err)
+		if !errors.Is(err, engine.ErrJoinColumnNotFound) {
+			t.Fatalf("USING with unknown column: want ErrJoinColumnNotFound, got %v", err)
 		}
 		// Ambiguous on one side: a derived table exposing the name twice.
 		_, err = e.Query("select * from (select id, id from l) x inner join r using (id)")
-		if err == nil || !strings.Contains(err.Error(), "ambiguous") {
-			t.Fatalf("USING with ambiguous column: want ambiguity error, got %v", err)
+		if !errors.Is(err, engine.ErrAmbiguousColumn) {
+			t.Fatalf("USING with ambiguous column: want ErrAmbiguousColumn, got %v", err)
 		}
 	}
 }
@@ -176,8 +176,8 @@ func TestJoinUsingAndDuplicateNames(t *testing.T) {
 	}
 	// An unqualified duplicate name in the select list stays ambiguous.
 	_, err = vec.Query("select id from l inner join r using (id)")
-	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
-		t.Fatalf("duplicate column select: want ambiguity error, got %v", err)
+	if !errors.Is(err, engine.ErrAmbiguousColumn) {
+		t.Fatalf("duplicate column select: want ErrAmbiguousColumn, got %v", err)
 	}
 	// Qualified references disambiguate.
 	checkJoinIdentical(t, vec, row, par, "using-qualified",

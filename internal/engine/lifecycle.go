@@ -150,7 +150,7 @@ const pollEvery = 1024
 // memory gauge is created only when ctx or the engine configures a budget.
 func (e *Engine) newQueryCtx(ctx context.Context, sql string) *queryCtx {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //verdict:ctx-shim nil-ctx guard: context-free API entry points delegate here with nil
 	}
 	qc := &queryCtx{eng: e, ctx: ctx, query: sql}
 	if b := MemoryBudgetFrom(ctx, e.memBudget.Load()); b > 0 {

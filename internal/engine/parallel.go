@@ -165,7 +165,7 @@ func parallelJoinProbe(vj *vecJoin, needMatched bool) ([]*chunk, []bool, error) 
 			if err := vj.qc.pollAbort(); err != nil {
 				return nil, nil, err
 			}
-			if err := faultpoint.Hit("engine.join.probe"); err != nil {
+			if err := faultpoint.Hit(faultpoint.SiteEngineJoinProbe); err != nil {
 				return nil, nil, err
 			}
 			oc, err := vj.probeChunk(pc, ch)
@@ -187,7 +187,7 @@ func parallelJoinProbe(vj *vecJoin, needMatched bool) ([]*chunk, []bool, error) 
 			if err := vj.qc.pollAbort(); err != nil {
 				return err
 			}
-			if err := faultpoint.Hit("engine.join.probe"); err != nil {
+			if err := faultpoint.Hit(faultpoint.SiteEngineJoinProbe); err != nil {
 				return err
 			}
 			oc, err := vj.probeChunk(pc, ch)
@@ -336,7 +336,7 @@ func newChunkGroups() *chunkGroups { return &chunkGroups{m: map[string]*groupAcc
 // into cg — the row-at-a-time path, used for impure/serial plans and as
 // the per-chunk fallback when a vector kernel errors.
 func (p *scanPlan) scanRowsInto(cg *chunkGroups, rows [][]Value, applyWhere bool) error {
-	if err := faultpoint.Hit("engine.scan.rows"); err != nil {
+	if err := faultpoint.Hit(faultpoint.SiteEngineScanRows); err != nil {
 		return err
 	}
 	var buf []byte

@@ -115,7 +115,7 @@ func (vp *vecPlan) run(src *colSource) ([]*entry, error) {
 // evaluation happens before any accumulator is touched, so an erroring
 // kernel can fall back to the row path for the whole chunk.
 func (vp *vecPlan) scanChunk(cg *chunkGroups, vc *vecCtx, ch *chunk) error {
-	if err := faultpoint.Hit("engine.scan.chunk"); err != nil {
+	if err := faultpoint.Hit(faultpoint.SiteEngineScanChunk); err != nil {
 		return err
 	}
 	lanes := ch.n

@@ -147,6 +147,7 @@ func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.Jo
 	vj.buildKinds = make([]ColType, vj.rightW)
 	for j := range vj.buildKinds {
 		kind := ColType(-1)
+		//verdict:nopoll plan-time lane-type resolution: O(1) colKind read per chunk
 		for _, ch := range vj.buildChunks {
 			k := ch.colKind(j)
 			if kind == -1 {
@@ -177,7 +178,11 @@ func (vj *vecJoin) run() (*colSource, error) {
 		return nil, err
 	}
 	if needMatched {
-		if tc := vj.trailingChunk(matched); tc != nil {
+		tc, err := vj.trailingChunk(matched)
+		if err != nil {
+			return nil, err
+		}
+		if tc != nil {
 			out = append(out, tc)
 		}
 	}
@@ -211,7 +216,7 @@ func (vj *vecJoin) buildHash() error {
 		if err := vj.qc.pollAbort(); err != nil {
 			return err
 		}
-		if err := faultpoint.Hit("engine.join.build"); err != nil {
+		if err := faultpoint.Hit(faultpoint.SiteEngineJoinBuild); err != nil {
 			return err
 		}
 		// Build-side entries: one packed reference per non-NULL-key row,
@@ -479,10 +484,13 @@ func (vj *vecJoin) probeChunkRows(pc *probeCtx, ch *chunk) (*chunk, error) {
 // every probe morsel has merged its matched flags, in build order — the row
 // path's order. NULL-key build rows never entered a bucket, so their flags
 // never set: they null-extend here, as SQL requires.
-func (vj *vecJoin) trailingChunk(matched []bool) *chunk {
+func (vj *vecJoin) trailingChunk(matched []bool) (*chunk, error) {
 	var refs []int64
 	flat := 0
 	for ci, ch := range vj.buildChunks {
+		if err := vj.qc.pollAbort(); err != nil {
+			return nil, err
+		}
 		for ri := 0; ri < ch.n; ri++ {
 			if !matched[flat] {
 				refs = append(refs, packRef(ci, ri))
@@ -491,13 +499,13 @@ func (vj *vecJoin) trailingChunk(matched []bool) *chunk {
 		}
 	}
 	if len(refs) == 0 {
-		return nil
+		return nil, nil
 	}
 	sel := make([]int32, len(refs))
 	for i := range sel {
 		sel[i] = -1
 	}
-	return vj.newJoinChunk(nil, sel, refs)
+	return vj.newJoinChunk(nil, sel, refs), nil
 }
 
 // newJoinChunk wraps a pair of row-reference vectors as a join-output

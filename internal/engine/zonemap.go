@@ -145,6 +145,7 @@ func pruneChunks(t *Table, src *colSource, preds []rangePred) *colSource {
 		if col < 0 { // absent or ambiguous: never prune on it
 			continue
 		}
+		//verdict:nopoll zone-map metadata only: O(1) min/max check per chunk, no row work
 		for i, ch := range src.sealed {
 			if keep != nil && !keep[i] {
 				continue

@@ -13,12 +13,6 @@ import (
 	"time"
 )
 
-// PanicValue is the value injected panics carry, so recovery boundaries
-// (and tests) can recognize a synthetic crash.
-type PanicValue struct{ Site string }
-
-func (p PanicValue) String() string { return "faultpoint: injected panic at " + p.Site }
-
 type mode int
 
 const (
@@ -53,6 +47,9 @@ func init() {
 		site, action, ok := strings.Cut(part, "=")
 		if !ok {
 			panic(fmt.Sprintf("faultpoint: bad VERDICT_FAULTPOINTS entry %q", part))
+		}
+		if !IsSite(site) {
+			panic(fmt.Sprintf("faultpoint: unknown site %q (known: %v)", site, Sites()))
 		}
 		kind, arg, _ := strings.Cut(action, ":")
 		switch kind {

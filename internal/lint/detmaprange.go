@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetMapRange enforces the determinism contract of PRs 1/4/5: answers are
+// byte-identical at any parallelism, so nothing in the engine or middleware
+// may let Go's randomized map iteration order reach an output row, a
+// rendered group/join key, or a partial-answer merge. Inside
+// internal/engine and internal/core (non-test files), every `for range`
+// over a map must either be the collect-keys-then-sort idiom or carry a
+// `//verdict:unordered <why>` annotation stating that iteration order
+// provably cannot affect observable output.
+var DetMapRange = &Analyzer{
+	Name: "detmaprange",
+	Doc:  "no unordered map iteration in order-sensitive engine/core code (suppress: //verdict:unordered)",
+	Run:  runDetMapRange,
+}
+
+func runDetMapRange(pass *Pass) error {
+	if !pass.PathIn("internal/engine", "internal/core") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		walkPath(f, func(n ast.Node, path []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sortedCollect(pass, rs, path) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "unordered",
+				"range over map %s has nondeterministic order in an order-sensitive package; iterate sorted keys or annotate //verdict:unordered with why order cannot leak", exprString(pass, rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// sortedCollect recognizes the canonical deterministic idiom: a loop whose
+// body only appends keys/values to one slice, where that slice is later
+// passed through a sort (sort.* or slices.Sort*) in the same enclosing
+// block.
+func sortedCollect(pass *Pass, rs *ast.RangeStmt, path []ast.Node) bool {
+	target := appendOnlyTarget(pass, rs.Body)
+	if target == nil {
+		return false
+	}
+	// Find the statement list containing the range and scan what follows it.
+	for i := len(path) - 1; i >= 0; i-- {
+		block, ok := path[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		after := false
+		for _, st := range block.List {
+			if st == ast.Stmt(rs) || containsNode(st, rs) {
+				after = true
+				continue
+			}
+			if after && stmtSorts(pass, st, target) {
+				return true
+			}
+		}
+		if after {
+			return false
+		}
+	}
+	return false
+}
+
+// appendOnlyTarget returns the single local slice variable the loop body
+// appends into, or nil when the body does anything else. Conditional
+// appends (if/else chains whose branches only append to the same slice)
+// count — `if cond { s = append(s, a) } else { s = append(s, b) }` is still
+// the collect idiom.
+func appendOnlyTarget(pass *Pass, body *ast.BlockStmt) types.Object {
+	var target types.Object
+	var walk func(stmts []ast.Stmt) bool
+	walk = func(stmts []ast.Stmt) bool {
+		for _, st := range stmts {
+			switch s := st.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+					return false
+				}
+				lhs, ok := s.Lhs[0].(*ast.Ident)
+				if !ok {
+					return false
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return false
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" || len(call.Args) < 1 {
+					return false
+				}
+				arg0, ok := call.Args[0].(*ast.Ident)
+				if !ok || arg0.Name != lhs.Name {
+					return false
+				}
+				obj := pass.Info.Uses[lhs]
+				if obj == nil {
+					obj = pass.Info.Defs[lhs]
+				}
+				if obj == nil || (target != nil && target != obj) {
+					return false
+				}
+				target = obj
+			case *ast.IfStmt:
+				if s.Init != nil || !walk(s.Body.List) {
+					return false
+				}
+				switch el := s.Else.(type) {
+				case nil:
+				case *ast.BlockStmt:
+					if !walk(el.List) {
+						return false
+					}
+				case *ast.IfStmt:
+					if !walk([]ast.Stmt{el}) {
+						return false
+					}
+				default:
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(body.List) {
+		return nil
+	}
+	return target
+}
+
+// stmtSorts reports whether st contains a call into package sort or slices
+// that mentions target.
+func stmtSorts(pass *Pass, st ast.Stmt, target types.Object) bool {
+	found := false
+	ast.Inspect(st, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, ok := pass.Info.Uses[pkgID].(*types.PkgName); !ok ||
+			(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObject(pass, arg, target) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrWrapIs keeps the error taxonomy from PR 6 load-bearing: sentinels like
+// ErrMemoryBudget and ErrCatalogChanged are only useful if every layer
+// preserves them (wrap with %w) and every consumer matches them robustly
+// (errors.Is). Three rules, one suppression token (//verdict:errstr <why>):
+//
+//  1. `err == sentinel` / `err != sentinel` — identity comparison breaks as
+//     soon as any intermediate layer wraps; use errors.Is.
+//  2. fmt.Errorf("... %v ...", sentinel) — formatting a sentinel with a
+//     non-%w verb strips it from the unwrap chain.
+//  3. strings.Contains(err.Error(), ...) — string matching on error text is
+//     a change-detector, not a contract; match the sentinel with errors.Is.
+var ErrWrapIs = &Analyzer{
+	Name: "errwrapis",
+	Doc:  "error sentinels wrap with %w and match with errors.Is, never == or string probing (suppress: //verdict:errstr)",
+	Run:  runErrWrapIs,
+}
+
+func runErrWrapIs(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkErrCompare(pass, x)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x)
+				checkErrStringProbe(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelObj returns the package-level error variable e refers to, or nil.
+// A sentinel is a var of (exactly) type error at package scope — io.EOF,
+// engine.ErrMemoryBudget, a local ErrFoo — not an arbitrary error-typed
+// expression.
+func sentinelObj(pass *Pass, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || v.Parent() == nil || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	// Sentinels are declared as the universe `error` type itself (io.EOF,
+	// ErrMemoryBudget); note the named type, not its underlying interface.
+	if !types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+		return nil
+	}
+	return v
+}
+
+// checkErrCompare flags ==/!= between an error value and a sentinel.
+func checkErrCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	var sentinel *types.Var
+	if s := sentinelObj(pass, be.X); s != nil && isErrorExpr(pass, be.Y) {
+		sentinel = s
+	}
+	if s := sentinelObj(pass, be.Y); s != nil && isErrorExpr(pass, be.X) {
+		sentinel = s
+	}
+	if sentinel == nil {
+		return
+	}
+	pass.Reportf(be.OpPos, "errstr",
+		"comparing errors with %s breaks once any layer wraps the sentinel; use errors.Is(err, %s)", be.Op, sentinel.Name())
+}
+
+func isErrorExpr(pass *Pass, e ast.Expr) bool {
+	return implementsError(pass.Info.TypeOf(e))
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel through a
+// non-%w verb, dropping it from the errors.Is chain.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	wrapped := strings.Contains(format, "%w")
+	if wrapped {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if s := sentinelObj(pass, arg); s != nil {
+			pass.Reportf(arg.Pos(), "errstr",
+				"fmt.Errorf formats sentinel %s without %%w, so errors.Is can no longer see it downstream; wrap with %%w", s.Name())
+		}
+	}
+}
+
+// checkErrStringProbe flags strings.Contains(err.Error(), ...) and friends.
+func checkErrStringProbe(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		inner, ok := ast.Unparen(arg).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(inner.Args) != 0 {
+			continue
+		}
+		if isErrorExpr(pass, sel.X) {
+			pass.Reportf(call.Pos(), "errstr",
+				"strings.%s on err.Error() probes error text instead of identity; export a sentinel and use errors.Is (or //verdict:errstr if no taxonomy exists for this error)", fn.Name())
+			return
+		}
+	}
+}

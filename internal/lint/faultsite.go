@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FaultSite keeps the fault-injection surface honest in both directions:
+//
+//  1. Call sites: the site-name argument of every faultpoint entry point
+//     (Hit, SetPanic, SetError, SetStall, Clear, Count) must be a
+//     compile-time constant whose value is registered in the package's site
+//     catalog (the Site* constants in sites.go). A typo'd or unregistered
+//     name arms a site nothing ever hits — the test passes while testing
+//     nothing. Calls inside the faultpoint package itself are exempt (the
+//     env-var parser necessarily handles arbitrary strings).
+//
+//  2. Build-tag parity: faultpoint_on.go (-tags faultinject) and
+//     faultpoint_off.go must declare identical exported APIs. The two files
+//     are never compiled together, so the compiler cannot catch drift; a
+//     function added to one file only breaks the *other* build
+//     configuration, usually in CI long after the commit. The analyzer
+//     parses the build-excluded twin (via the vet config's IgnoredFiles)
+//     and diffs exported functions and types.
+//
+// No suppression token: both rules are structural, and an exception would
+// defeat them.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc:  "faultpoint call sites use registered site names; on/off build-tag files expose identical APIs",
+	Run:  runFaultSite,
+}
+
+// faultEntryPoints maps faultpoint functions to the index of their
+// site-name argument.
+var faultEntryPoints = map[string]int{
+	"Hit": 0, "SetPanic": 0, "SetError": 0, "SetStall": 0, "Clear": 0, "Count": 0,
+}
+
+func runFaultSite(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	if strings.HasSuffix(pass.Pkg.Path(), "faultpoint") {
+		checkTagParity(pass)
+		return nil
+	}
+	checkCallSites(pass)
+	return nil
+}
+
+// registeredSites collects the values of exported Site* string constants
+// from the imported faultpoint package.
+func registeredSites(fp *types.Package) map[string]bool {
+	sites := map[string]bool{}
+	scope := fp.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !strings.HasPrefix(name, "Site") {
+			continue
+		}
+		if c.Val().Kind() == constant.String {
+			sites[constant.StringVal(c.Val())] = true
+		}
+	}
+	return sites
+}
+
+func checkCallSites(pass *Pass) {
+	var fp *types.Package
+	for _, imp := range pass.Pkg.Imports() {
+		if strings.HasSuffix(imp.Path(), "faultpoint") {
+			fp = imp
+			break
+		}
+	}
+	if fp == nil {
+		return
+	}
+	sites := registeredSites(fp)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() != fp {
+				return true
+			}
+			argIdx, ok := faultEntryPoints[fn.Name()]
+			if !ok || argIdx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[argIdx]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "",
+					"faultpoint.%s: site name %s is not a compile-time constant; use a registered Site* constant so the catalog stays checkable", fn.Name(), exprString(pass, arg))
+				return true
+			}
+			site := constant.StringVal(tv.Value)
+			if !sites[site] {
+				pass.Reportf(arg.Pos(), "",
+					"faultpoint.%s: site %q is not in the registry (sites.go); a misspelled site arms a fault nothing ever hits — add a Site* constant or fix the name", fn.Name(), site)
+			}
+			return true
+		})
+	}
+}
+
+// apiDecl is one exported declaration relevant to tag parity.
+type apiDecl struct {
+	kind string // "func" or "type"
+	sig  string // name-insensitive signature rendering ("" for types)
+}
+
+// checkTagParity diffs exported APIs between the compiled faultpoint_*.go
+// file and its build-excluded twin.
+func checkTagParity(pass *Pass) {
+	var compiled *ast.File
+	for _, f := range pass.Files {
+		name := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if strings.HasPrefix(name, "faultpoint_") && !strings.HasSuffix(name, "_test.go") {
+			compiled = f
+			break
+		}
+	}
+	if compiled == nil {
+		return
+	}
+	var twinPath string
+	for _, ig := range pass.IgnoredFiles {
+		name := filepath.Base(ig)
+		if strings.HasPrefix(name, "faultpoint_") && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			twinPath = ig
+			break
+		}
+	}
+	if twinPath == "" {
+		return
+	}
+	twinFset := token.NewFileSet()
+	twin, err := parser.ParseFile(twinFset, twinPath, nil, parser.SkipObjectResolution)
+	if err != nil {
+		pass.Reportf(compiled.Name.Pos(), "", "faultsite: cannot parse build-tag twin %s: %v", filepath.Base(twinPath), err)
+		return
+	}
+
+	have := exportedAPI(pass.Fset, compiled)
+	want := exportedAPI(twinFset, twin)
+	anchor := compiled.Name.Pos()
+	twinName := filepath.Base(twinPath)
+	thisName := filepath.Base(pass.Fset.Position(compiled.Pos()).Filename)
+
+	var names []string
+	for name := range want {
+		names = append(names, name)
+	}
+	for name := range have {
+		if _, ok := want[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h, inHave := have[name]
+		w, inWant := want[name]
+		switch {
+		case !inHave:
+			pass.Reportf(anchor, "",
+				"build-tag parity: %s %s exists in %s but not in %s; the APIs must be identical or one build configuration breaks", w.kind, name, twinName, thisName)
+		case !inWant:
+			pass.Reportf(anchor, "",
+				"build-tag parity: %s %s exists in %s but not in %s; the APIs must be identical or one build configuration breaks", h.kind, name, thisName, twinName)
+		case h.sig != w.sig:
+			pass.Reportf(anchor, "",
+				"build-tag parity: %s declared as %s in %s but %s in %s", name, h.sig, thisName, w.sig, twinName)
+		}
+	}
+}
+
+// exportedAPI maps exported top-level names to their kind and (for
+// functions) a parameter-name-insensitive signature rendering.
+func exportedAPI(fset *token.FileSet, f *ast.File) map[string]apiDecl {
+	api := map[string]apiDecl{}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Recv != nil || !d.Name.IsExported() {
+				continue
+			}
+			api[d.Name.Name] = apiDecl{kind: "func", sig: funcSig(fset, d.Type)}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				api[ts.Name.Name] = apiDecl{kind: "type"}
+			}
+		}
+	}
+	return api
+}
+
+// funcSig renders a function type using parameter/result types only, so
+// differing parameter names don't count as drift.
+func funcSig(fset *token.FileSet, ft *ast.FuncType) string {
+	render := func(fl *ast.FieldList) string {
+		if fl == nil {
+			return ""
+		}
+		var parts []string
+		for _, field := range fl.List {
+			var buf bytes.Buffer
+			printer.Fprint(&buf, fset, field.Type)
+			n := max(len(field.Names), 1)
+			for i := 0; i < n; i++ {
+				parts = append(parts, buf.String())
+			}
+		}
+		return strings.Join(parts, ", ")
+	}
+	return fmt.Sprintf("func(%s) (%s)", render(ft.Params), render(ft.Results))
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"verdictdb/internal/lint"
+	"verdictdb/internal/lint/linttest"
+)
+
+func TestFaultSiteCallSites(t *testing.T) {
+	linttest.Run(t, "internal/engine/fsite", lint.FaultSite)
+}
+
+func TestFaultSiteParityClean(t *testing.T) {
+	linttest.Run(t, "internal/faultpoint", lint.FaultSite)
+}
+
+func TestFaultSiteParityDrift(t *testing.T) {
+	linttest.Run(t, "internal/badfaultpoint", lint.FaultSite)
+}

@@ -1,0 +1,196 @@
+// Package linttest is the golden-file harness for verdictlint analyzers —
+// the in-tree analogue of golang.org/x/tools/go/analysis/analysistest
+// (which the offline build cannot vendor). Fixture packages live under
+// internal/lint/testdata/src/ and mirror real import paths (e.g.
+// testdata/src/internal/engine/cpoll), so path-scoped analyzers behave
+// identically under the harness and under `go vet -vettool`.
+//
+// Expectations are `// want "regexp"` comments on the line a diagnostic
+// should anchor to; several quoted regexps on one comment expect several
+// diagnostics on that line. A diagnostic with no matching expectation, or
+// an expectation no diagnostic matched, fails the test — so every golden
+// case fails loudly if its analyzer is disabled or its rule regresses.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"verdictdb/internal/lint"
+)
+
+// Run loads the fixture package at testdata/src/<pkgPath> (relative to the
+// calling test's working directory), runs the analyzer over it, and checks
+// the diagnostics against the fixture's `// want` expectations.
+func Run(t *testing.T, pkgPath string, a *lint.Analyzer) {
+	t.Helper()
+	ld := &loader{
+		fset:   token.NewFileSet(),
+		root:   filepath.Join("testdata", "src"),
+		pkgs:   map[string]*types.Package{},
+		source: importer.ForCompiler(token.NewFileSet(), "source", nil),
+	}
+	pkg, files, ignored, err := ld.loadFixture(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+
+	var diags []lint.Diagnostic
+	pass := &lint.Pass{
+		Fset:         ld.fset,
+		Files:        files,
+		Pkg:          pkg,
+		Info:         ld.infos[pkgPath],
+		Module:       "", // fixtures are module-agnostic; module-scoped rules stay active
+		IgnoredFiles: ignored,
+		Report:       func(d lint.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, ld.fset, files, diags)
+}
+
+// expectation is one `// want "re"` entry, keyed by file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, q[1], err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+// loader typechecks fixture packages, resolving fixture-to-fixture imports
+// under testdata/src and everything else from GOROOT source.
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	pkgs   map[string]*types.Package
+	infos  map[string]*types.Info
+	source types.Importer
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(ld.root, path); dirExists(dir) {
+		pkg, _, _, err := ld.loadFixture(path)
+		return pkg, err
+	}
+	return ld.source.Import(path)
+}
+
+func (ld *loader) loadFixture(pkgPath string) (*types.Package, []*ast.File, []string, error) {
+	dir := filepath.Join(ld.root, pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	var ignored []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		// Honor build constraints the same way the go command does, so
+		// tagged fixture twins (faultpoint_on.go) land in IgnoredFiles.
+		if ok, merr := build.Default.MatchFile(dir, name); merr != nil {
+			return nil, nil, nil, merr
+		} else if !ok {
+			ignored = append(ignored, filepath.Join(dir, name))
+			continue
+		}
+		f, perr := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, nil, nil, perr
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	if ld.infos == nil {
+		ld.infos = map[string]*types.Info{}
+	}
+	ld.infos[pkgPath] = info
+	tc := &types.Config{Importer: ld}
+	pkg, err := tc.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("typecheck: %w", err)
+	}
+	ld.pkgs[pkgPath] = pkg
+	return pkg, files, ignored, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

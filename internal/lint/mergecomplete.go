@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// MergeComplete guards the aggregation contract: an accumulator type is the
+// unit the morsel scheduler parallelizes over, so a partial implementation
+// fails silently rather than loudly.
+//
+// Any named type carrying at least two of the four core accumulator methods
+// (add, addStar, result, merge) is treated as an accumulator and must carry
+// all four with the canonical shapes — in particular merge, without which
+// per-worker partials cannot be combined and parallel GROUP BY drops rows.
+//
+// The typed fast-path entry points come in matched sets: addInt and addFloat
+// must appear together (addLane dispatches on the typedAdder pair — a lone
+// half is a silently dead fast path), and addStr requires both (stringAdder
+// is only consulted after the numeric pair). Accumulators that reject
+// strings in add() simply implement neither — the ISSUE's literal
+// "all three always" reading is unsound because addStr has no error channel
+// while add(stringValue) deliberately returns one.
+var MergeComplete = &Analyzer{
+	Name: "mergecomplete",
+	Doc:  "accumulator types must implement the complete core contract and matched typed fast-path sets",
+	Run:  runMergeComplete,
+}
+
+// coreAccMethods are the four methods every accumulator must have.
+var coreAccMethods = []string{"add", "addStar", "result", "merge"}
+
+func runMergeComplete(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		checkAccumulator(pass, named)
+	}
+	return nil
+}
+
+func checkAccumulator(pass *Pass, named *types.Named) {
+	get := func(name string) *types.Func { return methodOf(named, pass.Pkg, name) }
+
+	// A type is accumulator-shaped when its add has the canonical
+	// one-value-in-error-out contract AND it carries at least one more core
+	// method. Types with an unrelated add (e.g. the middleware's answer
+	// merger takes a whole result set) are not accumulators.
+	add := get("add")
+	if add == nil {
+		return
+	}
+	if sig := add.Type().(*types.Signature); sig.Params().Len() != 1 ||
+		sig.Results().Len() != 1 || !implementsError(sig.Results().At(0).Type()) {
+		return
+	}
+
+	var present, missing []string
+	for _, m := range coreAccMethods {
+		if get(m) != nil {
+			present = append(present, m)
+		} else {
+			missing = append(missing, m)
+		}
+	}
+	if len(present) < 2 {
+		return // a lone canonical add is not enough signal
+	}
+	tname := named.Obj().Name()
+	pos := named.Obj().Pos()
+	if len(missing) > 0 {
+		pass.Reportf(pos, "",
+			"accumulator %s implements {%s} but is missing {%s}; a partial accumulator breaks parallel merge — implement the full core contract",
+			tname, strings.Join(present, ", "), strings.Join(missing, ", "))
+		return
+	}
+
+	// Core shape checks: merge must take one argument and return error,
+	// add must return error, result must return a value.
+	if m := get("merge"); m != nil {
+		sig := m.Type().(*types.Signature)
+		if sig.Params().Len() != 1 || sig.Results().Len() != 1 || !implementsError(sig.Results().At(0).Type()) {
+			pass.Reportf(m.Pos(), "",
+				"accumulator %s: merge must have shape merge(other) error so worker partials combine under the scheduler's error path", tname)
+		}
+	}
+	// Typed fast-path pairing.
+	addInt, addFloat, addStr := get("addInt"), get("addFloat"), get("addStr")
+	wrongShape := func(m *types.Func, want types.Type) bool {
+		sig := m.Type().(*types.Signature)
+		return sig.Params().Len() != 1 || sig.Results().Len() != 0 ||
+			!types.Identical(sig.Params().At(0).Type(), want)
+	}
+	if (addInt == nil) != (addFloat == nil) {
+		have, want := "addInt", "addFloat"
+		if addInt == nil {
+			have, want = "addFloat", "addInt"
+		}
+		pass.Reportf(pos, "",
+			"accumulator %s implements %s but not %s; the typed fast path dispatches on the pair, so half of it is silently dead — implement both or neither", tname, have, want)
+	}
+	if addStr != nil && (addInt == nil || addFloat == nil) {
+		pass.Reportf(addStr.Pos(), "",
+			"accumulator %s implements addStr without the numeric pair addInt/addFloat; the string lane is only consulted after the numeric fast path", tname)
+	}
+	if addInt != nil && wrongShape(addInt, types.Typ[types.Int64]) {
+		pass.Reportf(addInt.Pos(), "", "accumulator %s: addInt must have shape addInt(int64) to satisfy the typedAdder fast path", tname)
+	}
+	if addFloat != nil && wrongShape(addFloat, types.Typ[types.Float64]) {
+		pass.Reportf(addFloat.Pos(), "", "accumulator %s: addFloat must have shape addFloat(float64) to satisfy the typedAdder fast path", tname)
+	}
+	if addStr != nil && wrongShape(addStr, types.Typ[types.String]) {
+		pass.Reportf(addStr.Pos(), "", "accumulator %s: addStr must have shape addStr(string) to satisfy the stringAdder fast path", tname)
+	}
+}

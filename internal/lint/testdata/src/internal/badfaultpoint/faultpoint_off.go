@@ -1,0 +1,11 @@
+//go:build !faultinject
+
+// Package badfaultpoint drifts its build-tag twin on purpose: Enabled is
+// missing here, Hit's signature differs, and PanicValue exists only here.
+package badfaultpoint // want "func Enabled exists in faultpoint_on.go but not in faultpoint_off.go" "Hit declared as func\(string\) \(error\) in faultpoint_off.go but func\(string\) \(\) in faultpoint_on.go" "type PanicValue exists in faultpoint_off.go but not in faultpoint_on.go"
+
+// PanicValue has no twin in the faultinject build.
+type PanicValue struct{ Site string }
+
+// Hit returns an error here but not in the faultinject build.
+func Hit(site string) error { _ = site; return nil }

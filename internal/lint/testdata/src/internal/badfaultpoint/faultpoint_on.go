@@ -1,0 +1,9 @@
+//go:build faultinject
+
+package badfaultpoint
+
+// Enabled has no twin in the default build.
+func Enabled() bool { return true }
+
+// Hit drops the error return its twin declares.
+func Hit(site string) { _ = site }

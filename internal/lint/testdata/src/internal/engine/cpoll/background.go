@@ -1,0 +1,32 @@
+package cpoll
+
+import "context"
+
+type engine struct{}
+
+func (e *engine) QueryContext(ctx context.Context, sql string) (int, error) {
+	_ = ctx
+	_ = sql
+	return 0, nil
+}
+
+// A context-free delegation shim — body is a single return — is the
+// documented home for context.Background().
+func (e *engine) Query(sql string) (int, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+func (e *engine) sneakyBackground(sql string) (int, error) {
+	n, err := e.QueryContext(context.Background(), sql) // want "outside a top-level delegation shim"
+	return n + 1, err
+}
+
+func (e *engine) annotatedBackground(sql string) (int, error) {
+	n, err := e.QueryContext(context.Background(), sql) //verdict:ctx-shim golden fixture: documented exception
+	return n + 1, err
+}
+
+func stray() context.Context {
+	ctx := context.TODO() // want "outside a top-level delegation shim"
+	return ctx
+}

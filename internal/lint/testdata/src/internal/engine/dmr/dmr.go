@@ -1,0 +1,59 @@
+// Golden cases for the detmaprange analyzer.
+package dmr
+
+import "sort"
+
+func flagged(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "range over map m has nondeterministic order"
+		out = append(out, k)
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func conditionalCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		} else {
+			keys = append(keys, "-"+k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map m has nondeterministic order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func annotated(m map[string]int) int {
+	n := 0
+	//verdict:unordered commutative sum; order cannot leak
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sliceRangeIsFine(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

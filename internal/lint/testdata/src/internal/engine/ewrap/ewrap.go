@@ -1,0 +1,71 @@
+// Golden cases for the errwrapis analyzer.
+package ewrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBudget is a package-level sentinel, like engine.ErrMemoryBudget.
+var ErrBudget = errors.New("budget exceeded")
+
+func work() error { return ErrBudget }
+
+func identityCompare() bool {
+	err := work()
+	return err == ErrBudget // want "comparing errors with =="
+}
+
+func identityCompareFlipped() bool {
+	err := work()
+	return ErrBudget != err // want "comparing errors with !="
+}
+
+func errorsIsIsFine() bool {
+	err := work()
+	return errors.Is(err, ErrBudget)
+}
+
+func nilCompareIsFine() bool {
+	err := work()
+	return err == nil
+}
+
+func annotatedCompare() bool {
+	err := work()
+	//verdict:errstr golden fixture: documented exception
+	return err == ErrBudget
+}
+
+func lossyWrap() error {
+	return fmt.Errorf("query failed: %v", ErrBudget) // want "without %w"
+}
+
+func properWrap() error {
+	return fmt.Errorf("query failed: %w", ErrBudget)
+}
+
+func nonSentinelFormat(n int) error {
+	return fmt.Errorf("query failed: %d", n)
+}
+
+func stringProbe() bool {
+	err := work()
+	return strings.Contains(err.Error(), "budget") // want "probes error text instead of identity"
+}
+
+func prefixProbe() bool {
+	err := work()
+	return strings.HasPrefix(err.Error(), "budget") // want "probes error text instead of identity"
+}
+
+func annotatedProbe() bool {
+	err := work()
+	//verdict:errstr golden fixture: no sentinel taxonomy for this error
+	return strings.Contains(err.Error(), "budget")
+}
+
+func ordinaryContains(s string) bool {
+	return strings.Contains(s, "budget")
+}

@@ -1,0 +1,21 @@
+// Golden cases for the faultsite call-site rule.
+package fsite
+
+import "internal/faultpoint"
+
+func scan(dynamic string) {
+	// Registered constant: the canonical idiom.
+	faultpoint.Hit(faultpoint.SiteEngineQuery)
+
+	// A literal is fine as long as its value is in the registry.
+	faultpoint.Hit("engine.join.build")
+
+	faultpoint.Hit("engine.qury") // want "is not in the registry"
+
+	faultpoint.SetError(dynamic, "boom") // want "is not a compile-time constant"
+
+	faultpoint.Clear(faultpoint.SiteEngineJoinBuild)
+
+	// Non-entry-point helpers take arbitrary strings freely.
+	_ = faultpoint.IsSite(dynamic)
+}

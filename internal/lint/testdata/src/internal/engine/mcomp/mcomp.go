@@ -1,0 +1,73 @@
+// Golden cases for the mergecomplete analyzer.
+package mcomp
+
+import "fmt"
+
+type Value any
+
+type accumulator interface {
+	add(v Value) error
+	addStar()
+	result() Value
+	merge(other accumulator) error
+}
+
+// complete implements the full core contract plus a matched typed pair.
+type complete struct{ n int64 }
+
+func (a *complete) add(v Value) error              { a.n++; return nil }
+func (a *complete) addStar()                       { a.n++ }
+func (a *complete) result() Value                  { return a.n }
+func (a *complete) merge(other accumulator) error  { return nil }
+func (a *complete) addInt(v int64)                 { a.n++ }
+func (a *complete) addFloat(v float64)             { a.n++ }
+
+// mergeless looks like an accumulator but cannot combine worker partials.
+type mergeless struct{ n int64 } // want "missing \{merge\}"
+
+func (a *mergeless) add(v Value) error { a.n++; return nil }
+func (a *mergeless) addStar()          { a.n++ }
+func (a *mergeless) result() Value     { return a.n }
+
+// halfTyped implements only one of the typed fast-path pair.
+type halfTyped struct{ n int64 } // want "implements addInt but not addFloat"
+
+func (a *halfTyped) add(v Value) error             { a.n++; return nil }
+func (a *halfTyped) addStar()                      { a.n++ }
+func (a *halfTyped) result() Value                 { return a.n }
+func (a *halfTyped) merge(other accumulator) error { return nil }
+func (a *halfTyped) addInt(v int64)                { a.n += v }
+
+// strOnly has a string lane the dispatcher will never consult.
+type strOnly struct{ s []string }
+
+func (a *strOnly) add(v Value) error             { return nil }
+func (a *strOnly) addStar()                      {}
+func (a *strOnly) result() Value                 { return len(a.s) }
+func (a *strOnly) merge(other accumulator) error { return nil }
+func (a *strOnly) addStr(v string)               { a.s = append(a.s, v) } // want "implements addStr without the numeric pair"
+
+// badShape pairs the typed adders but with the wrong parameter type.
+type badShape struct{ n int64 }
+
+func (a *badShape) add(v Value) error             { a.n++; return nil }
+func (a *badShape) addStar()                      { a.n++ }
+func (a *badShape) result() Value                 { return a.n }
+func (a *badShape) merge(other accumulator) error { return nil }
+func (a *badShape) addInt(v int) { a.n += int64(v) } // want "addInt must have shape addInt\(int64\)"
+func (a *badShape) addFloat(v float64)            { a.n++ }
+
+// badMerge takes no argument, so partials cannot flow in.
+type badMerge struct{ n int64 }
+
+func (a *badMerge) add(v Value) error { a.n++; return nil }
+func (a *badMerge) addStar()          { a.n++ }
+func (a *badMerge) result() Value     { return a.n }
+func (a *badMerge) merge() error      { return nil } // want "merge must have shape merge\(other\) error"
+
+// answerMerger has an add with a completely different contract — it is not
+// an accumulator and must not be flagged.
+type answerMerger struct{ rows map[string][]Value }
+
+func (m *answerMerger) add(rows [][]Value, cols []string) { _ = rows; _ = cols }
+func (m *answerMerger) result() ([][]Value, error)        { return nil, fmt.Errorf("empty") }

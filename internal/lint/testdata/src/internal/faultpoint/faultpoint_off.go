@@ -1,0 +1,18 @@
+//go:build !faultinject
+
+package faultpoint
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return false }
+
+// Hit is a no-op in the default build.
+func Hit(site string) { _ = site }
+
+// SetError arms nothing in the default build.
+func SetError(site, msg string) { _, _ = site, msg }
+
+// Clear is a no-op in the default build.
+func Clear(site string) { _ = site }
+
+// Count always reports zero in the default build.
+func Count(site string) int { _ = site; return 0 }

@@ -1,0 +1,18 @@
+//go:build faultinject
+
+package faultpoint
+
+// Enabled reports whether fault injection is compiled in.
+func Enabled() bool { return true }
+
+// Hit triggers any armed fault at site.
+func Hit(site string) { _ = site }
+
+// SetError arms site to return an error.
+func SetError(site, msg string) { _, _ = site, msg }
+
+// Clear disarms site.
+func Clear(site string) { _ = site }
+
+// Count reports how many times site was hit.
+func Count(site string) int { _ = site; return 0 }

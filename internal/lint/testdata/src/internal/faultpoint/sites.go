@@ -1,0 +1,16 @@
+// Fixture mirror of the real faultpoint registry: untagged site catalog
+// shared by both build configurations.
+package faultpoint
+
+const (
+	SiteEngineQuery     = "engine.query"
+	SiteEngineJoinBuild = "engine.join.build"
+)
+
+var sites = map[string]bool{
+	SiteEngineQuery:     true,
+	SiteEngineJoinBuild: true,
+}
+
+// IsSite reports whether site is registered in the catalog.
+func IsSite(site string) bool { return sites[site] }

@@ -180,7 +180,7 @@ func (c *Conn) QueryContext(ctx context.Context, sql string) (*Answer, error) {
 		return c.showSamples()
 	case *sqlparser.ExplainStmt:
 		if sel, ok := s.Inner.(*sqlparser.SelectStmt); ok {
-			return c.mw.Explain(sel)
+			return c.mw.Explain(ctx, sel)
 		}
 		return &Answer{
 			Cols:       []string{"step", "detail"},
