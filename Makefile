@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-par bench bench-json bench-serve bench-serve-robust bench-progressive race faultinject vet lint staticcheck
+.PHONY: build test test-par bench bench-json bench-gate bench-serve bench-serve-robust bench-progressive race faultinject vet lint staticcheck
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,14 @@ bench:
 # Machine-readable engine perf numbers for cross-PR diffs.
 bench-json:
 	$(GO) run ./cmd/benchrunner -exp engine -benchout BENCH_engine.json
+
+# Variance-aware perf regression gate: re-measure the engine suite and
+# compare against the committed BENCH_engine.json. Wall-clock ratios get
+# generous limits (single-run jitter), allocation counts tight ones
+# (near-deterministic); see internal/bench/gate.go for the thresholds.
+bench-gate:
+	$(GO) run ./cmd/benchrunner -exp engine -benchout /tmp/verdict_bench_gate_engine.json
+	$(GO) run ./cmd/benchgate -kind engine -base BENCH_engine.json -cand /tmp/verdict_bench_gate_engine.json
 
 # Serving-layer throughput: concurrent clients + plan/rewrite cache.
 bench-serve:

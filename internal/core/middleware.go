@@ -95,9 +95,9 @@ type Middleware struct {
 // reading afterwards.
 type rowStats struct {
 	mu      sync.Mutex
-	version int64
-	gen     int64
-	rows    map[string]int64
+	version int64            //verdict:guardedby mu
+	gen     int64            //verdict:guardedby mu
+	rows    map[string]int64 //verdict:guardedby mu
 }
 
 // New builds a middleware over an underlying database and sample catalog.
@@ -119,7 +119,7 @@ func New(db drivers.DB, cat *meta.Catalog, opts Options) *Middleware {
 	if !opts.DisablePlanCache {
 		m.plans = newPlanCache(defaultPlanCacheCap)
 	}
-	m.stats.rows = map[string]int64{}
+	m.stats.rows = map[string]int64{} //verdict:unguarded construction: m is not shared until New returns
 	return m
 }
 

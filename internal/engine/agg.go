@@ -40,14 +40,19 @@ type stringAdder interface {
 	addStr(s string)
 }
 
-// newAccumulator builds an accumulator for the aggregate call fc.
-func newAccumulator(fc *sqlparser.FuncCall, quantileArg float64) (accumulator, error) {
+// newAccumulator builds an accumulator for the aggregate call fc, bound to
+// qc's memory gauge. Fixed-size sketch state (HLL registers, the quantile
+// reservoir) is charged here at creation; accumulators whose state scales
+// with the data (percentile buffers, DISTINCT key sets) keep qc and charge
+// as they grow. qc may be nil (direct unit-test construction): chargeMem
+// is a nil-receiver no-op.
+func newAccumulator(fc *sqlparser.FuncCall, quantileArg float64, qc *queryCtx) (accumulator, error) {
 	if fc.Distinct {
 		switch fc.Name {
 		case "count":
-			return &distinctCountAcc{seen: map[string]bool{}}, nil
+			return &distinctCountAcc{seen: map[string]bool{}, qc: qc}, nil
 		case "sum", "avg":
-			return &distinctSumAcc{name: fc.Name, seen: map[string]float64{}}, nil
+			return &distinctSumAcc{name: fc.Name, seen: map[string]float64{}, qc: qc}, nil
 		}
 		return nil, fmt.Errorf("engine: DISTINCT not supported for %s", fc.Name)
 	}
@@ -67,16 +72,26 @@ func newAccumulator(fc *sqlparser.FuncCall, quantileArg float64) (accumulator, e
 	case "var", "variance", "var_samp":
 		return &momentsAcc{mode: momentVar}, nil
 	case "percentile", "quantile":
-		return &percentileAcc{p: quantileArg}, nil
+		return &percentileAcc{p: quantileArg, qc: qc}, nil
 	case "median":
-		return &percentileAcc{p: 0.5}, nil
+		return &percentileAcc{p: 0.5, qc: qc}, nil
 	case "approx_median":
+		qc.chargeMem(quantileReservoirBytes)
 		return &sketchMedianAcc{qs: sketch.NewQuantileSketch(4096, 7)}, nil
 	case "ndv", "approx_count_distinct":
+		qc.chargeMem(hllRegisterBytes)
 		return &hllAcc{h: sketch.NewHLL(12)}, nil
 	}
 	return nil, fmt.Errorf("engine: unknown aggregate %s", fc.Name)
 }
+
+// Creation-time charges for the fixed-footprint sketches: an HLL at
+// precision 12 owns 1<<12 one-byte registers; the quantile sketch retains
+// at most 4096 float64 samples in its reservoir.
+const (
+	hllRegisterBytes       = 1 << 12
+	quantileReservoirBytes = 4096 * 8
+)
 
 type countAcc struct{ n int64 }
 
@@ -339,10 +354,24 @@ func (a *momentsAcc) merge(other accumulator) error {
 	return nil
 }
 
-// percentileAcc computes an exact percentile by buffering values.
+// percentileAcc computes an exact percentile by buffering values; the
+// buffer is the whole group's column, so growth is charged to the query's
+// memory gauge as the backing array grows.
 type percentileAcc struct {
-	p    float64
-	vals []float64
+	p       float64
+	vals    []float64
+	qc      *queryCtx
+	capSeen int
+}
+
+// grow charges the gauge for any backing-array growth since the last call.
+// Charging the capacity delta (not per element) keeps the gauge exact for
+// append's doubling while touching the atomic only on actual allocation.
+func (a *percentileAcc) grow() {
+	if c := cap(a.vals); c != a.capSeen {
+		a.qc.chargeMem(int64(c-a.capSeen) * 8)
+		a.capSeen = c
+	}
 }
 
 func (a *percentileAcc) add(v Value) error {
@@ -354,11 +383,18 @@ func (a *percentileAcc) add(v Value) error {
 		return fmt.Errorf("engine: percentile of non-numeric %T", v)
 	}
 	a.vals = append(a.vals, f)
+	a.grow()
 	return nil
 }
-func (a *percentileAcc) addStar()           {}
-func (a *percentileAcc) addInt(v int64)     { a.vals = append(a.vals, float64(v)) }
-func (a *percentileAcc) addFloat(f float64) { a.vals = append(a.vals, f) }
+func (a *percentileAcc) addStar() {}
+func (a *percentileAcc) addInt(v int64) {
+	a.vals = append(a.vals, float64(v))
+	a.grow()
+}
+func (a *percentileAcc) addFloat(f float64) {
+	a.vals = append(a.vals, f)
+	a.grow()
+}
 func (a *percentileAcc) result() Value {
 	if len(a.vals) == 0 {
 		return nil
@@ -378,6 +414,7 @@ func (a *percentileAcc) merge(other accumulator) error {
 		return errMergeMismatch(a, other)
 	}
 	a.vals = append(a.vals, o.vals...)
+	a.grow()
 	return nil
 }
 
@@ -434,11 +471,19 @@ func (a *hllAcc) merge(other accumulator) error {
 	return nil
 }
 
-type distinctCountAcc struct{ seen map[string]bool }
+type distinctCountAcc struct {
+	seen map[string]bool
+	qc   *queryCtx
+}
 
 func (a *distinctCountAcc) add(v Value) error {
-	if v != nil {
-		a.seen[GroupKey(v)] = true
+	if v == nil {
+		return nil
+	}
+	k := GroupKey(v)
+	if !a.seen[k] {
+		a.qc.chargeMem(int64(len(k)) + bytesPerRef)
+		a.seen[k] = true
 	}
 	return nil
 }
@@ -451,7 +496,10 @@ func (a *distinctCountAcc) merge(other accumulator) error {
 	}
 	//verdict:unordered set union into a map; only len(seen) is observable
 	for k := range o.seen {
-		a.seen[k] = true
+		if !a.seen[k] {
+			a.qc.chargeMem(int64(len(k)) + bytesPerRef)
+			a.seen[k] = true
+		}
 	}
 	return nil
 }
@@ -466,6 +514,13 @@ type distinctSumAcc struct {
 	order []string
 	sum   float64
 	n     int64
+	qc    *queryCtx
+}
+
+// chargeKey accounts one new distinct key: the string appears in the map
+// and the order slice, plus the map value and slice header share.
+func (a *distinctSumAcc) chargeKey(k string) {
+	a.qc.chargeMem(2*int64(len(k)) + bytesPerValue)
 }
 
 func (a *distinctSumAcc) add(v Value) error {
@@ -480,6 +535,7 @@ func (a *distinctSumAcc) add(v Value) error {
 	if !ok {
 		return fmt.Errorf("engine: %s distinct of non-numeric %T", a.name, v)
 	}
+	a.chargeKey(k)
 	a.seen[k] = f
 	a.order = append(a.order, k)
 	a.sum += f
@@ -497,6 +553,7 @@ func (a *distinctSumAcc) merge(other accumulator) error {
 			continue
 		}
 		f := o.seen[k]
+		a.chargeKey(k)
 		a.seen[k] = f
 		a.order = append(a.order, k)
 		a.sum += f

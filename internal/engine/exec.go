@@ -541,7 +541,7 @@ func aggregate(baseEnv *env, rel *relation, rows [][]Value, sel *sqlparser.Selec
 			if err != nil {
 				return nil, err
 			}
-			acc, err := newAccumulator(fc, q)
+			acc, err := newAccumulator(fc, q, baseEnv.qc)
 			if err != nil {
 				return nil, err
 			}
@@ -661,7 +661,7 @@ func computeWindows(baseEnv *env, entries []*entry, winCalls []*sqlparser.FuncCa
 			members := parts[k]
 			acc, err := newAccumulator(&sqlparser.FuncCall{
 				Name: wc.Name, Distinct: wc.Distinct, Star: wc.Star, Args: wc.Args,
-			}, q)
+			}, q, baseEnv.qc)
 			if err != nil {
 				return err
 			}

@@ -103,6 +103,28 @@ func TestQueryContextDeadline(t *testing.T) {
 	}
 }
 
+// Accumulator sketch state is charged against the gauge: a DISTINCT key
+// set or a percentile buffer over one giant group blows a tiny budget even
+// though the group hash table itself stays a single entry.
+func TestMemoryBudgetAbortsAccumulatorGrowth(t *testing.T) {
+	e := bigDB(t, 50_000)
+	for _, q := range []string{
+		"select count(distinct k) from t",
+		"select sum(distinct k) from t",
+		"select median(v) from t",
+		"select percentile(v, 0.9) from t",
+	} {
+		ctx := WithMemoryBudget(context.Background(), 64<<10)
+		if _, err := e.QueryContext(ctx, q); !errors.Is(err, ErrMemoryBudget) {
+			t.Errorf("%s: want ErrMemoryBudget, got %v", q, err)
+		}
+		ctx = WithMemoryBudget(context.Background(), 1<<30)
+		if _, err := e.QueryContext(ctx, q); err != nil {
+			t.Errorf("%s under generous budget: %v", q, err)
+		}
+	}
+}
+
 func TestMemoryBudgetAbortsGroupBlowup(t *testing.T) {
 	e := bigDB(t, 50_000)
 	// Group by a near-unique key under a tiny budget: the group hash table

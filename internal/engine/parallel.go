@@ -270,12 +270,12 @@ func buildScanPlan(qc *queryCtx, rel *relation, sel *sqlparser.SelectStmt, aggCa
 			return nil, false
 		}
 		pure = pure && pu
-		p.keyFns = append(p.keyFns, fn)
-		p.keyASTs = append(p.keyASTs, ge)
+		p.keyFns = append(p.keyFns, fn)   //verdict:nocharge plan-size: one entry per GROUP BY expression
+		p.keyASTs = append(p.keyASTs, ge) //verdict:nocharge plan-size: one entry per GROUP BY expression
 	}
 	for _, fc := range aggCalls {
 		if fc.Star {
-			p.specs = append(p.specs, aggSpec{fc: fc})
+			p.specs = append(p.specs, aggSpec{fc: fc}) //verdict:nocharge plan-size: one spec per aggregate call
 			continue
 		}
 		if len(fc.Args) == 0 {
@@ -286,7 +286,7 @@ func buildScanPlan(qc *queryCtx, rel *relation, sel *sqlparser.SelectStmt, aggCa
 			return nil, false
 		}
 		pure = pure && pu
-		p.specs = append(p.specs, aggSpec{fc: fc, arg: fn, argAST: fc.Args[0]})
+		p.specs = append(p.specs, aggSpec{fc: fc, arg: fn, argAST: fc.Args[0]}) //verdict:nocharge plan-size: one spec per aggregate call
 	}
 	// Each created group costs a map entry, the accumulators, and a boxed
 	// representative row.
@@ -307,7 +307,7 @@ func (p *scanPlan) newAccs() ([]accumulator, error) {
 		if err != nil {
 			return nil, err
 		}
-		acc, err := newAccumulator(sp.fc, q)
+		acc, err := newAccumulator(sp.fc, q, p.qc)
 		if err != nil {
 			return nil, err
 		}
@@ -409,8 +409,10 @@ func mergeChunkGroups(results []*chunkGroups) (*chunkGroups, error) {
 			sg := src.m[key]
 			dg, ok := dst.m[key]
 			if !ok {
-				dst.m[key] = sg
-				dst.order = append(dst.order, key)
+				// Ownership transfer: sg was charged (p.groupBytes) when its
+				// worker created it; moving it between tables adds nothing.
+				dst.m[key] = sg                    //verdict:nocharge ownership transfer of an already-charged group
+				dst.order = append(dst.order, key) //verdict:nocharge ownership transfer of an already-charged group
 				continue
 			}
 			for i := range dg.accs {

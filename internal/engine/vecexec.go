@@ -42,18 +42,18 @@ func buildVecPlan(p *scanPlan) *vecPlan {
 		if n == nil {
 			return nil
 		}
-		vp.keys = append(vp.keys, n)
+		vp.keys = append(vp.keys, n) //verdict:nocharge plan-size: one vnode per GROUP BY expression
 	}
 	for _, sp := range p.specs {
 		if sp.fc.Star {
-			vp.args = append(vp.args, nil)
+			vp.args = append(vp.args, nil) //verdict:nocharge plan-size: one vnode slot per aggregate call
 			continue
 		}
 		n := c.lower(sp.argAST)
 		if n == nil {
 			return nil
 		}
-		vp.args = append(vp.args, n)
+		vp.args = append(vp.args, n) //verdict:nocharge plan-size: one vnode slot per aggregate call
 	}
 	vp.nbuf = c.nbuf
 	return vp
@@ -285,10 +285,11 @@ func buildVecSelect(qc *queryCtx, rel *relation, outCols []outCol, wherePred com
 			return nil
 		}
 	}
+	//verdict:nocharge plan-size: one vnode per projected output column
 	for _, oc := range outCols {
 		if oc.expr == nil {
-			vs.items = append(vs.items, &vnCol{id: c.newID(), col: oc.idx})
-			vs.itemFns = append(vs.itemFns, projCol{idx: oc.idx})
+			vs.items = append(vs.items, &vnCol{id: c.newID(), col: oc.idx}) //verdict:nocharge plan-size
+			vs.itemFns = append(vs.itemFns, projCol{idx: oc.idx})           //verdict:nocharge plan-size
 			continue
 		}
 		n := c.lower(oc.expr)
@@ -299,8 +300,8 @@ func buildVecSelect(qc *queryCtx, rel *relation, outCols []outCol, wherePred com
 		if !ok || !pure {
 			return nil
 		}
-		vs.items = append(vs.items, n)
-		vs.itemFns = append(vs.itemFns, projCol{fn: fn})
+		vs.items = append(vs.items, n)                   //verdict:nocharge plan-size
+		vs.itemFns = append(vs.itemFns, projCol{fn: fn}) //verdict:nocharge plan-size
 	}
 	vs.nbuf = c.nbuf
 	return vs

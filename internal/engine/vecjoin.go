@@ -103,7 +103,7 @@ func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.Jo
 		if n == nil {
 			return nil
 		}
-		vj.lKeyNodes = append(vj.lKeyNodes, n)
+		vj.lKeyNodes = append(vj.lKeyNodes, n) //verdict:nocharge plan-size: one vnode per join key
 	}
 	vj.lNbuf = lc.nbuf
 	rc := &vecCompiler{eng: eng, rel: right}
@@ -112,7 +112,7 @@ func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.Jo
 		if n == nil {
 			return nil
 		}
-		vj.rKeyNodes = append(vj.rKeyNodes, n)
+		vj.rKeyNodes = append(vj.rKeyNodes, n) //verdict:nocharge plan-size: one vnode per join key
 	}
 	vj.rNbuf = rc.nbuf
 
@@ -197,9 +197,9 @@ func (vj *vecJoin) insert(key []byte, ref int64) {
 	b, ok := vj.buckets[string(key)]
 	if !ok {
 		b = &joinBucket{}
-		vj.buckets[string(key)] = b
+		vj.buckets[string(key)] = b //verdict:nocharge buildHash pre-charges bytesPerRef per build row before inserting the chunk
 	}
-	b.refs = append(b.refs, ref)
+	b.refs = append(b.refs, ref) //verdict:nocharge covered by buildHash's per-chunk charge
 }
 
 // buildHash scans the build side chunk-at-a-time, rendering key lanes from
@@ -535,7 +535,7 @@ type joinGather struct {
 	refs     []int64 // packed build ref per output row; nullRef = null-extended build side
 
 	mu     sync.Mutex
-	filled []bool
+	filled []bool //verdict:guardedby mu
 }
 
 func (g *joinGather) fill(c *chunk, j int) {

@@ -534,9 +534,9 @@ func (n *vnNeg) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
 		}
 		switch x := laneValue(xv, k).(type) {
 		case int64:
-			ov.anys[k] = -x
+			ov.anys[k] = -x //verdict:alloc TAny fallback lane: input is already boxed, typed lanes take the branches above
 		case float64:
-			ov.anys[k] = -x
+			ov.anys[k] = -x //verdict:alloc TAny fallback lane: input is already boxed, typed lanes take the branches above
 		default:
 			return nil, errCannotNegate(x)
 		}

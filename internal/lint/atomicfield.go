@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity: once any code anywhere —
+// including another package, via the exported fact — touches a struct field
+// through the sync/atomic free functions (atomic.AddInt64(&x.f, ...),
+// atomic.LoadUint32(&x.f), ...), every access to that field must be
+// atomic. A single plain load racing an atomic store is still a data race,
+// and one the race detector only catches when the schedule cooperates; the
+// analyzer makes the mixed-access pattern unrepresentable instead.
+//
+// Fields of the sync/atomic wrapper types (atomic.Int64, atomic.Pointer)
+// are immune by construction — this rule exists for the transitional and
+// FFI-ish cases where a plain int field is driven through the free
+// functions. Sound exceptions (pre-publication initialization in a
+// constructor, access under the mutex that serializes all writers) are
+// annotated //verdict:nonatomic <why>.
+var AtomicField = &Analyzer{
+	Name:      "atomicfield",
+	Doc:       "a field accessed via sync/atomic anywhere must be accessed atomically everywhere, across packages (suppress: //verdict:nonatomic)",
+	Run:       runAtomicField,
+	FactTypes: []Fact{(*atomicUseFact)(nil)},
+}
+
+// atomicUseFact marks a struct field as participating in sync/atomic
+// operations somewhere in the program.
+type atomicUseFact struct{}
+
+func (*atomicUseFact) AFact() {}
+
+func runAtomicField(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	// Phase 1: find fields used atomically in THIS package, and remember
+	// the exact selector nodes inside atomic calls so phase 2 can exempt
+	// them.
+	atomicLocal := map[*types.Var]bool{}
+	atomicSite := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // wrapper-type method: inherently safe API
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(pass, sel); fv != nil {
+					atomicSite[sel] = true
+					if !pass.isTestFile(sel.Pos()) {
+						atomicLocal[fv] = true
+						pass.ExportObjectFact(fv, &atomicUseFact{})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 2: every other access to an atomic field — locally marked or
+	// imported via fact — is a mixed-atomicity race.
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if atomicSite[sel] {
+				return true
+			}
+			fv := fieldOf(pass, sel)
+			if fv == nil {
+				return true
+			}
+			if !atomicLocal[fv] && !pass.ImportObjectFact(fv, new(atomicUseFact)) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "nonatomic",
+				"plain access to %s, which is accessed via sync/atomic elsewhere — mixed atomicity is a data race; use the atomic API here or annotate //verdict:nonatomic with why this access cannot race",
+				exprString(pass, sel))
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the struct field it selects, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return nil
+	}
+	fv, ok := selection.Obj().(*types.Var)
+	if !ok || !fv.IsField() {
+		return nil
+	}
+	return fv
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"verdictdb/internal/lint"
+	"verdictdb/internal/lint/linttest"
+)
+
+func TestAtomicField(t *testing.T) {
+	linttest.Run(t, "internal/engine/atomf", lint.AtomicField)
+}
+
+// TestAtomicFieldCrossPackage proves the atomic-use fact crosses the
+// package boundary: internal/engine/atomfx never uses sync/atomic on
+// Gauge.N itself, so its plain access can only be flagged via the fact
+// imported from internal/engine/atomdep.
+func TestAtomicFieldCrossPackage(t *testing.T) {
+	linttest.Run(t, "internal/engine/atomfx", lint.AtomicField)
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"verdictdb/internal/lint"
+	"verdictdb/internal/lint/linttest"
+)
+
+// TestBudgetCharge covers direct charges, the local fixpoint, the
+// //verdict:nocharge suppression, and — via the internal/engine/bdep
+// dependency — the charges fact crossing the package boundary.
+func TestBudgetCharge(t *testing.T) {
+	linttest.Run(t, "internal/engine/bcharge", lint.BudgetCharge)
+}

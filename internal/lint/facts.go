@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// This file implements the cross-package facts side of the unitchecker
+// protocol (the analogue of golang.org/x/tools/go/analysis facts plus
+// internal/facts serialization, rebuilt on the standard library): an
+// analyzer running on package P can attach a Fact to one of P's objects —
+// a function, type, method, or struct field — and the driver gob-encodes
+// every fact into P's .vetx output file. When a dependent package Q is
+// analyzed, the go command hands the driver the .vetx files of Q's
+// dependencies (vetConfig.PackageVetx); the driver decodes them and the
+// same analyzer can query facts about imported objects through
+// Pass.ImportObjectFact. Facts are namespaced per analyzer and per concrete
+// fact type, exactly like x/tools, so analyzers cannot observe each other's
+// facts.
+//
+// Object naming: x/tools uses golang.org/x/tools/go/types/objectpath to
+// name objects across export-data boundaries. verdictlint's analyzers only
+// attach facts to package-level functions, types, methods, and struct
+// fields of package-level named types, so a much simpler two-segment key
+// suffices:
+//
+//	"Name"        package-scope object (func, var, type)
+//	"Type.Member" method of Type, or field of Type's struct underlying
+//
+// Keys resolve identically on both sides of the boundary because export
+// data preserves struct fields and method sets byte-for-byte.
+
+// Fact is analyzer-derived knowledge about an object, serialized into the
+// package's .vetx file and visible when dependent packages are analyzed.
+// Implementations must be gob-encodable pointer types, registered via the
+// Analyzer.FactTypes list.
+type Fact interface{ AFact() }
+
+// gobFact is the wire form of one fact in a .vetx file.
+type gobFact struct {
+	Analyzer string // namespacing analyzer name
+	PkgPath  string // package of the object the fact is about
+	ObjKey   string // object key within the package ("" = package fact)
+	Fact     Fact
+}
+
+// factKey identifies one fact slot: analyzer x object x concrete fact type.
+type factKey struct {
+	analyzer string
+	pkgPath  string
+	objKey   string
+	factType string
+}
+
+// factSet is the fact store for one package's analysis run: everything
+// decoded from dependency .vetx files plus everything exported while
+// analyzing the package itself. The final .vetx re-exports the union, so
+// facts flow transitively even when the go command stages only direct
+// dependencies.
+type factSet struct {
+	m map[factKey]Fact
+}
+
+func newFactSet() *factSet { return &factSet{m: map[factKey]Fact{}} }
+
+func factTypeName(f Fact) string { return reflect.TypeOf(f).String() }
+
+// add records one fact, overwriting any previous fact of the same slot.
+func (fs *factSet) add(analyzer, pkgPath, objKey string, f Fact) {
+	fs.m[factKey{analyzer, pkgPath, objKey, factTypeName(f)}] = f
+}
+
+// get copies the fact of ptr's concrete type for the given slot into *ptr
+// and reports whether one was found.
+func (fs *factSet) get(analyzer, pkgPath, objKey string, ptr Fact) bool {
+	f, ok := fs.m[factKey{analyzer, pkgPath, objKey, factTypeName(ptr)}]
+	if !ok {
+		return false
+	}
+	pv := reflect.ValueOf(ptr)
+	if pv.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("lint: ImportObjectFact got non-pointer fact %T", ptr))
+	}
+	pv.Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+// encode serializes the set deterministically (sorted by key, so .vetx
+// bytes are reproducible and cache-friendly).
+func (fs *factSet) encode() ([]byte, error) {
+	keys := make([]factKey, 0, len(fs.m))
+	for k := range fs.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		if a.pkgPath != b.pkgPath {
+			return a.pkgPath < b.pkgPath
+		}
+		if a.objKey != b.objKey {
+			return a.objKey < b.objKey
+		}
+		return a.factType < b.factType
+	})
+	out := make([]gobFact, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, gobFact{Analyzer: k.analyzer, PkgPath: k.pkgPath, ObjKey: k.objKey, Fact: fs.m[k]})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeInto merges the facts serialized in data (one dependency's .vetx)
+// into the set. Empty input is a valid empty fact file.
+func (fs *factSet) decodeInto(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&in); err != nil {
+		return err
+	}
+	for _, gf := range in {
+		if gf.Fact == nil {
+			continue
+		}
+		fs.add(gf.Analyzer, gf.PkgPath, gf.ObjKey, gf.Fact)
+	}
+	return nil
+}
+
+// registerFactTypes registers every analyzer's fact types with gob so the
+// interface-typed Fact fields round-trip. Safe to call more than once per
+// process for distinct analyzer lists; duplicate concrete types would
+// panic inside gob, which is the bug we want loud.
+func registerFactTypes(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// objFactKey returns the stable cross-package key for obj ("Name" or
+// "Type.Member"), or ok=false for objects facts cannot name (locals,
+// builtins, fields of anonymous types).
+func objFactKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	scope := obj.Pkg().Scope()
+	if scope.Lookup(obj.Name()) == obj {
+		return obj.Name(), true
+	}
+	// Method: the receiver's named type provides the first segment.
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if n := namedOrPointee(recv.Type()); n != nil {
+				return n.Obj().Name() + "." + fn.Name(), true
+			}
+		}
+		return "", false
+	}
+	// Struct field: scan the package scope for the named type owning it.
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == v {
+					return name + "." + v.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis; it becomes visible to this analyzer in every dependent
+// package via ImportObjectFact. Facts on objects outside the current
+// package are silently dropped (matching x/tools, which panics — but a
+// lint driver should not die on an analyzer bug in a foreign tree).
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil || obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	key, ok := objFactKey(obj)
+	if !ok {
+		return
+	}
+	p.facts.add(p.analyzer, obj.Pkg().Path(), key, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's concrete type previously
+// exported for obj — by this analyzer, in this package or any dependency —
+// into *ptr, reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	if p.facts == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key, ok := objFactKey(obj)
+	if !ok {
+		return false
+	}
+	return p.facts.get(p.analyzer, obj.Pkg().Path(), key, ptr)
+}
+
+// ExportPackageFact attaches a fact to the package under analysis itself.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.add(p.analyzer, p.Pkg.Path(), "", fact)
+}
+
+// ImportPackageFact copies the package-level fact of ptr's concrete type
+// exported for pkg into *ptr, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, ptr Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	return p.facts.get(p.analyzer, pkg.Path(), "", ptr)
+}
+
+// AllObjectFacts returns every (pkgPath, objKey) pair carrying a fact of
+// ptr's concrete type for this analyzer — the discovery side of the fact
+// API (e.g. "which imported fields are atomic?"). The result is sorted.
+func (p *Pass) AllObjectFacts(ptr Fact) []FactRef {
+	if p.facts == nil {
+		return nil
+	}
+	ft := factTypeName(ptr)
+	var out []FactRef
+	for k := range p.facts.m {
+		if k.analyzer == p.analyzer && k.factType == ft && k.objKey != "" {
+			out = append(out, FactRef{PkgPath: k.pkgPath, ObjKey: k.objKey})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PkgPath != out[j].PkgPath {
+			return out[i].PkgPath < out[j].PkgPath
+		}
+		return out[i].ObjKey < out[j].ObjKey
+	})
+	return out
+}
+
+// FactCarrier is the linttest harness's handle on a fact set, letting it
+// replay the driver's cross-package flow (run dependency → serialize →
+// deserialize → run dependent) without exporting the Pass internals.
+type FactCarrier struct{ fs *factSet }
+
+// NewFactCarrier registers the analyzers' fact types with gob and returns
+// an empty carrier.
+func NewFactCarrier(analyzers []*Analyzer) *FactCarrier {
+	registerFactTypes(analyzers)
+	return &FactCarrier{fs: newFactSet()}
+}
+
+// Install points the pass at the carrier's current fact set, namespaced to
+// the named analyzer.
+func (c *FactCarrier) Install(p *Pass, analyzer string) {
+	p.facts = c.fs
+	p.analyzer = analyzer
+}
+
+// RoundTrip serializes the facts through the .vetx gob encoding and decodes
+// them into a fresh set, exactly as a dependent package's driver run would.
+// Subsequent Install calls hand out the decoded copy, so a broken encoder,
+// decoder, or key scheme surfaces as missing facts in the dependent run.
+func (c *FactCarrier) RoundTrip() error {
+	data, err := c.fs.encode()
+	if err != nil {
+		return err
+	}
+	fresh := newFactSet()
+	if err := fresh.decodeInto(data); err != nil {
+		return err
+	}
+	c.fs = fresh
+	return nil
+}
+
+// FactRef names one object carrying a fact.
+type FactRef struct {
+	PkgPath string
+	ObjKey  string // "Name" or "Type.Member"
+}
+
+// String renders the ref for diagnostics.
+func (r FactRef) String() string {
+	return r.PkgPath + "." + r.ObjKey
+}

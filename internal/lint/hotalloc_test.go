@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"verdictdb/internal/lint"
+	"verdictdb/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, "internal/engine/halloc", lint.HotAlloc)
+}

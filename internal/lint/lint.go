@@ -37,6 +37,12 @@ type Analyzer struct {
 	Name string // short lowercase identifier, also the CLI flag name
 	Doc  string // one-line contract description
 	Run  func(*Pass) error
+
+	// FactTypes lists the analyzer's cross-package fact prototypes (one
+	// zero value per concrete type; must be gob-encodable pointers). An
+	// analyzer with facts sees its own exports from dependency packages
+	// through Pass.ImportObjectFact; see facts.go.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding, positioned in the analyzed package.
@@ -68,7 +74,14 @@ type Pass struct {
 	// Report receives diagnostics; the driver owns ordering and output.
 	Report func(Diagnostic)
 
-	annots map[*ast.File]map[int]map[string]bool
+	// facts is the cross-package fact store shared by the whole run;
+	// analyzer is the name of the analyzer currently running, namespacing
+	// its fact reads and writes. Both are owned by the driver (and the
+	// linttest harness).
+	facts    *factSet
+	analyzer string
+
+	annots map[*ast.File]map[int]map[string]string
 }
 
 // Reportf reports a diagnostic at pos unless a `//verdict:<suppress>`
@@ -94,7 +107,34 @@ func (p *Pass) Suppressed(pos token.Pos, token string) bool {
 	}
 	lines := p.annotations(file)
 	line := p.Fset.Position(pos).Line
-	return lines[line][token] || lines[line-1][token]
+	_, same := lines[line][token]
+	_, above := lines[line-1][token]
+	return same || above
+}
+
+// AnnotationArg returns the first word following a `//verdict:token`
+// annotation covering pos (same line or the line above) — e.g. the mutex
+// name of `//verdict:guardedby mu caller-facing note`. ok is false when no
+// such annotation covers the line.
+func (p *Pass) AnnotationArg(pos token.Pos, token string) (arg string, ok bool) {
+	if !pos.IsValid() {
+		return "", false
+	}
+	file := p.fileOf(pos)
+	if file == nil {
+		return "", false
+	}
+	lines := p.annotations(file)
+	line := p.Fset.Position(pos).Line
+	rest, ok := lines[line][token]
+	if !ok {
+		rest, ok = lines[line-1][token]
+	}
+	if !ok {
+		return "", false
+	}
+	arg, _, _ = strings.Cut(strings.TrimSpace(rest), " ")
+	return arg, true
 }
 
 func (p *Pass) fileOf(pos token.Pos) *ast.File {
@@ -106,33 +146,35 @@ func (p *Pass) fileOf(pos token.Pos) *ast.File {
 	return nil
 }
 
-// annotations lazily indexes a file's `//verdict:` comments by line.
-func (p *Pass) annotations(f *ast.File) map[int]map[string]bool {
+// annotations lazily indexes a file's `//verdict:` comments by line,
+// mapping each token to the text following it (arguments + justification).
+func (p *Pass) annotations(f *ast.File) map[int]map[string]string {
 	if p.annots == nil {
-		p.annots = map[*ast.File]map[int]map[string]bool{}
+		p.annots = map[*ast.File]map[int]map[string]string{}
 	}
 	if m, ok := p.annots[f]; ok {
 		return m
 	}
-	m := map[int]map[string]bool{}
+	m := map[int]map[string]string{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text, ok := strings.CutPrefix(c.Text, "//verdict:")
 			if !ok {
 				continue
 			}
-			// The token ends at the first space; trailing prose is the
-			// human-readable justification.
-			tok, _, _ := strings.Cut(text, " ")
+			// The token ends at the first space; what follows is the
+			// argument (when the rule takes one) and the human-readable
+			// justification.
+			tok, rest, _ := strings.Cut(text, " ")
 			tok = strings.TrimSpace(tok)
 			if tok == "" {
 				continue
 			}
 			line := p.Fset.Position(c.Pos()).Line
 			if m[line] == nil {
-				m[line] = map[string]bool{}
+				m[line] = map[string]string{}
 			}
-			m[line][tok] = true
+			m[line][tok] = rest
 		}
 	}
 	p.annots[f] = m
@@ -179,10 +221,14 @@ func implementsError(t types.Type) bool {
 // All returns the full verdictlint suite in deterministic order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AtomicField,
+		BudgetCharge,
 		CtxPoll,
 		DetMapRange,
 		ErrWrapIs,
 		FaultSite,
+		HotAlloc,
+		LockGuard,
 		MergeComplete,
 		PureKernel,
 	}

@@ -33,6 +33,14 @@ import (
 // Run loads the fixture package at testdata/src/<pkgPath> (relative to the
 // calling test's working directory), runs the analyzer over it, and checks
 // the diagnostics against the fixture's `// want` expectations.
+//
+// For analyzers with FactTypes, the harness mirrors the real driver's
+// cross-package flow: the analyzer first runs over every fixture dependency
+// (in dependency order), the accumulated facts are serialized through the
+// same gob encoding the .vetx files use and decoded back — so a fixture
+// test fails if fact serialization or import is broken, not just the
+// analyzer logic — and `// want` expectations are checked across all
+// fixture packages involved.
 func Run(t *testing.T, pkgPath string, a *lint.Analyzer) {
 	t.Helper()
 	ld := &loader{
@@ -47,6 +55,41 @@ func Run(t *testing.T, pkgPath string, a *lint.Analyzer) {
 	}
 
 	var diags []lint.Diagnostic
+	report := func(d lint.Diagnostic) { diags = append(diags, d) }
+
+	allFiles := files
+	var facts *lint.FactCarrier
+	if len(a.FactTypes) > 0 {
+		facts = lint.NewFactCarrier([]*lint.Analyzer{a})
+		// Dependency fixtures finished loading before their dependents
+		// (loadFixture registers a package only after its imports resolve),
+		// so ld.order is already a valid analysis order.
+		for _, dep := range ld.order {
+			if dep == pkgPath {
+				continue
+			}
+			pass := &lint.Pass{
+				Fset:         ld.fset,
+				Files:        ld.files[dep],
+				Pkg:          ld.pkgs[dep],
+				Info:         ld.infos[dep],
+				Module:       "",
+				IgnoredFiles: ld.ignored[dep],
+				Report:       report,
+			}
+			facts.Install(pass, a.Name)
+			if err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s on dependency %s: %v", a.Name, dep, err)
+			}
+			// Round-trip through the .vetx wire encoding between packages,
+			// exactly as the unitchecker protocol would.
+			if err := facts.RoundTrip(); err != nil {
+				t.Fatalf("fact round-trip after %s: %v", dep, err)
+			}
+			allFiles = append(allFiles, ld.files[dep]...)
+		}
+	}
+
 	pass := &lint.Pass{
 		Fset:         ld.fset,
 		Files:        files,
@@ -54,13 +97,16 @@ func Run(t *testing.T, pkgPath string, a *lint.Analyzer) {
 		Info:         ld.infos[pkgPath],
 		Module:       "", // fixtures are module-agnostic; module-scoped rules stay active
 		IgnoredFiles: ignored,
-		Report:       func(d lint.Diagnostic) { diags = append(diags, d) },
+		Report:       report,
+	}
+	if facts != nil {
+		facts.Install(pass, a.Name)
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("analyzer %s: %v", a.Name, err)
 	}
 
-	checkExpectations(t, ld.fset, files, diags)
+	checkExpectations(t, ld.fset, allFiles, diags)
 }
 
 // expectation is one `// want "re"` entry, keyed by file:line.
@@ -123,11 +169,14 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 // loader typechecks fixture packages, resolving fixture-to-fixture imports
 // under testdata/src and everything else from GOROOT source.
 type loader struct {
-	fset   *token.FileSet
-	root   string
-	pkgs   map[string]*types.Package
-	infos  map[string]*types.Info
-	source types.Importer
+	fset    *token.FileSet
+	root    string
+	pkgs    map[string]*types.Package
+	infos   map[string]*types.Info
+	files   map[string][]*ast.File
+	ignored map[string][]string
+	order   []string // fixture packages in completion (= dependency) order
+	source  types.Importer
 }
 
 func (ld *loader) Import(path string) (*types.Package, error) {
@@ -187,6 +236,13 @@ func (ld *loader) loadFixture(pkgPath string) (*types.Package, []*ast.File, []st
 		return nil, nil, nil, fmt.Errorf("typecheck: %w", err)
 	}
 	ld.pkgs[pkgPath] = pkg
+	if ld.files == nil {
+		ld.files = map[string][]*ast.File{}
+		ld.ignored = map[string][]string{}
+	}
+	ld.files[pkgPath] = files
+	ld.ignored[pkgPath] = ignored
+	ld.order = append(ld.order, pkgPath)
 	return pkg, files, ignored, nil
 }
 

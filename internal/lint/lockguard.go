@@ -1,0 +1,590 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockGuard enforces declared mutex discipline: a struct field annotated
+//
+//	//verdict:guardedby mu            (reads and writes need mu held)
+//	//verdict:guardedby mu:write      (writes need mu; reads go through an
+//	                                   atomic snapshot and are lock-free)
+//	//verdict:guardedby Type.mu       (guarded by another type's mutex —
+//	                                   e.g. container-guards-element state)
+//
+// may only be accessed while the named sync.Mutex/RWMutex is held. Lock
+// ownership is tracked intra-procedurally: a linear walk over each function
+// body maintains the set of mutexes held (Lock/RLock add, Unlock/RUnlock
+// remove, deferred unlocks keep the mutex held to function exit; locks
+// taken inside a branch do not leak past it). The tracking is
+// receiver-blind — holding ANY instance's mu counts for all instances of
+// that field — which is exactly the granularity the annotation declares.
+//
+// Two function-level facts cross package boundaries (and package-internal
+// call graphs):
+//
+//   - a function annotated `//verdict:locked mu` documents "caller must
+//     hold mu"; its body is checked with mu pre-held, and every call to it
+//     from a context not holding mu is flagged — even from another package.
+//   - a function that acquires a mutex itself exports an "acquires" fact;
+//     calling it while already holding the same mutex is flagged as a
+//     self-deadlock (sync.Mutex is not reentrant).
+//
+// Closures inherit the lock-set at their creation point (sort.Slice
+// comparators and friends run synchronously under the caller's locks);
+// goroutine bodies (`go func(){...}`) start with an empty set. Suppress a
+// finding with //verdict:unguarded <why>.
+var LockGuard = &Analyzer{
+	Name:      "lockguard",
+	Doc:       "fields annotated //verdict:guardedby <mu> are only touched with the mutex held (suppress: //verdict:unguarded)",
+	Run:       runLockGuard,
+	FactTypes: []Fact{(*guardedFact)(nil), (*lockFnFact)(nil)},
+}
+
+// guardedFact marks a struct field as protected by a mutex, identified by
+// its fully qualified key "pkgpath.Type.field".
+type guardedFact struct {
+	Mutex string
+	Write bool // write accesses only; reads are lock-free by design
+}
+
+func (*guardedFact) AFact() {}
+
+// lockFnFact is a function's lock contract: mutexes the caller must hold
+// (declared via //verdict:locked) and mutexes the body acquires itself.
+type lockFnFact struct {
+	Requires []string
+	Acquires []string
+}
+
+func (*lockFnFact) AFact() {}
+
+// lockHeld is the lock-set during the walk: mutex key → 'r' (read) or 'w'.
+type lockHeld map[string]byte
+
+func (h lockHeld) clone() lockHeld {
+	c := make(lockHeld, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// lgCtx is the per-package analysis state.
+type lgCtx struct {
+	pass *Pass
+	// guards maps guarded fields of THIS package to their facts; foreign
+	// fields resolve through ImportObjectFact.
+	guards map[*types.Var]*guardedFact
+	// fnFacts maps this package's functions to their lock contracts.
+	fnFacts map[*types.Func]*lockFnFact
+}
+
+func runLockGuard(pass *Pass) error {
+	if !pass.InModule() {
+		return nil
+	}
+	lg := &lgCtx{pass: pass, guards: map[*types.Var]*guardedFact{}, fnFacts: map[*types.Func]*lockFnFact{}}
+	lg.collectGuards()
+	lg.collectFnFacts()
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			held := lockHeld{}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				if fact := lg.fnFacts[obj]; fact != nil {
+					for _, m := range fact.Requires {
+						held[m] = 'w'
+					}
+				}
+			}
+			lg.walkStmts(fd.Body.List, held)
+		}
+	}
+	return nil
+}
+
+// collectGuards parses //verdict:guardedby annotations off struct fields,
+// validates the mutex reference, and exports the field facts.
+func (lg *lgCtx) collectGuards() {
+	pass := lg.pass
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			owner, _ := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if owner == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg, ok := pass.AnnotationArg(field.Pos(), "guardedby")
+				if !ok {
+					continue
+				}
+				muRef, mode, _ := strings.Cut(arg, ":")
+				key, ok := lg.resolveMutexRef(owner, muRef)
+				if !ok {
+					pass.Reportf(field.Pos(), "",
+						"//verdict:guardedby %s does not name a sync.Mutex/RWMutex field (use a sibling field name or Type.field)", muRef)
+					continue
+				}
+				fact := &guardedFact{Mutex: key, Write: mode == "write"}
+				for _, name := range field.Names {
+					if fv, ok := pass.Info.Defs[name].(*types.Var); ok {
+						lg.guards[fv] = fact
+						pass.ExportObjectFact(fv, fact)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// resolveMutexRef resolves "mu" (sibling field of owner) or "Type.mu"
+// (field of another package-scope type) to a fully qualified mutex key.
+func (lg *lgCtx) resolveMutexRef(owner *types.TypeName, ref string) (string, bool) {
+	pass := lg.pass
+	typeName, fieldName := owner.Name(), ref
+	if t, f, ok := strings.Cut(ref, "."); ok {
+		typeName, fieldName = t, f
+		tn, ok := pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok {
+			return "", false
+		}
+		owner = tn
+	}
+	st, ok := owner.Type().Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fv := st.Field(i)
+		if fv.Name() == fieldName && isMutexType(fv.Type()) {
+			return pass.Pkg.Path() + "." + typeName + "." + fieldName, true
+		}
+	}
+	return "", false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	n := namedOrPointee(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// collectFnFacts gathers every function's lock contract: Requires from
+// //verdict:locked annotations, Acquires from Lock calls in the body.
+func (lg *lgCtx) collectFnFacts() {
+	pass := lg.pass
+	for _, f := range pass.Files {
+		if pass.isTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fact := &lockFnFact{}
+			if arg, ok := pass.AnnotationArg(fd.Pos(), "locked"); ok {
+				if key, resolved := lg.resolveLockedRef(fd, arg); resolved {
+					fact.Requires = append(fact.Requires, key)
+				} else {
+					pass.Reportf(fd.Pos(), "",
+						"//verdict:locked %s does not name a sync.Mutex/RWMutex field on the receiver (or Type.field)", arg)
+				}
+			}
+			// Acquires: any mutex the body locks outside nested closures.
+			acquired := map[string]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, op, ok := lg.mutexOp(call); ok && (op == "Lock" || op == "RLock") {
+						acquired[key] = true
+					}
+				}
+				return true
+			})
+			for key := range acquired {
+				fact.Acquires = append(fact.Acquires, key)
+			}
+			sort.Strings(fact.Acquires)
+			if len(fact.Requires) > 0 || len(fact.Acquires) > 0 {
+				lg.fnFacts[obj] = fact
+				pass.ExportObjectFact(obj, fact)
+			}
+		}
+	}
+}
+
+// resolveLockedRef resolves a //verdict:locked argument against the
+// function's receiver type ("mu") or a package-scope type ("Type.mu").
+func (lg *lgCtx) resolveLockedRef(fd *ast.FuncDecl, ref string) (string, bool) {
+	if strings.Contains(ref, ".") {
+		// Type-qualified: resolve like guardedby's Type.field form; the
+		// owner argument is unused for qualified refs, any type works.
+		if tn := lg.anyTypeName(); tn != nil {
+			return lg.resolveMutexRef(tn, ref)
+		}
+		return "", false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "", false
+	}
+	rt := lg.pass.Info.TypeOf(fd.Recv.List[0].Type)
+	n := namedOrPointee(rt)
+	if n == nil {
+		return "", false
+	}
+	tn, ok := n.Obj().Pkg().Scope().Lookup(n.Obj().Name()).(*types.TypeName)
+	if !ok {
+		return "", false
+	}
+	return lg.resolveMutexRef(tn, ref)
+}
+
+// anyTypeName returns an arbitrary package-scope TypeName (resolveMutexRef
+// only needs one as a namespace anchor for qualified refs).
+func (lg *lgCtx) anyTypeName() *types.TypeName {
+	scope := lg.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+			return tn
+		}
+	}
+	return nil
+}
+
+// mutexOp matches sel.mu.Lock()/Unlock()/RLock()/RUnlock() (or a call on a
+// package-scope mutex var) and returns the mutex key and operation name.
+func (lg *lgCtx) mutexOp(call *ast.CallExpr) (key, op string, ok bool) {
+	fun, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = fun.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := ast.Unparen(fun.X)
+	pass := lg.pass
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		// instance.mu.Lock(): the mutex is a struct field.
+		if sel, ok := pass.Info.Selections[x]; ok {
+			if fv, ok := sel.Obj().(*types.Var); ok && fv.IsField() && isMutexType(fv.Type()) {
+				if k, ok := objFactKey(fv); ok {
+					return fv.Pkg().Path() + "." + k, op, true
+				}
+			}
+		}
+	case *ast.Ident:
+		// mu.Lock() on a package-level mutex var.
+		if obj, ok := pass.Info.Uses[x].(*types.Var); ok && !obj.IsField() && isMutexType(obj.Type()) && obj.Pkg() != nil {
+			if obj.Pkg().Scope().Lookup(obj.Name()) == obj {
+				return obj.Pkg().Path() + "." + obj.Name(), op, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// walkStmts walks a statement sequence, threading the lock-set through it.
+func (lg *lgCtx) walkStmts(stmts []ast.Stmt, held lockHeld) {
+	for _, s := range stmts {
+		lg.walkStmt(s, held)
+	}
+}
+
+// walkStmt processes one statement: lock operations mutate held in place;
+// branch bodies get clones so a branch-local Lock cannot vouch for code
+// after the branch.
+func (lg *lgCtx) walkStmt(s ast.Stmt, held lockHeld) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if key, op, ok := lg.mutexOp(call); ok {
+				switch op {
+				case "Lock":
+					held[key] = 'w'
+				case "RLock":
+					if held[key] != 'w' {
+						held[key] = 'r'
+					}
+				case "Unlock", "RUnlock":
+					delete(held, key)
+				}
+				return
+			}
+		}
+		lg.checkExpr(x.X, held, false)
+	case *ast.DeferStmt:
+		if key, op, ok := lg.mutexOp(x.Call); ok {
+			// Deferred unlock: the mutex stays held to function exit.
+			// Deferred Lock would be a bug, but not this analyzer's.
+			_, _ = key, op
+			return
+		}
+		lg.checkExpr(x.Call, held, false)
+	case *ast.AssignStmt:
+		for _, lhs := range x.Lhs {
+			lg.checkExpr(lhs, held, true)
+		}
+		for _, rhs := range x.Rhs {
+			lg.checkExpr(rhs, held, false)
+		}
+	case *ast.IncDecStmt:
+		lg.checkExpr(x.X, held, true)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			lg.checkExpr(r, held, false)
+		}
+	case *ast.SendStmt:
+		lg.checkExpr(x.Chan, held, false)
+		lg.checkExpr(x.Value, held, false)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			lg.walkStmt(x.Init, held)
+		}
+		lg.checkExpr(x.Cond, held, false)
+		lg.walkStmts(x.Body.List, held.clone())
+		if x.Else != nil {
+			lg.walkStmt(x.Else, held.clone())
+		}
+	case *ast.ForStmt:
+		inner := held.clone()
+		if x.Init != nil {
+			lg.walkStmt(x.Init, inner)
+		}
+		if x.Cond != nil {
+			lg.checkExpr(x.Cond, inner, false)
+		}
+		lg.walkStmts(x.Body.List, inner)
+		if x.Post != nil {
+			lg.walkStmt(x.Post, inner)
+		}
+	case *ast.RangeStmt:
+		lg.checkExpr(x.X, held, false)
+		lg.walkStmts(x.Body.List, held.clone())
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			lg.walkStmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			lg.checkExpr(x.Tag, held, false)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					lg.checkExpr(e, held, false)
+				}
+				lg.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			lg.walkStmt(x.Init, held)
+		}
+		lg.walkStmt(x.Assign, held)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lg.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					lg.walkStmt(cc.Comm, held.clone())
+				}
+				lg.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.BlockStmt:
+		lg.walkStmts(x.List, held)
+	case *ast.LabeledStmt:
+		lg.walkStmt(x.Stmt, held)
+	case *ast.GoStmt:
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			// A goroutine body runs later, under no inherited locks.
+			lg.walkStmts(lit.Body.List, lockHeld{})
+			for _, arg := range x.Call.Args {
+				lg.checkExpr(arg, held, false)
+			}
+			return
+		}
+		lg.checkExpr(x.Call, held, false)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						lg.checkExpr(v, held, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr validates guarded-field accesses and callee lock contracts
+// within one expression. write marks the top-level expression as a write
+// target (assignment LHS / IncDec operand).
+func (lg *lgCtx) checkExpr(e ast.Expr, held lockHeld, write bool) {
+	if e == nil {
+		return
+	}
+	top := ast.Unparen(e)
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// Closures inherit the locks held where they are created;
+			// synchronous callees (sort comparators, map callbacks) run
+			// under them. Goroutine bodies are handled in walkStmt.
+			lg.walkStmts(x.Body.List, held.clone())
+			return false
+		case *ast.SelectorExpr:
+			lg.checkFieldAccess(x, held, write && unwrapIndex(top) == x)
+		case *ast.CallExpr:
+			lg.checkCallContract(x, held)
+			// atomic-store style writes through a guarded field:
+			// x.f.Store(v) mutates f's pointee state.
+			if fun, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch fun.Sel.Name {
+				case "Store", "Swap", "CompareAndSwap":
+					if inner, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+						lg.checkFieldAccess(inner, held, true)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// unwrapIndex strips index expressions: `x.f[i]` writes into x.f.
+func unwrapIndex(e ast.Expr) ast.Expr {
+	for {
+		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok {
+			return ast.Unparen(e)
+		}
+		e = ix.X
+	}
+}
+
+// checkFieldAccess flags an access to a guarded field without its mutex.
+func (lg *lgCtx) checkFieldAccess(sel *ast.SelectorExpr, held lockHeld, write bool) {
+	pass := lg.pass
+	selection, ok := pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	fv, ok := selection.Obj().(*types.Var)
+	if !ok || !fv.IsField() {
+		return
+	}
+	fact := lg.guards[fv]
+	if fact == nil {
+		imported := new(guardedFact)
+		if !pass.ImportObjectFact(fv, imported) {
+			return
+		}
+		fact = imported
+	}
+	if fact.Write && !write {
+		return // lock-free reads by design (atomic snapshot)
+	}
+	switch held[fact.Mutex] {
+	case 'w':
+		return
+	case 'r':
+		if !write {
+			return
+		}
+		pass.Reportf(sel.Pos(), "unguarded",
+			"write to %s requires %s held exclusively, but only a read lock is held; take Lock or annotate //verdict:unguarded with why",
+			exprString(pass, sel), shortMutex(fact.Mutex))
+		return
+	}
+	kind := "access to"
+	if write {
+		kind = "write to"
+	}
+	pass.Reportf(sel.Pos(), "unguarded",
+		"%s %s without %s held (//verdict:guardedby contract); lock it, mark the function //verdict:locked %s, or annotate //verdict:unguarded with why",
+		kind, exprString(pass, sel), shortMutex(fact.Mutex), shortMutex(fact.Mutex))
+}
+
+// checkCallContract flags calls violating the callee's lock contract.
+func (lg *lgCtx) checkCallContract(call *ast.CallExpr, held lockHeld) {
+	pass := lg.pass
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return
+	}
+	fact := lg.fnFacts[fn]
+	if fact == nil {
+		imported := new(lockFnFact)
+		if !pass.ImportObjectFact(fn, imported) {
+			return
+		}
+		fact = imported
+	}
+	for _, m := range fact.Requires {
+		if held[m] == 0 {
+			pass.Reportf(call.Pos(), "unguarded",
+				"call to %s requires %s held (//verdict:locked contract) but it is not; lock first or annotate //verdict:unguarded with why",
+				fn.Name(), shortMutex(m))
+		}
+	}
+	for _, m := range fact.Acquires {
+		if held[m] != 0 {
+			pass.Reportf(call.Pos(), "unguarded",
+				"%s acquires %s, which is already held here — sync mutexes are not reentrant, this self-deadlocks; drop the outer lock or call the locked variant",
+				fn.Name(), shortMutex(m))
+		}
+	}
+}
+
+// shortMutex trims the package path off a mutex key for diagnostics.
+func shortMutex(key string) string {
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	// Drop the package segment too: "engine.Engine.mu" → "Engine.mu".
+	if parts := strings.Split(key, "."); len(parts) > 2 {
+		return strings.Join(parts[len(parts)-2:], ".")
+	}
+	return key
+}

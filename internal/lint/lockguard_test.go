@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"verdictdb/internal/lint"
+	"verdictdb/internal/lint/linttest"
+)
+
+func TestLockGuard(t *testing.T) {
+	linttest.Run(t, "internal/engine/lguard", lint.LockGuard)
+}
+
+// TestLockGuardCrossPackage proves the guarded-field and lock-contract
+// facts survive the .vetx gob round trip: every diagnostic fires in
+// internal/engine/lguardx off annotations declared in internal/engine/lgdep.
+func TestLockGuardCrossPackage(t *testing.T) {
+	linttest.Run(t, "internal/engine/lguardx", lint.LockGuard)
+}

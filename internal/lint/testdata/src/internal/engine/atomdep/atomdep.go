@@ -1,0 +1,16 @@
+// Dependency fixture for the atomicfield cross-package test: the atomic-use
+// fact on Gauge.N is exported here and must flag plain accesses in
+// internal/engine/atomfx after the gob round trip.
+package atomdep
+
+import "sync/atomic"
+
+// Gauge is a counter driven through sync/atomic.
+type Gauge struct {
+	N int64
+}
+
+// Inc bumps the gauge.
+func Inc(g *Gauge) {
+	atomic.AddInt64(&g.N, 1)
+}

@@ -1,0 +1,37 @@
+// Golden cases for the atomicfield analyzer: a field driven through the
+// sync/atomic free functions anywhere must be accessed atomically everywhere.
+package atomf
+
+import "sync/atomic"
+
+type counter struct {
+	hits   int64
+	misses int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want "plain access to c.hits"
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want "plain access to c.hits"
+}
+
+// misses is never touched atomically, so plain access is fine.
+func (c *counter) miss() {
+	c.misses++
+}
+
+func newCounter(seed int64) *counter {
+	c := &counter{}
+	c.hits = seed //verdict:nonatomic pre-publication: c is unshared until returned
+	return c
+}

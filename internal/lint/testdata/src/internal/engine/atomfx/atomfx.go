@@ -1,0 +1,18 @@
+// Dependent fixture for the atomicfield cross-package test: Gauge.N is
+// atomic per the fact imported from internal/engine/atomdep; nothing in
+// this package uses sync/atomic on it first.
+package atomfx
+
+import (
+	"sync/atomic"
+
+	"internal/engine/atomdep"
+)
+
+func racy(g *atomdep.Gauge) int64 {
+	return g.N // want "plain access to g.N"
+}
+
+func safe(g *atomdep.Gauge) int64 {
+	return atomic.LoadInt64(&g.N)
+}

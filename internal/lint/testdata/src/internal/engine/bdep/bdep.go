@@ -1,0 +1,17 @@
+// Dependency fixture for the budgetcharge cross-package test: ChargeRows
+// reaches the memGauge.add primitive, so its charges fact — carried across
+// the package boundary — lets growth sites in internal/engine/bcharge pass
+// without a charge of their own.
+package bdep
+
+type memGauge struct{ used int64 }
+
+func (g *memGauge) add(n int64) { g.used += n }
+
+// QueryCtx is a minimal mirror of the engine's per-query budget handle.
+type QueryCtx struct{ gauge memGauge }
+
+// ChargeRows charges n estimated bytes against the query budget.
+func ChargeRows(qc *QueryCtx, n int64) {
+	qc.gauge.add(n)
+}

@@ -1,0 +1,27 @@
+// Dependency fixture for the lockguard cross-package test: the guarded-field
+// and lock-contract facts exported here must survive the gob round trip and
+// bind access sites in internal/engine/lguardx. This package itself is
+// clean — every diagnostic the test expects fires in the dependent.
+package lgdep
+
+import "sync"
+
+// Registry is a shared name→id map guarded by Mu.
+type Registry struct {
+	Mu    sync.Mutex
+	Items map[string]int //verdict:guardedby Mu
+}
+
+// PutLocked stores an entry; the caller holds Mu.
+//
+//verdict:locked Mu
+func (r *Registry) PutLocked(k string, v int) {
+	r.Items[k] = v
+}
+
+// Put stores an entry under the lock.
+func (r *Registry) Put(k string, v int) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	r.Items[k] = v
+}

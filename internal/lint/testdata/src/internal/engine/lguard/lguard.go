@@ -1,0 +1,139 @@
+// Golden cases for the lockguard analyzer: fields annotated
+// //verdict:guardedby must only be touched with their mutex held, helpers
+// annotated //verdict:locked must only be called under the lock, and
+// locking a mutex the caller already holds self-deadlocks.
+package lguard
+
+import "sync"
+
+type cache struct {
+	free    int // unguarded sibling: never flagged
+	mu      sync.Mutex
+	entries map[string]int //verdict:guardedby mu
+}
+
+func (c *cache) get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[k]
+}
+
+func (c *cache) getRacy(k string) int {
+	c.free++
+	return c.entries[k] // want "access to c.entries without cache.mu held"
+}
+
+func (c *cache) putRacy(k string, v int) {
+	c.entries[k] = v // want "write to c.entries without cache.mu held"
+}
+
+func (c *cache) unlockTooEarly(k string) {
+	c.mu.Lock()
+	c.entries[k] = 1
+	c.mu.Unlock()
+	c.entries[k] = 2 // want "write to c.entries without cache.mu held"
+}
+
+func (c *cache) branchLocalLock(k string, fast bool) int {
+	if fast {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.entries[k]
+	}
+	// The branch above locked only its own clone of the lock-set.
+	return c.entries[k] // want "access to c.entries without cache.mu held"
+}
+
+// putLocked writes an entry; the caller holds c.mu.
+//
+//verdict:locked mu
+func (c *cache) putLocked(k string, v int) {
+	c.entries[k] = v
+}
+
+func (c *cache) put(k string, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(k, v)
+}
+
+func (c *cache) putForgot(k string, v int) {
+	c.putLocked(k, v) // want "call to putLocked requires cache.mu held"
+}
+
+func (c *cache) reenter(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.get(k) // want "get acquires cache.mu, which is already held here"
+}
+
+func (c *cache) spawn(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		// A goroutine body runs later, under no inherited locks.
+		c.entries[k] = 1 // want "write to c.entries without cache.mu held"
+	}()
+}
+
+func (c *cache) closureUnderLock(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Synchronous closures inherit the locks held where they are created.
+	visit := func() int { return c.entries[k] }
+	return visit()
+}
+
+func newCache() *cache {
+	c := &cache{}
+	c.entries = map[string]int{} //verdict:unguarded construction: c is unshared until returned
+	return c
+}
+
+type index struct {
+	mu   sync.RWMutex
+	rows []int //verdict:guardedby mu
+}
+
+func (ix *index) read(i int) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rows[i]
+}
+
+func (ix *index) upgradeRacy(i, v int) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ix.rows[i] = v // want "write to ix.rows requires index.mu held exclusively"
+}
+
+func (ix *index) write(i, v int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.rows[i] = v
+}
+
+type snap struct {
+	mu   sync.Mutex
+	head *int //verdict:guardedby mu:write reads are lock-free pointer loads
+}
+
+// peek reads without the lock: fine under the write-only contract.
+func (s *snap) peek() int { return *s.head }
+
+func (s *snap) swapRacy(p *int) {
+	s.head = p // want "write to s.head without snap.mu held"
+}
+
+func (s *snap) swap(p *int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.head = p
+}
+
+type broken struct {
+	//verdict:guardedby missing
+	data int // want "verdict:guardedby missing does not name a sync.Mutex/RWMutex field"
+}
+
+func use(b *broken) int { return b.data }

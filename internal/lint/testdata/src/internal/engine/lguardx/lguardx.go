@@ -1,0 +1,32 @@
+// Dependent fixture for the lockguard cross-package test: every diagnostic
+// here fires off facts imported from internal/engine/lgdep — nothing in this
+// package declares an annotation of its own.
+package lguardx
+
+import "internal/engine/lgdep"
+
+func racyRead(r *lgdep.Registry) int {
+	return r.Items["k"] // want "access to r.Items without Registry.Mu held"
+}
+
+func lockedRead(r *lgdep.Registry) int {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	return r.Items["k"]
+}
+
+func forgotLock(r *lgdep.Registry) {
+	r.PutLocked("k", 1) // want "call to PutLocked requires Registry.Mu held"
+}
+
+func heldCall(r *lgdep.Registry) {
+	r.Mu.Lock()
+	r.PutLocked("k", 1)
+	r.Mu.Unlock()
+}
+
+func reenter(r *lgdep.Registry) {
+	r.Mu.Lock()
+	defer r.Mu.Unlock()
+	r.Put("k", 1) // want "Put acquires Registry.Mu, which is already held here"
+}

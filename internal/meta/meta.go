@@ -101,8 +101,8 @@ type catalogState struct {
 type Catalog struct {
 	db drivers.DB
 
-	mu    sync.Mutex // serializes writers (Register/Drop/Reload)
-	state atomic.Pointer[catalogState]
+	mu    sync.Mutex                   // serializes writers (Register/Drop/Reload)
+	state atomic.Pointer[catalogState] //verdict:guardedby mu:write lock-free reads via Load; Store only under mu
 }
 
 // Open returns a catalog bound to db, creating the metadata table if absent
@@ -121,7 +121,7 @@ func Open(db drivers.DB) (*Catalog, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.state.Store(&catalogState{version: 1, infos: infos})
+	c.state.Store(&catalogState{version: 1, infos: infos}) //verdict:unguarded construction: c is not shared until Open returns
 	return c, nil
 }
 
@@ -234,6 +234,8 @@ func (c *Catalog) Reload() error {
 // removals rewrite the catalog table wholesale — metadata is tiny. If the
 // rewrite fails partway, the snapshot is resynced from whatever durable
 // state remains (under a bumped version) so memory and SQL never diverge.
+//
+//verdict:locked mu
 func (c *Catalog) commitLocked(version int64, infos []SampleInfo) error {
 	persist := func() error {
 		if err := c.db.Exec("drop table if exists " + MetaTable); err != nil {

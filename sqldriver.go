@@ -46,7 +46,7 @@ type dsnInstance struct {
 	// target is the DSN's progressive-execution target relative error;
 	// 0 means plain single-shot Query.
 	target float64
-	refs   int
+	refs   int //verdict:guardedby sqlDriver.mu
 }
 
 type sqlDriver struct {
