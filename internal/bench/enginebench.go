@@ -50,6 +50,10 @@ var engineBenchQueries = []struct{ name, sql string }{
 	{"E1Project", `
 		select g, x * (1 - y) as net, substr(d, 1, 4) as yr
 		from fact where flag <> 'N'`},
+	{"E1StringFilter", `
+		select count(*) as c, sum(x) as sx from fact where flag = 'A'`},
+	{"E1ProjectWide", `
+		select g, flag, x, y, d from fact`},
 	{"E1HashJoin", `
 		select d.cat, sum(f.x * (1 - f.y)) as rev, avg(f.x) as ax, count(*) as c
 		from fact f inner join dim d on f.g = d.g

@@ -40,6 +40,14 @@ type stringAdder interface {
 	addStr(s string)
 }
 
+// starAdder is the optional bulk count(*) entry point: addStarN(n) must
+// equal exactly n addStar calls. Only counting accumulators implement it —
+// sum/avg hold float state whose rounding depends on per-lane adds, and
+// byte-identity with the row path forbids reassociating those.
+type starAdder interface {
+	addStarN(n int64)
+}
+
 // newAccumulator builds an accumulator for the aggregate call fc, bound to
 // qc's memory gauge. Fixed-size sketch state (HLL registers, the quantile
 // reservoir) is charged here at creation; accumulators whose state scales
@@ -102,6 +110,7 @@ func (a *countAcc) add(v Value) error {
 	return nil
 }
 func (a *countAcc) addStar()         { a.n++ }
+func (a *countAcc) addStarN(n int64) { a.n += n }
 func (a *countAcc) addInt(int64)     { a.n++ }
 func (a *countAcc) addFloat(float64) { a.n++ }
 func (a *countAcc) addStr(string)    { a.n++ }

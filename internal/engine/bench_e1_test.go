@@ -96,6 +96,22 @@ func BenchmarkE1Project(b *testing.B) {
 		from fact where flag <> 'N'`)
 }
 
+// BenchmarkE1StringFilter is a selective string-equality scan over a
+// dictionary-encoded column: the literal resolves to a code probe per
+// chunk, so no string bytes are compared per lane.
+func BenchmarkE1StringFilter(b *testing.B) {
+	benchE1Query(b, e1Engine(b), `
+		select count(*) as c, sum(x) as sx from fact where flag = 'A'`)
+}
+
+// BenchmarkE1ProjectWide is an unfiltered five-column projection — the
+// pure late-materialization shape where every output cell used to pay a
+// boxed-row allocation.
+func BenchmarkE1ProjectWide(b *testing.B) {
+	benchE1Query(b, e1Engine(b), `
+		select g, flag, x, y, d from fact`)
+}
+
 // BenchmarkE1HashJoin is the tq-3/tq-5 shape: a big probe-side scan hash
 // joined against a dimension table, filtered and grouped downstream — the
 // path the vectorized join with late materialization targets.

@@ -123,7 +123,7 @@ func (e *Engine) execStmtInner(ctx context.Context, stmt sqlparser.Statement) (*
 			for i, c := range rs.Cols {
 				cols[i] = Column{Name: c, Type: inferColType(rs.Rows, i)}
 			}
-			if err := e.storeResult(s.Name, cols, rs.Rows, s.IfNotExists); err != nil {
+			if err := e.storeResult(qc, s.Name, cols, rs.Rows, s.IfNotExists); err != nil {
 				return nil, err
 			}
 			return &ResultSet{RowsScanned: qc.scanned}, nil
@@ -174,16 +174,15 @@ func (e *Engine) execInsert(ctx context.Context, s *sqlparser.InsertStmt) (*Resu
 			colIdx = append(colIdx, i)
 		}
 	}
+	qc := e.newQueryCtx(ctx, "")
 	var srcRows [][]Value
 	if s.Select != nil {
-		qc := e.newQueryCtx(ctx, "")
 		rs, err := execSelectWithOuter(qc, s.Select, nil)
 		if err != nil {
 			return nil, err
 		}
 		srcRows = rs.Rows
 	} else {
-		qc := e.newQueryCtx(ctx, "")
 		ev := &env{qc: qc}
 		for _, exprRow := range s.Rows {
 			row := make([]Value, len(exprRow))
@@ -208,7 +207,12 @@ func (e *Engine) execInsert(ctx context.Context, s *sqlparser.InsertStmt) (*Resu
 		}
 		out = append(out, row)
 	}
-	if err := e.InsertRows(s.Table, out); err != nil {
+	if err := e.insertRowsCtx(qc, s.Table, out); err != nil {
+		return nil, err
+	}
+	// Surface a seal-time budget overrun even when the insert was too short
+	// for the amortized per-row tick to poll.
+	if err := qc.pollAbort(); err != nil {
 		return nil, err
 	}
 	return &ResultSet{}, nil

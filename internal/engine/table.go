@@ -253,8 +253,17 @@ func (e *Engine) RowCount(name string) int {
 }
 
 // InsertRows bulk-appends rows to a table, normalizing Go convenience types.
-// Row width must match the table's column count.
+// Row width must match the table's column count. Context-free entry point:
+// seal-time encoding state is not charged to any query budget.
 func (e *Engine) InsertRows(name string, rows [][]Value) error {
+	return e.insertRowsCtx(nil, name, rows)
+}
+
+// insertRowsCtx is InsertRows under a query context: seal-time encoding
+// memory is charged to qc's gauge and long inserts poll for cancellation
+// and budget overrun. An abort mid-insert leaves the already-appended
+// prefix in place, matching the width-mismatch error path.
+func (e *Engine) insertRowsCtx(qc *queryCtx, name string, rows [][]Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t, ok := e.tables[strings.ToLower(name)]
@@ -262,6 +271,11 @@ func (e *Engine) InsertRows(name string, rows [][]Value) error {
 		return fmt.Errorf("engine: unknown table %q", name)
 	}
 	for _, r := range rows {
+		if qc != nil {
+			if err := qc.tick(); err != nil {
+				return err
+			}
+		}
 		if len(r) != len(t.Cols) {
 			return fmt.Errorf("engine: row width %d != %d columns of %q", len(r), len(t.Cols), name)
 		}
@@ -269,7 +283,7 @@ func (e *Engine) InsertRows(name string, rows [][]Value) error {
 		for i, v := range r {
 			nr[i] = Normalize(v)
 		}
-		t.appendRow(nr)
+		t.appendRow(nr, qc)
 	}
 	return nil
 }
@@ -286,7 +300,10 @@ func (e *Engine) snapshot(name string) (*Table, *colSource, error) {
 }
 
 // storeResult registers a table materialized from a query result (CTAS).
-func (e *Engine) storeResult(name string, cols []Column, rows [][]Value, ifNotExists bool) error {
+// Seal-time encoding memory is charged to qc; a budget overrun surfaces
+// before the table is registered, so an aborted CTAS leaves no catalog
+// entry behind.
+func (e *Engine) storeResult(qc *queryCtx, name string, cols []Column, rows [][]Value, ifNotExists bool) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	key := strings.ToLower(name)
@@ -299,7 +316,10 @@ func (e *Engine) storeResult(name string, cols []Column, rows [][]Value, ifNotEx
 	t := &Table{Name: name, Cols: cols}
 	t.initColIndex()
 	for _, r := range rows {
-		t.appendRow(r)
+		t.appendRow(r, qc)
+	}
+	if err := qc.pollAbort(); err != nil {
+		return err
 	}
 	e.tables[key] = t //verdict:nocharge catalog entry: result rows were charged by the query that produced them
 	return nil

@@ -578,38 +578,54 @@ func (g *joinGather) fillProbe(c *chunk, j int) {
 	case TInt:
 		cv.ints = make([]int64, n)
 		for k, i := range g.probeSel {
-			if i < 0 || (scv.nulls != nil && scv.nulls[i]) {
+			if i < 0 || scv.isNull(int(i)) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.ints[k] = scv.ints[i]
+			cv.ints[k] = scv.intAt(int(i))
 		}
 	case TFloat:
 		cv.floats = make([]float64, n)
 		for k, i := range g.probeSel {
-			if i < 0 || (scv.nulls != nil && scv.nulls[i]) {
+			if i < 0 || scv.isNull(int(i)) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.floats[k] = scv.floats[i]
+			cv.floats[k] = scv.floatAt(int(i))
 		}
 	case TString:
+		if scv.enc == encDict {
+			// Share the source dictionary and gather only codes: the
+			// join-output column stays coded, so downstream group-by/filter
+			// kernels keep their code-comparison fast paths.
+			cv.enc = encDict
+			cv.dict, cv.dictBoxed = scv.dict, scv.dictBoxed
+			cv.codes = make([]uint32, n)
+			for k, i := range g.probeSel {
+				if i < 0 || scv.isNull(int(i)) {
+					gatherNull(cv, n, k)
+					continue
+				}
+				cv.codes[k] = scv.codes[i]
+			}
+			return
+		}
 		cv.strs = make([]string, n)
 		for k, i := range g.probeSel {
-			if i < 0 || (scv.nulls != nil && scv.nulls[i]) {
+			if i < 0 || scv.isNull(int(i)) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.strs[k] = scv.strs[i]
+			cv.strs[k] = scv.strAt(int(i))
 		}
 	case TBool:
 		cv.bools = make([]bool, n)
 		for k, i := range g.probeSel {
-			if i < 0 || (scv.nulls != nil && scv.nulls[i]) {
+			if i < 0 || scv.isNull(int(i)) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.bools[k] = scv.bools[i]
+			cv.bools[k] = scv.boolAt(int(i))
 		}
 	default:
 		cv.anys = make([]Value, n)
@@ -648,11 +664,11 @@ func (g *joinGather) fillBuild(c *chunk, j int) {
 			}
 			ci, ri := unpackRef(r)
 			scv := getCol(ci)
-			if scv.nulls != nil && scv.nulls[ri] {
+			if scv.isNull(ri) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.ints[k] = scv.ints[ri]
+			cv.ints[k] = scv.intAt(ri)
 		}
 	case TFloat:
 		cv.floats = make([]float64, n)
@@ -663,13 +679,15 @@ func (g *joinGather) fillBuild(c *chunk, j int) {
 			}
 			ci, ri := unpackRef(r)
 			scv := getCol(ci)
-			if scv.nulls != nil && scv.nulls[ri] {
+			if scv.isNull(ri) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.floats[k] = scv.floats[ri]
+			cv.floats[k] = scv.floatAt(ri)
 		}
 	case TString:
+		// Build chunks can disagree on dictionaries (one per chunk), so the
+		// build side always materializes strings.
 		cv.strs = make([]string, n)
 		for k, r := range g.refs {
 			if r < 0 {
@@ -678,11 +696,11 @@ func (g *joinGather) fillBuild(c *chunk, j int) {
 			}
 			ci, ri := unpackRef(r)
 			scv := getCol(ci)
-			if scv.nulls != nil && scv.nulls[ri] {
+			if scv.isNull(ri) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.strs[k] = scv.strs[ri]
+			cv.strs[k] = scv.strAt(ri)
 		}
 	case TBool:
 		cv.bools = make([]bool, n)
@@ -693,11 +711,11 @@ func (g *joinGather) fillBuild(c *chunk, j int) {
 			}
 			ci, ri := unpackRef(r)
 			scv := getCol(ci)
-			if scv.nulls != nil && scv.nulls[ri] {
+			if scv.isNull(ri) {
 				gatherNull(cv, n, k)
 				continue
 			}
-			cv.bools[k] = scv.bools[ri]
+			cv.bools[k] = scv.boolAt(ri)
 		}
 	default:
 		cv.kind = TAny

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"sort"
 	"strconv"
+	"strings"
 
 	"verdictdb/internal/sqlparser"
 )
@@ -39,6 +41,15 @@ type vec struct {
 	bools  []bool
 	anys   []Value
 	nulls  []bool
+
+	// dict is non-nil for a dictionary-coded string vector: kind is
+	// TString, strs is nil, and lane k holds dict[codes[k]] (dictBoxed
+	// pre-boxes each entry; nulls stays per-lane). Borrowed straight from
+	// an encDict chunk-column, so equality/range kernels can compare codes
+	// instead of bytes; everything else reads through str/laneValue.
+	dict      []string
+	dictBoxed []Value
+	codes     []uint32
 }
 
 func (v *vec) isNull(k int) bool {
@@ -46,6 +57,15 @@ func (v *vec) isNull(k int) bool {
 		return v.anys[k] == nil
 	}
 	return v.nulls != nil && v.nulls[k]
+}
+
+// str returns string lane k (callers have excluded NULL lanes and non-string
+// kinds), reading through the dictionary when the vector is coded.
+func (v *vec) str(k int) string {
+	if v.dict != nil {
+		return v.dict[v.codes[k]]
+	}
+	return v.strs[k]
 }
 
 // laneValue boxes lane k back into a dynamic Value.
@@ -62,6 +82,9 @@ func laneValue(v *vec, k int) Value {
 	case TFloat:
 		return v.floats[k]
 	case TString:
+		if v.dict != nil {
+			return v.dictBoxed[v.codes[k]]
+		}
 		return v.strs[k]
 	case TBool:
 		return v.bools[k]
@@ -86,7 +109,7 @@ func laneFloat(v *vec, k int) (float64, bool) {
 func laneStr(v *vec, k int) string {
 	switch v.kind {
 	case TString:
-		return v.strs[k]
+		return v.str(k)
 	case TInt:
 		return strconv.FormatInt(v.ints[k], 10)
 	case TFloat:
@@ -131,6 +154,7 @@ type vbuf struct {
 	bools  []bool
 	anys   []Value
 	nulls  []bool
+	codes  []uint32
 
 	// litLanes caches how many lanes a vnLit has already broadcast into
 	// this buffer: the constant never changes, so later chunks reslice
@@ -165,6 +189,9 @@ func (vc *vecCtx) out(id int, kind ColType, lanes int) *vec {
 	b := &vc.bufs[id]
 	b.v.kind = kind
 	b.v.ints, b.v.floats, b.v.strs, b.v.bools, b.v.anys, b.v.nulls = nil, nil, nil, nil, nil, nil
+	// Clear any dictionary view a previous chunk left behind: the buffer is
+	// reused across chunks and a stale dict would silently re-code lanes.
+	b.v.dict, b.v.dictBoxed, b.v.codes = nil, nil, nil
 	switch kind {
 	case TInt:
 		if cap(b.ints) < lanes {
@@ -237,6 +264,14 @@ func (n *vnCol) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
 	// where late materialization actually copies values, and only for
 	// columns some kernel references.
 	cv := ch.col(n.col)
+	switch cv.enc {
+	case encDict:
+		return n.evalDict(vc, cv, sel, laneCount(ch, sel)), nil
+	case encRLE:
+		return n.evalRLE(vc, cv, sel, laneCount(ch, sel)), nil
+	case encDelta:
+		return n.evalDelta(vc, cv, sel, laneCount(ch, sel)), nil
+	}
 	if sel == nil {
 		// Borrow the chunk's storage wholesale — zero copies.
 		b := &vc.bufs[n.id]
@@ -280,6 +315,141 @@ func (n *vnCol) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
 		}
 	}
 	return ov, nil
+}
+
+// evalDict surfaces an encDict column as a dictionary-coded vector: the
+// dict is shared and only codes are gathered under a selection, so a string
+// column costs 4 bytes/lane to touch regardless of string length.
+func (n *vnCol) evalDict(vc *vecCtx, cv *colVec, sel []int32, lanes int) *vec {
+	b := &vc.bufs[n.id]
+	if sel == nil {
+		b.v = vec{kind: TString, nulls: cv.nulls,
+			dict: cv.dict, dictBoxed: cv.dictBoxed, codes: cv.codes}
+		return &b.v
+	}
+	if cap(b.codes) < lanes {
+		b.codes = make([]uint32, lanes)
+	}
+	codes := b.codes[:lanes]
+	b.v = vec{kind: TString, dict: cv.dict, dictBoxed: cv.dictBoxed, codes: codes}
+	for k, i := range sel {
+		codes[k] = cv.codes[i]
+	}
+	if cv.nulls != nil {
+		var nulls []bool
+		for k, i := range sel {
+			if cv.nulls[i] {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[k] = true
+			}
+		}
+	}
+	return &b.v
+}
+
+// evalRLE decodes an encRLE column for generic kernels. The selection walk
+// exploits that sel is always ascending: one forward run pointer serves the
+// whole gather, O(lanes + runs) instead of a binary search per lane.
+func (n *vnCol) evalRLE(vc *vecCtx, cv *colVec, sel []int32, lanes int) *vec {
+	ov := vc.out(n.id, cv.kind, lanes)
+	var nulls []bool
+	if sel == nil {
+		start := 0
+		for r := 0; r < len(cv.runEnds); r++ {
+			end := int(cv.runEnds[r])
+			if cv.nulls != nil && cv.nulls[r] {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				for i := start; i < end; i++ {
+					nulls[i] = true
+				}
+				start = end
+				continue
+			}
+			switch cv.kind {
+			case TInt:
+				v := cv.ints[r]
+				for i := start; i < end; i++ {
+					ov.ints[i] = v
+				}
+			case TFloat:
+				v := cv.floats[r]
+				for i := start; i < end; i++ {
+					ov.floats[i] = v
+				}
+			case TString:
+				v := cv.strs[r]
+				for i := start; i < end; i++ {
+					ov.strs[i] = v
+				}
+			case TBool:
+				v := cv.bools[r]
+				for i := start; i < end; i++ {
+					ov.bools[i] = v
+				}
+			}
+			start = end
+		}
+		return ov
+	}
+	r := 0
+	for k := 0; k < lanes; k++ {
+		i := int(sel[k])
+		for int(cv.runEnds[r]) <= i {
+			r++
+		}
+		if cv.nulls != nil && cv.nulls[r] {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		switch cv.kind {
+		case TInt:
+			ov.ints[k] = cv.ints[r]
+		case TFloat:
+			ov.floats[k] = cv.floats[r]
+		case TString:
+			ov.strs[k] = cv.strs[r]
+		case TBool:
+			ov.bools[k] = cv.bools[r]
+		}
+	}
+	return ov
+}
+
+// evalDelta unpacks an encDelta column into a dense int vector.
+func (n *vnCol) evalDelta(vc *vecCtx, cv *colVec, sel []int32, lanes int) *vec {
+	ov := vc.out(n.id, TInt, lanes)
+	var nulls []bool
+	if sel == nil {
+		for i := 0; i < lanes; i++ {
+			if cv.nulls != nil && cv.nulls[i] {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[i] = true
+				continue
+			}
+			ov.ints[i] = cv.deltaAt(i)
+		}
+		return ov
+	}
+	for k, i := range sel {
+		if cv.nulls != nil && cv.nulls[i] {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		ov.ints[k] = cv.deltaAt(int(i))
+	}
+	return ov
 }
 
 type vnLit struct {
@@ -590,7 +760,7 @@ func (n *vnCmp) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
 				setNull(k)
 				continue
 			}
-			a, b := lv.strs[k], rv.strs[k]
+			a, b := lv.str(k), rv.str(k)
 			switch {
 			case a < b:
 				ov.bools[k] = test(-1)
@@ -608,6 +778,314 @@ func (n *vnCmp) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
 			}
 			ov.bools[k] = test(Compare(laneValue(lv, k), laneValue(rv, k)))
 		}
+	}
+	return ov, nil
+}
+
+// vnCmpLit is a column-vs-literal comparison specialized for encoded
+// storage chunks. Dictionary columns probe the sorted dict once per chunk
+// and compare codes (a literal missing from the dictionary decides =/<>
+// for every non-NULL lane without touching a byte of string data); RLE
+// columns evaluate the predicate once per run; delta columns fuse decode
+// and compare. Join-output chunks, raw columns, and kind/literal pairings
+// whose comparison is not the plain typed one delegate to the embedded
+// generic node, which replicates row-path semantics for every case.
+type vnCmpLit struct {
+	id   int
+	op   string
+	col  int
+	lit  Value
+	test func(int) bool // cmpTest(op), built once at plan time
+	fb   vnode
+}
+
+func (n *vnCmpLit) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	if ch.gather != nil {
+		return n.fb.eval(vc, ch, sel)
+	}
+	cv := &ch.cols[n.col]
+	switch cv.enc {
+	case encDict:
+		if s, ok := n.lit.(string); ok {
+			return n.evalDict(vc, cv, ch, sel, s), nil
+		}
+	case encRLE:
+		if ov, ok := n.evalRLE(vc, cv, ch, sel); ok {
+			return ov, nil
+		}
+	case encDelta:
+		if f, ok := numeric(n.lit); ok {
+			return n.evalDelta(vc, cv, ch, sel, f), nil
+		}
+	}
+	return n.fb.eval(vc, ch, sel)
+}
+
+// codeBounds reduces op against the dictionary boundary pair to interval
+// membership over codes: the result for code c is (lo <= c < hi) != neg. lb
+// is the first code whose string sorts >= the literal, ub the first sorting
+// > it — the sorted dictionary makes every comparison a code comparison
+// (dict[c] < lit ⟺ c < lb, dict[c] = lit ⟺ lb <= c < ub, empty when the
+// literal misses the dictionary). A plain interval instead of a predicate
+// closure: this runs once per chunk on the scan hot path.
+func codeBounds(op string, lb, ub uint32) (lo, hi uint32, neg bool) {
+	const top = ^uint32(0)
+	switch op {
+	case "=":
+		return lb, ub, false
+	case "<>":
+		return lb, ub, true
+	case "<":
+		return 0, lb, false
+	case "<=":
+		return 0, ub, false
+	case ">":
+		return ub, top, false
+	}
+	return lb, top, false // ">="
+}
+
+func (n *vnCmpLit) evalDict(vc *vecCtx, cv *colVec, ch *chunk, sel []int32, s string) *vec {
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	lb := sort.SearchStrings(cv.dict, s)
+	ub := lb
+	if ub < len(cv.dict) && cv.dict[ub] == s {
+		ub++
+	}
+	lo, hi, neg := codeBounds(n.op, uint32(lb), uint32(ub))
+	var nulls []bool
+	hasNull := cv.nulls != nil
+	if sel == nil {
+		for i := 0; i < lanes; i++ {
+			if hasNull && cv.nulls[i] {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[i] = true
+				continue
+			}
+			c := cv.codes[i]
+			ov.bools[i] = (c >= lo && c < hi) != neg
+		}
+		return ov
+	}
+	for k, i := range sel {
+		if hasNull && cv.nulls[i] {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		c := cv.codes[i]
+		ov.bools[k] = (c >= lo && c < hi) != neg
+	}
+	return ov
+}
+
+// evalRLE evaluates the comparison once per run — O(runs + lanes) however
+// long the runs are. ok is false (delegate to the generic node) when the
+// column kind and literal kind do not compare through the plain typed path.
+func (n *vnCmpLit) evalRLE(vc *vecCtx, cv *colVec, ch *chunk, sel []int32) (*vec, bool) {
+	var litF float64
+	var litS string
+	var litB bool
+	switch cv.kind {
+	case TInt, TFloat:
+		f, ok := numeric(n.lit)
+		if !ok {
+			return nil, false
+		}
+		litF = f
+	case TString:
+		s, ok := n.lit.(string)
+		if !ok {
+			return nil, false
+		}
+		litS = s
+	case TBool:
+		b, ok := n.lit.(bool)
+		if !ok {
+			return nil, false
+		}
+		litB = b
+	default:
+		return nil, false
+	}
+	// Per-run verdicts: 0 false, 1 true, 2 NULL. Storage chunks hold at
+	// most chunkRows rows, so runs fit a stack array.
+	var rres [chunkRows]uint8
+	test := n.test
+	for r := 0; r < len(cv.runEnds); r++ {
+		if cv.nulls != nil && cv.nulls[r] {
+			rres[r] = 2
+			continue
+		}
+		var c int
+		switch cv.kind {
+		case TInt:
+			c = cmpFloat64(float64(cv.ints[r]), litF)
+		case TFloat:
+			c = cmpFloat64(cv.floats[r], litF)
+		case TString:
+			c = strings.Compare(cv.strs[r], litS)
+		case TBool:
+			c = cmpBools(cv.bools[r], litB)
+		}
+		if test(c) {
+			rres[r] = 1
+		}
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	var nulls []bool
+	// The output buffer is reused across chunks, so every lane must be
+	// written — false runs included.
+	if sel == nil {
+		start := 0
+		for r := 0; r < len(cv.runEnds); r++ {
+			end := int(cv.runEnds[r])
+			switch rres[r] {
+			case 1:
+				for i := start; i < end; i++ {
+					ov.bools[i] = true
+				}
+			case 2:
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				for i := start; i < end; i++ {
+					nulls[i] = true
+				}
+			default:
+				for i := start; i < end; i++ {
+					ov.bools[i] = false
+				}
+			}
+			start = end
+		}
+		return ov, true
+	}
+	r := 0
+	for k := 0; k < lanes; k++ {
+		i := int(sel[k])
+		for int(cv.runEnds[r]) <= i {
+			r++
+		}
+		switch rres[r] {
+		case 1:
+			ov.bools[k] = true
+		case 2:
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+		default:
+			ov.bools[k] = false
+		}
+	}
+	return ov, true
+}
+
+func (n *vnCmpLit) evalDelta(vc *vecCtx, cv *colVec, ch *chunk, sel []int32, litF float64) *vec {
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	test := n.test
+	var nulls []bool
+	hasNull := cv.nulls != nil
+	if sel == nil {
+		for i := 0; i < lanes; i++ {
+			if hasNull && cv.nulls[i] {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[i] = true
+				continue
+			}
+			ov.bools[i] = test(cmpFloat64(float64(cv.deltaAt(i)), litF))
+		}
+		return ov
+	}
+	for k, i := range sel {
+		if hasNull && cv.nulls[i] {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		ov.bools[k] = test(cmpFloat64(float64(cv.deltaAt(int(i))), litF))
+	}
+	return ov
+}
+
+// cmpBools orders bools like Compare: false < true.
+func cmpBools(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	}
+	return 1
+}
+
+// vnInLit is IN over a column with an all-literal list, specialized for
+// dictionary columns: the list probes the dict once per chunk into a
+// boolean LUT indexed by code, so membership is one table load per lane.
+// Non-string literals are dropped from the LUT — Compare never equates a
+// string with any other type, so they cannot match a string column. Raw
+// and join chunks delegate to the embedded generic vnIn.
+type vnInLit struct {
+	id   int
+	col  int
+	strs []string
+	not  bool
+	fb   vnode
+}
+
+func (n *vnInLit) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
+	if ch.gather != nil {
+		return n.fb.eval(vc, ch, sel)
+	}
+	cv := &ch.cols[n.col]
+	if cv.enc != encDict {
+		return n.fb.eval(vc, ch, sel)
+	}
+	// Storage chunks hold <= chunkRows rows, so dicts fit a stack LUT.
+	var lut [chunkRows]bool
+	for _, s := range n.strs {
+		if c := sort.SearchStrings(cv.dict, s); c < len(cv.dict) && cv.dict[c] == s {
+			lut[c] = true
+		}
+	}
+	lanes := laneCount(ch, sel)
+	ov := vc.out(n.id, TBool, lanes)
+	var nulls []bool
+	hasNull := cv.nulls != nil
+	if sel == nil {
+		for i := 0; i < lanes; i++ {
+			if hasNull && cv.nulls[i] {
+				if nulls == nil {
+					nulls = vc.nullbuf(n.id, lanes)
+				}
+				nulls[i] = true
+				continue
+			}
+			ov.bools[i] = lut[cv.codes[i]] != n.not
+		}
+		return ov, nil
+	}
+	for k, i := range sel {
+		if hasNull && cv.nulls[i] {
+			if nulls == nil {
+				nulls = vc.nullbuf(n.id, lanes)
+			}
+			nulls[k] = true
+			continue
+		}
+		ov.bools[k] = lut[cv.codes[i]] != n.not
 	}
 	return ov, nil
 }
@@ -748,8 +1226,8 @@ func (n *vnBetween) eval(vc *vecCtx, ch *chunk, sel []int32) (*vec, error) {
 				setNull(k)
 				continue
 			}
-			s := xv.strs[k]
-			in := s >= lo.strs[k] && s <= hi.strs[k]
+			s := xv.str(k)
+			in := s >= lo.str(k) && s <= hi.str(k)
 			ov.bools[k] = in != n.not
 		}
 	default:
@@ -820,7 +1298,7 @@ func lanesEqual(a, b *vec, k int) bool {
 		return cmpFloat64(af, bf) == 0
 	}
 	if a.kind == TString && b.kind == TString {
-		return a.strs[k] == b.strs[k]
+		return a.str(k) == b.str(k)
 	}
 	return Compare(laneValue(a, k), laneValue(b, k)) == 0
 }
@@ -1001,7 +1479,24 @@ func (c *vecCompiler) lowerVec(e sqlparser.Expr) vnode {
 			if l == nil || r == nil {
 				return nil
 			}
-			return &vnCmp{id: c.newID(), op: x.Op, l: l, r: r}
+			generic := &vnCmp{id: c.newID(), op: x.Op, l: l, r: r}
+			// Column-vs-literal shapes get the encoding-aware kernel, with
+			// the generic node embedded for chunks it cannot handle. A
+			// literal on the left mirrors the operator.
+			if cn, ok := l.(*vnCol); ok {
+				if ln, ok := r.(*vnLit); ok && ln.val != nil {
+					return &vnCmpLit{id: c.newID(), op: x.Op, col: cn.col, lit: ln.val,
+						test: cmpTest(x.Op), fb: generic}
+				}
+			}
+			if cn, ok := r.(*vnCol); ok {
+				if ln, ok := l.(*vnLit); ok && ln.val != nil {
+					op := flipCmp(x.Op)
+					return &vnCmpLit{id: c.newID(), op: op, col: cn.col, lit: ln.val,
+						test: cmpTest(op), fb: generic}
+				}
+			}
+			return generic
 		case "+", "-", "*", "/", "%":
 			if _, isInterval := x.R.(*sqlparser.IntervalExpr); isInterval {
 				return nil // date arithmetic: scalar fallback
@@ -1047,7 +1542,27 @@ func (c *vecCompiler) lowerVec(e sqlparser.Expr) vnode {
 			}
 			list[i] = ln
 		}
-		return &vnIn{id: c.newID(), x: xn, list: list, not: x.Not}
+		generic := &vnIn{id: c.newID(), x: xn, list: list, not: x.Not}
+		// Column IN (all literals): dictionary LUT kernel. Only the string
+		// literals go in the probe set — nothing else can equal a string.
+		if cn, ok := xn.(*vnCol); ok {
+			var strs []string
+			allLit := true
+			for _, le := range x.List {
+				lit, ok := le.(*sqlparser.Literal)
+				if !ok {
+					allLit = false
+					break
+				}
+				if s, isStr := lit.Val.(string); isStr {
+					strs = append(strs, s)
+				}
+			}
+			if allLit {
+				return &vnInLit{id: c.newID(), col: cn.col, strs: strs, not: x.Not, fb: generic}
+			}
+		}
+		return generic
 	case *sqlparser.LikeExpr:
 		xn, pn := c.lower(x.X), c.lower(x.Pattern)
 		if xn == nil || pn == nil {

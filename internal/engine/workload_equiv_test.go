@@ -181,6 +181,29 @@ func TestInstaVectorizedRowViewEquivalence(t *testing.T) {
 	}, workload.InstaQueries)
 }
 
+// The same equivalence bar with every sealed chunk force-encoded: loading
+// happens after the knob is set, so each workload column takes whichever
+// encoding the override assigns it rather than what thresholds would pick.
+func TestTPCHForcedEncodingsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Setenv("ENGINE_FORCE_ENCODINGS", "1")
+	vecRowViewEquivalence(t, func(e *engine.Engine) error {
+		return workload.LoadTPCH(e, 0.02, 42)
+	}, workload.TPCHQueries)
+}
+
+func TestInstaForcedEncodingsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Setenv("ENGINE_FORCE_ENCODINGS", "1")
+	vecRowViewEquivalence(t, func(e *engine.Engine) error {
+		return workload.LoadInsta(e, 0.02, 42)
+	}, workload.InstaQueries)
+}
+
 func TestTPCHParallelSerialEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
