@@ -114,16 +114,19 @@ func EngineBench(w io.Writer, outPath string, iters int) (*EngineBenchReport, er
 	}
 	fmt.Fprintf(w, "## Engine scan→filter→aggregate microbenchmarks (%d rows, %d iters)\n",
 		engineBenchRows, iters)
-	for _, q := range engineBenchQueries {
-		if _, err := eng.Query(q.sql); err != nil { // warmup
-			return nil, fmt.Errorf("%s: %w", q.name, err)
+	measure := func(name, sql string, pre func()) error {
+		if _, err := eng.Query(sql); err != nil { // warmup
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
 		for i := 0; i < iters; i++ {
-			if _, err := eng.Query(q.sql); err != nil {
-				return nil, fmt.Errorf("%s: %w", q.name, err)
+			if pre != nil {
+				pre()
+			}
+			if _, err := eng.Query(sql); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
 		elapsed := time.Since(start)
@@ -132,11 +135,41 @@ func EngineBench(w io.Writer, outPath string, iters int) (*EngineBenchReport, er
 		allocsPerOp := float64(after.Mallocs-before.Mallocs) / float64(iters)
 		bytesPerOp := float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
 		rep.Benchmarks = append(rep.Benchmarks, EngineBenchResult{
-			Name: q.name, Rows: engineBenchRows, Iters: iters,
+			Name: name, Rows: engineBenchRows, Iters: iters,
 			NsPerOp: perOp, AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
 		})
 		fmt.Fprintf(w, "%-16s %12.0f ns/op %12.0f allocs/op %14.0f B/op\n",
-			q.name, perOp, allocsPerOp, bytesPerOp)
+			name, perOp, allocsPerOp, bytesPerOp)
+		return nil
+	}
+	for _, q := range engineBenchQueries {
+		if err := measure(q.name, q.sql, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Disk-backed variants: flush every sealed chunk into a scratch segment
+	// directory and re-measure the grouped-aggregate scan with a warm chunk
+	// cache (steady state: one cache hit per chunk) and cold (cache dropped
+	// before each scan, so every chunk pays checksum + decode from disk).
+	dir, err := os.MkdirTemp("", "verdict-bench-seg-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := eng.AttachDataDir(dir); err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	if err := eng.Flush(); err != nil {
+		return nil, err
+	}
+	scanSQL := engineBenchQueries[0].sql // E1GroupedAgg: the scan-dominated shape
+	if err := measure("E1DiskScanWarm", scanSQL, nil); err != nil {
+		return nil, err
+	}
+	if err := measure("E1DiskScanCold", scanSQL, eng.DropChunkCache); err != nil {
+		return nil, err
 	}
 	if outPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -73,11 +73,15 @@ func benchE1Query(b *testing.B, e *Engine, sql string) {
 
 // BenchmarkE1GroupedAgg is the tq-1 shape: scan, date filter, group by two
 // low-cardinality columns, several sums/avgs.
-func BenchmarkE1GroupedAgg(b *testing.B) {
-	benchE1Query(b, e1Engine(b), `
+// e1GroupedAggSQL is the tq-1 scan shape, shared with the disk-backed
+// variants so in-memory and segment-backed numbers are directly comparable.
+const e1GroupedAggSQL = `
 		select g, flag, sum(x) as sx, sum(x * (1 - y)) as sxy,
 		       avg(x) as ax, count(*) as c
-		from fact where d <= '1998-09-02' group by g, flag`)
+		from fact where d <= '1998-09-02' group by g, flag`
+
+func BenchmarkE1GroupedAgg(b *testing.B) {
+	benchE1Query(b, e1Engine(b), e1GroupedAggSQL)
 }
 
 // BenchmarkE1FilterAgg is the tq-6 shape: selective filter, global sum.
@@ -121,4 +125,44 @@ func BenchmarkE1HashJoin(b *testing.B) {
 		from fact f inner join dim d on f.g = d.g
 		where f.d <= '1998-09-02' and f.flag <> 'N'
 		group by d.cat`)
+}
+
+// e1DiskEngine flushes the benchmark dataset into a scratch data directory
+// so every sealed chunk is segment-backed (the tail stays resident).
+func e1DiskEngine(b *testing.B) *Engine {
+	b.Helper()
+	e := e1Engine(b)
+	if _, err := e.AttachDataDir(b.TempDir()); err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+// BenchmarkE1DiskScanWarm scans segment-backed chunks through a warm chunk
+// cache — the steady-state overhead of the storage layer is one cache hit
+// per chunk per column scan.
+func BenchmarkE1DiskScanWarm(b *testing.B) {
+	benchE1Query(b, e1DiskEngine(b), e1GroupedAggSQL)
+}
+
+// BenchmarkE1DiskScanCold drops the chunk cache before every iteration, so
+// each scan re-reads and decodes every chunk from the segment file (page
+// cache stays warm; this isolates checksum + decode + slot-swap cost).
+func BenchmarkE1DiskScanCold(b *testing.B) {
+	e := e1DiskEngine(b)
+	if _, err := e.Query(e1GroupedAggSQL); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.DropChunkCache()
+		if _, err := e.Query(e1GroupedAggSQL); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

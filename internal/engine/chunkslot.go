@@ -1,0 +1,281 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"verdictdb/internal/storage"
+)
+
+// chunkSlot is one position in a table's sealed-chunk sequence: either a
+// resident *chunk or a reference into an on-disk segment loaded on demand.
+// The slot carries enough metadata (row count, per-column zone bounds) for
+// planning and pruning without touching chunk data, so zone-map pruning of
+// a terabyte table reads only manifests and footers.
+type chunkSlot interface {
+	// slotRows is the chunk's row count.
+	slotRows() int
+	// slotZone returns the column's zone summary (min, max over non-NULL
+	// values; nil, nil for all-NULL columns).
+	slotZone(col int) (Value, Value)
+	// load returns the chunk, reading and decoding it from its segment if
+	// not resident. qc may be nil (context-free table utilities).
+	load(qc *queryCtx) (*chunk, error)
+}
+
+// Resident chunks are their own slot: load is the identity, so pure
+// in-memory tables pay nothing for the indirection.
+
+func (c *chunk) slotRows() int { return c.n }
+
+func (c *chunk) slotZone(col int) (Value, Value) {
+	cv := &c.cols[col]
+	return cv.min, cv.max
+}
+
+func (c *chunk) load(qc *queryCtx) (*chunk, error) { return c, nil }
+
+// segSlot is a chunk spilled to a segment file: loads go through the data
+// directory's shared chunk cache, and a per-slot mutex collapses concurrent
+// cold loads of the same chunk into one disk read.
+type segSlot struct {
+	seg   *storage.Segment
+	idx   int
+	cache *chunkCache
+
+	mu sync.Mutex // serializes cold loads of this slot
+}
+
+func (s *segSlot) slotRows() int { return s.seg.Meta.Chunks[s.idx].NRows }
+
+func (s *segSlot) slotZone(col int) (Value, Value) {
+	cm := &s.seg.Meta.Chunks[s.idx].Cols[col]
+	return cm.Min, cm.Max
+}
+
+func (s *segSlot) load(qc *queryCtx) (*chunk, error) {
+	if ch := s.cache.get(s); ch != nil {
+		return ch, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch := s.cache.get(s); ch != nil {
+		return ch, nil // a concurrent loader beat us to it
+	}
+	sc, err := s.seg.ReadChunk(s.idx)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading chunk %d of %s: %w", s.idx, s.seg.Path, err)
+	}
+	ch := chunkFromStorage(sc)
+	s.cache.put(s, ch)
+	return ch, nil
+}
+
+// chunkCache is the data directory's LRU over decoded segment chunks. Its
+// resident bytes are accounted on the same memGauge type the per-query
+// budget uses, but the policy differs deliberately: going over capacity
+// evicts the least-recently-used chunks instead of aborting anything —
+// eviction is always possible because sealed chunks are immutable and
+// reloadable. In-flight scans holding an evicted chunk keep it alive via
+// ordinary GC reachability; the cache only controls how long chunks stay
+// warm.
+type chunkCache struct {
+	mu    sync.Mutex
+	cap   int64
+	gauge memGauge // resident decoded bytes (estimate, see chunkBytes)
+
+	ll    *list.List                 //verdict:guardedby mu
+	items map[*segSlot]*list.Element //verdict:guardedby mu
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry struct {
+	slot  *segSlot
+	ch    *chunk
+	bytes int64
+}
+
+// defaultChunkCacheBytes bounds decoded chunks kept warm per data
+// directory when the application sets no explicit capacity.
+const defaultChunkCacheBytes = 256 << 20
+
+func newChunkCache(capBytes int64) *chunkCache {
+	if capBytes <= 0 {
+		capBytes = defaultChunkCacheBytes
+	}
+	return &chunkCache{cap: capBytes, ll: list.New(), items: map[*segSlot]*list.Element{}}
+}
+
+func (c *chunkCache) get(s *segSlot) *chunk {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[s]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).ch
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+func (c *chunkCache) put(s *segSlot, ch *chunk) {
+	bytes := chunkBytes(ch)
+	if bytes > c.cap {
+		return // oversized chunk: serve it, never cache it
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[s]; ok {
+		return
+	}
+	c.gauge.add(bytes)
+	c.items[s] = c.ll.PushFront(&cacheEntry{slot: s, ch: ch, bytes: bytes}) //verdict:nocharge cache residency is accounted on the cache's own gauge (the add above), evicted not aborted
+	for c.gauge.used.Load() > c.cap {
+		back := c.ll.Back()
+		if back == nil || back == c.ll.Front() {
+			break // never evict the entry just inserted
+		}
+		c.evictLocked(back)
+	}
+}
+
+//verdict:locked mu
+func (c *chunkCache) evictLocked(el *list.Element) {
+	en := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, en.slot)
+	c.gauge.add(-en.bytes)
+	c.evictions.Add(1)
+}
+
+// drop removes one slot's entry (compaction retires its segment).
+func (c *chunkCache) drop(s *segSlot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[s]; ok {
+		c.evictLocked(el)
+	}
+}
+
+// dropAll empties the cache — the cold-scan knob benches and tests use.
+func (c *chunkCache) dropAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Back(); el != nil; el = c.ll.Back() {
+		c.evictLocked(el)
+	}
+}
+
+// setCap adjusts capacity, evicting down to the new bound.
+func (c *chunkCache) setCap(capBytes int64) {
+	if capBytes <= 0 {
+		capBytes = defaultChunkCacheBytes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capBytes
+	for c.gauge.used.Load() > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.evictLocked(back)
+	}
+}
+
+// ChunkCacheStats reports the chunk cache's cumulative counters and
+// current residency.
+type ChunkCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Resident  int64 // estimated decoded bytes currently cached
+	Entries   int
+}
+
+func (c *chunkCache) stats() ChunkCacheStats {
+	c.mu.Lock()
+	entries := len(c.items)
+	resident := c.gauge.used.Load()
+	c.mu.Unlock()
+	return ChunkCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Resident:  resident,
+		Entries:   entries,
+	}
+}
+
+// chunkBytes estimates a decoded chunk's resident footprint for cache
+// accounting: vector backing arrays plus string bytes plus per-box
+// overhead, matching the flat-cost philosophy of the query gauge.
+func chunkBytes(ch *chunk) int64 {
+	b := int64(64)
+	for j := range ch.cols {
+		c := &ch.cols[j]
+		b += int64(len(c.ints))*8 + int64(len(c.floats))*8 +
+			int64(len(c.bools)) + int64(len(c.nulls)) +
+			int64(len(c.codes))*4 + int64(len(c.runEnds))*4 +
+			int64(len(c.packed))*8 + int64(len(c.anys))*bytesPerValue
+		for _, s := range c.strs {
+			b += int64(len(s)) + 16
+		}
+		for _, s := range c.dict {
+			b += int64(len(s)) + 16 + bytesPerValue // entry + shared box
+		}
+	}
+	return b
+}
+
+// chunkToStorage mirrors a sealed chunk into the storage package's neutral
+// form. Slice headers are shared, not copied — the same bytes that serve
+// in-memory scans are what the segment writer serializes.
+func chunkToStorage(ch *chunk) *storage.Chunk {
+	sc := &storage.Chunk{NRows: ch.n, Cols: make([]storage.Col, len(ch.cols))}
+	for j := range ch.cols {
+		c := &ch.cols[j]
+		sc.Cols[j] = storage.Col{
+			Kind: uint8(c.kind), Enc: uint8(c.enc),
+			Nulls: c.nulls, Min: c.min, Max: c.max,
+			Ints: c.ints, Floats: c.floats, Strs: c.strs, Bools: c.bools, Anys: c.anys,
+			Dict: c.dict, Codes: c.codes, RunEnds: c.runEnds,
+			Base: c.base, Width: c.width, Packed: c.packed,
+		}
+	}
+	return sc
+}
+
+// chunkFromStorage rebuilds the engine chunk from its stored form,
+// re-deriving the state the format deliberately omits (shared dictionary
+// boxes; dict zone bounds reuse them, byte-identical to seal time).
+func chunkFromStorage(sc *storage.Chunk) *chunk {
+	ch := &chunk{n: sc.NRows, cols: make([]colVec, len(sc.Cols))}
+	for j := range sc.Cols {
+		c := &sc.Cols[j]
+		cv := &ch.cols[j]
+		cv.kind = ColType(c.Kind)
+		cv.enc = colEnc(c.Enc)
+		cv.nulls = c.Nulls
+		cv.min, cv.max = c.Min, c.Max
+		cv.ints, cv.floats, cv.strs, cv.bools, cv.anys = c.Ints, c.Floats, c.Strs, c.Bools, c.Anys
+		cv.dict, cv.codes, cv.runEnds = c.Dict, c.Codes, c.RunEnds
+		cv.base, cv.width, cv.packed = c.Base, c.Width, c.Packed
+		if cv.enc == encDict {
+			boxed := make([]Value, len(cv.dict))
+			for i, s := range cv.dict {
+				boxed[i] = s
+			}
+			cv.dictBoxed = boxed
+			if len(boxed) > 0 {
+				cv.min, cv.max = boxed[0], boxed[len(boxed)-1]
+			}
+		}
+	}
+	return ch
+}

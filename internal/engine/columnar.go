@@ -655,50 +655,83 @@ func (c *chunk) rows() [][]Value {
 }
 
 // colSource is one query's snapshot of a table: the (possibly pruned)
-// sealed chunks plus the open tail rows. It is created per scan, so its
-// lazily built fields need no locking — everything that touches them runs
-// before the morsel fan-out.
+// sealed chunk slots plus the open tail rows. Slots are resident chunks or
+// segment-backed references (chunkslot.go); resolving a slot can therefore
+// read from disk and fail. The snapshot is created per scan, so its lazily
+// built fields need no locking — everything that touches them runs before
+// the morsel fan-out.
 type colSource struct {
-	sealed []*chunk
+	sealed []chunkSlot
 	tail   [][]Value
 	nrows  int
 
-	scan []*chunk  // sealed + ephemeral tail chunk, built on first use
-	mat  [][]Value // cached row materialization for the fallback path
+	slots []chunkSlot // sealed + ephemeral tail chunk slot, built on first use
+	scan  []*chunk    // resolved chunks, cached by resolveAll
+	mat   [][]Value   // cached row materialization for the fallback path
 }
 
-// scanChunks returns the chunk sequence the vectorized path iterates:
-// every sealed chunk followed by an ephemeral chunk over the tail rows.
-func (s *colSource) scanChunks() []*chunk {
-	if s.scan != nil {
-		return s.scan
+// scanSlots returns the slot sequence the vectorized path iterates: every
+// sealed slot followed by an ephemeral chunk over the tail rows. Resolving
+// slots is left to the caller so parallel scans can load lazily, chunk by
+// chunk, under their own cancellation polls.
+func (s *colSource) scanSlots() []chunkSlot {
+	if s.slots != nil {
+		return s.slots
 	}
 	if len(s.tail) == 0 {
-		s.scan = s.sealed
-		return s.scan
+		s.slots = s.sealed
+		return s.slots
 	}
 	w := len(s.tail[0])
-	s.scan = make([]*chunk, 0, len(s.sealed)+1)
-	//verdict:nocharge chunk-pointer snapshot: one pointer per existing chunk, data already owned by the table
-	s.scan = append(s.scan, s.sealed...)
-	s.scan = append(s.scan, buildChunk(s.tail, w, true, false)) //verdict:nocharge one ephemeral chunk over rows the table already stores
-	return s.scan
+	s.slots = make([]chunkSlot, 0, len(s.sealed)+1)
+	//verdict:nocharge slot-pointer snapshot: one pointer per existing chunk, data already owned by the table
+	s.slots = append(s.slots, s.sealed...)
+	s.slots = append(s.slots, buildChunk(s.tail, w, true, false)) //verdict:nocharge one ephemeral chunk over rows the table already stores
+	return s.slots
 }
 
-// materialize returns the snapshot as boxed rows for the interpreted
+// resolveAll loads every slot and caches the chunk sequence — the
+// all-at-once path for consumers that need the whole relation resident
+// (join inputs, fallback materialization).
+func (s *colSource) resolveAll(qc *queryCtx) ([]*chunk, error) {
+	if s.scan != nil {
+		return s.scan, nil
+	}
+	slots := s.scanSlots()
+	out := make([]*chunk, len(slots)) //verdict:nocharge chunk-pointer slice; loaded chunk bytes are tracked by the chunk cache
+	for i, sl := range slots {
+		if err := qc.pollAbort(); err != nil {
+			return nil, err
+		}
+		ch, err := sl.load(qc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ch
+	}
+	s.scan = out
+	return out, nil
+}
+
+// materializeCtx returns the snapshot as boxed rows for the interpreted
 // fallback path: cached chunk row views concatenated with the live tail.
-func (s *colSource) materialize() [][]Value {
+func (s *colSource) materializeCtx(qc *queryCtx) ([][]Value, error) {
 	if s.mat != nil || s.nrows == 0 {
-		return s.mat
+		return s.mat, nil
+	}
+	// The tail needs no special casing: scanSlots appends it as an
+	// ephemeral chunk that keeps the live tail rows as its row view.
+	chunks, err := s.resolveAll(qc)
+	if err != nil {
+		return nil, err
 	}
 	out := make([][]Value, 0, s.nrows)
-	//verdict:nopoll boxing-only materialization; the interpreted consumers poll per row
-	for _, ch := range s.sealed {
+	//verdict:nopoll boxing-only materialization; chunk loads poll in resolveAll and the interpreted consumers poll per row
+	for _, ch := range chunks {
 		out = append(out, ch.rows()...)
 	}
-	out = append(out, s.tail...)
 	s.mat = out
-	return out
+	return out, nil
 }
 
 // appendRow adds one already-normalized row to the table, sealing (and
@@ -732,7 +765,11 @@ func (t *Table) ScanColumn(col int, fn func(v Value) error) error {
 		return fmt.Errorf("engine: column %d out of range for %q", col, t.Name)
 	}
 	//verdict:nopoll exported table utility with no query context; consumers (baselines, loaders) run outside query execution
-	for _, ch := range t.sealed {
+	for _, sl := range t.sealed {
+		ch, err := sl.load(nil)
+		if err != nil {
+			return err
+		}
 		cv := &ch.cols[col]
 		for i := 0; i < ch.n; i++ {
 			if err := fn(cv.value(i)); err != nil {
@@ -754,7 +791,11 @@ func (t *Table) ScanColumn(col int, fn func(v Value) error) error {
 func (t *Table) ForEachRow(fn func(row []Value) error) error {
 	buf := make([]Value, len(t.Cols))
 	//verdict:nopoll exported table utility with no query context; consumers (baselines, loaders) run outside query execution
-	for _, ch := range t.sealed {
+	for _, sl := range t.sealed {
+		ch, err := sl.load(nil)
+		if err != nil {
+			return err
+		}
 		for i := 0; i < ch.n; i++ {
 			for j := range ch.cols {
 				buf[j] = ch.cols[j].value(i)

@@ -10,6 +10,19 @@ import (
 // zone maps with chunk pruning, row-view materialization, column-name
 // ambiguity surfacing, and consistency under concurrent appends.
 
+// sealedChunk resolves table tbl's i-th sealed slot to its decoded chunk —
+// resident in memory, or loaded from a segment when ENGINE_SPILL moved it
+// to disk (white-box encoding assertions hold either way: the storage
+// layer round-trips chunk layouts byte for byte).
+func sealedChunk(t testing.TB, tbl *Table, i int) *chunk {
+	t.Helper()
+	ch, err := tbl.sealed[i].load(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
 func TestChunkSealBoundaries(t *testing.T) {
 	e := NewSeeded(1)
 	if err := e.CreateTable("t", []Column{
@@ -34,11 +47,11 @@ func TestChunkSealBoundaries(t *testing.T) {
 		t.Fatalf("row count %d / %d", tbl.NumRows(), e.RowCount("t"))
 	}
 	// Sealed chunks carry typed vectors and seal-time zone summaries.
-	c0 := tbl.sealed[0].cols[0]
+	c0 := sealedChunk(t, tbl, 0).cols[0]
 	if c0.kind != TInt || c0.min != int64(0) || c0.max != int64(chunkRows-1) {
 		t.Fatalf("chunk 0 zone: kind %v min %v max %v", c0.kind, c0.min, c0.max)
 	}
-	c1 := tbl.sealed[1].cols[0]
+	c1 := sealedChunk(t, tbl, 1).cols[0]
 	if c1.min != int64(chunkRows) || c1.max != int64(2*chunkRows-1) {
 		t.Fatalf("chunk 1 zone: min %v max %v", c1.min, c1.max)
 	}
@@ -78,11 +91,11 @@ func TestChunkMixedTypesAndNulls(t *testing.T) {
 	if len(tbl.sealed) != 1 {
 		t.Fatalf("expected 1 sealed chunk, got %d", len(tbl.sealed))
 	}
-	if tbl.sealed[0].cols[0].kind != TAny {
-		t.Fatalf("mixed column should store boxed, got %v", tbl.sealed[0].cols[0].kind)
+	if sealedChunk(t, tbl, 0).cols[0].kind != TAny {
+		t.Fatalf("mixed column should store boxed, got %v", sealedChunk(t, tbl, 0).cols[0].kind)
 	}
 	// The row view must reproduce the original dynamic types bit for bit.
-	got := tbl.sealed[0].rows()
+	got := sealedChunk(t, tbl, 0).rows()
 	for i := range rows {
 		if got[i][0] != rows[i][0] {
 			t.Fatalf("row %d: %v (%T) vs %v (%T)", i, got[i][0], got[i][0], rows[i][0], rows[i][0])

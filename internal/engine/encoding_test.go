@@ -71,7 +71,7 @@ func TestSealPicksEncodings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch := tbl.sealed[0]
+	ch := sealedChunk(t, tbl, 0)
 	if got := ch.cols[0].enc; got != encDict {
 		t.Fatalf("s: enc %d, want dict", got)
 	}
@@ -121,7 +121,7 @@ func TestDictHighCardinalityFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	tbl, _ := e.Lookup("t")
-	cv := &tbl.sealed[0].cols[0]
+	cv := &sealedChunk(t, tbl, 0).cols[0]
 	if cv.enc != encNone || cv.strs == nil || cv.dict != nil {
 		t.Fatalf("high-cardinality strings should stay raw: enc %d", cv.enc)
 	}
@@ -147,7 +147,7 @@ func TestBoxedColumnsNeverEncode(t *testing.T) {
 		t.Fatal(err)
 	}
 	tbl, _ := e.Lookup("t")
-	for j, cv := range tbl.sealed[0].cols {
+	for j, cv := range sealedChunk(t, tbl, 0).cols {
 		if cv.kind != TAny || cv.enc != encNone {
 			t.Fatalf("col %d: kind %v enc %d, want boxed raw", j, cv.kind, cv.enc)
 		}
@@ -207,7 +207,7 @@ func mustSealed(t *testing.T, e *Engine, name string) *chunk {
 	if len(tbl.sealed) == 0 {
 		t.Fatalf("%s: no sealed chunks", name)
 	}
-	return tbl.sealed[0]
+	return sealedChunk(t, tbl, 0)
 }
 
 func TestDeltaNegativesAndNulls(t *testing.T) {

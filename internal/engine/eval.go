@@ -44,14 +44,11 @@ func (r *relation) numRows() int {
 	return len(r.rows)
 }
 
-// materialize returns the relation as boxed rows, converting a columnar
-// source through the cached chunk row views on first use.
-func (r *relation) materialize() [][]Value {
-	if r.rows == nil && r.src != nil {
-		r.rows = r.src.materialize()
-	}
-	return r.rows
-}
+// materialize returns the relation's boxed rows. Columnar sources are
+// converted (and charged, and possibly read from disk) only through
+// queryCtx.materialize — by the time this is called on a source-backed
+// relation, that conversion has already happened.
+func (r *relation) materialize() [][]Value { return r.rows }
 
 func (r *relation) buildIndex() {
 	if r.bare != nil {

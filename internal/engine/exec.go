@@ -292,7 +292,11 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 				return nil, err
 			}
 		} else {
-			rows, err := filterRows(qc, baseEnv, qc.materialize(rel), sel.Where, wherePred, wherePure)
+			mat, err := qc.materialize(rel)
+			if err != nil {
+				return nil, err
+			}
+			rows, err := filterRows(qc, baseEnv, mat, sel.Where, wherePred, wherePure)
 			if err != nil {
 				return nil, err
 			}
@@ -329,7 +333,11 @@ func execSelectWithOuter(qc *queryCtx, sel *sqlparser.SelectStmt, outer *env) (*
 			}
 		}
 		if !projDone {
-			rows, ferr := filterRows(qc, baseEnv, qc.materialize(rel), sel.Where, wherePred, wherePure)
+			mat, merr := qc.materialize(rel)
+			if merr != nil {
+				return nil, merr
+			}
+			rows, ferr := filterRows(qc, baseEnv, mat, sel.Where, wherePred, wherePure)
 			if ferr != nil {
 				return nil, ferr
 			}

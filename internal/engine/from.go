@@ -123,7 +123,11 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	// output; everything else — impure ON, subqueries in ON, no equi-key —
 	// keeps the row path below.
 	if len(leftKeys) > 0 && !qc.eng.noVec.Load() {
-		if vj := buildVecJoin(qc, left, right, combined, je.Type, leftKeys, rightKeys, residual); vj != nil {
+		vj, err := buildVecJoin(qc, left, right, combined, je.Type, leftKeys, rightKeys, residual)
+		if err != nil {
+			return nil, err
+		}
+		if vj != nil {
 			src, err := vj.run()
 			if err != nil {
 				return nil, err
@@ -134,8 +138,12 @@ func joinRelations(qc *queryCtx, left, right *relation, je *sqlparser.JoinExpr, 
 	}
 
 	// Row path: read both sides through the boxed row view.
-	qc.materialize(left)
-	qc.materialize(right)
+	if _, err := qc.materialize(left); err != nil {
+		return nil, err
+	}
+	if _, err := qc.materialize(right); err != nil {
+		return nil, err
+	}
 
 	// Evaluation environments for key extraction.
 	lEnv := &env{qc: qc, rel: left, outer: outer}

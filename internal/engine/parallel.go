@@ -459,7 +459,10 @@ func (p *scanPlan) run(rel *relation) ([]*entry, error) {
 			return vp.run(rel.src)
 		}
 	}
-	rows := p.qc.materialize(rel)
+	rows, err := p.qc.materialize(rel)
+	if err != nil {
+		return nil, err
+	}
 	nw := 1
 	if p.pure {
 		nw = p.eng.scanWorkers(len(rows))

@@ -23,9 +23,19 @@ type Table struct {
 	Name string
 	Cols []Column
 
-	sealed []*chunk  // immutable chunkRows-row columnar chunks
-	tail   [][]Value // open rows not yet sealed (< chunkRows)
+	sealed []chunkSlot // immutable chunkRows-row columnar chunks, resident or segment-backed
+	tail   [][]Value   // open rows not yet sealed (< chunkRows)
 	nrows  int
+
+	// Persistence bookkeeping (persist.go), mutated only by the flusher
+	// under the engine write lock. persisted counts the leading sealed
+	// slots durably backed by segment files; flushedTailSeals/Len identify
+	// the tail generation (sealing replaces the tail slice, so the sealed
+	// count names the generation) and length mirrored by the on-disk tail
+	// segment.
+	persisted        int
+	flushedTailSeals int
+	flushedTailLen   int
 
 	// colIdx maps lowercase column names to positions. The engine builds it
 	// when it registers a table (columns are immutable afterwards); tables
@@ -105,6 +115,10 @@ type Engine struct {
 	// memBudget is the default per-query memory budget in bytes (0 = none);
 	// see SetMemoryBudget and WithMemoryBudget in lifecycle.go.
 	memBudget atomic.Int64
+
+	// dd is the optional persistent data directory (persist.go); nil for
+	// pure in-memory engines.
+	dd atomic.Pointer[dataDir]
 }
 
 // SetParallelism caps the number of workers a single scan may use. n = 1
@@ -264,6 +278,14 @@ func (e *Engine) InsertRows(name string, rows [][]Value) error {
 // and budget overrun. An abort mid-insert leaves the already-appended
 // prefix in place, matching the width-mismatch error path.
 func (e *Engine) insertRowsCtx(qc *queryCtx, name string, rows [][]Value) error {
+	err := e.insertRowsLocked(qc, name, rows)
+	// Spill (when forced) only after the engine lock is released — the
+	// flush path takes dataDir.mu before Engine.mu.
+	e.maybeSpill()
+	return err
+}
+
+func (e *Engine) insertRowsLocked(qc *queryCtx, name string, rows [][]Value) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t, ok := e.tables[strings.ToLower(name)]
@@ -304,6 +326,12 @@ func (e *Engine) snapshot(name string) (*Table, *colSource, error) {
 // before the table is registered, so an aborted CTAS leaves no catalog
 // entry behind.
 func (e *Engine) storeResult(qc *queryCtx, name string, cols []Column, rows [][]Value, ifNotExists bool) error {
+	err := e.storeResultLocked(qc, name, cols, rows, ifNotExists)
+	e.maybeSpill() // after e.mu is released; see insertRowsCtx
+	return err
+}
+
+func (e *Engine) storeResultLocked(qc *queryCtx, name string, cols []Column, rows [][]Value, ifNotExists bool) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	key := strings.ToLower(name)

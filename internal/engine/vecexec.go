@@ -66,20 +66,24 @@ func (vp *vecPlan) newCtx() *vecCtx {
 // run executes the vectorized plan over the snapshot, morsel-parallel when
 // the snapshot is large enough.
 func (vp *vecPlan) run(src *colSource) ([]*entry, error) {
-	chunks := src.scanChunks()
+	slots := src.scanSlots()
 	nw := vp.p.eng.scanWorkers(src.nrows)
-	if nw > len(chunks) {
-		nw = len(chunks)
+	if nw > len(slots) {
+		nw = len(slots)
 	}
 	var cg *chunkGroups
 	if nw > 1 {
 		results := make([]*chunkGroups, nw)
-		err := runChunks(nw, len(chunks), func(w, lo, hi int) error {
+		err := runChunks(nw, len(slots), func(w, lo, hi int) error {
 			vc := vp.newCtx()
 			g := newChunkGroups()
 			results[w] = g
-			for _, ch := range chunks[lo:hi] {
+			for _, sl := range slots[lo:hi] {
 				if err := vp.p.qc.pollAbort(); err != nil {
+					return err
+				}
+				ch, err := sl.load(vp.p.qc)
+				if err != nil {
 					return err
 				}
 				if err := vp.scanChunk(g, vc, ch); err != nil {
@@ -99,8 +103,12 @@ func (vp *vecPlan) run(src *colSource) ([]*entry, error) {
 	} else {
 		cg = newChunkGroups()
 		vc := vp.newCtx()
-		for _, ch := range chunks {
+		for _, sl := range slots {
 			if err := vp.p.qc.pollAbort(); err != nil {
+				return nil, err
+			}
+			ch, err := sl.load(vp.p.qc)
+			if err != nil {
 				return nil, err
 			}
 			if err := vp.scanChunk(cg, vc, ch); err != nil {
@@ -362,10 +370,10 @@ func buildVecSelect(qc *queryCtx, rel *relation, outCols []outCol, wherePred com
 }
 
 func (vs *vecSelect) run(src *colSource) ([][]Value, error) {
-	chunks := src.scanChunks()
+	slots := src.scanSlots()
 	nw := vs.eng.scanWorkers(src.nrows)
-	if nw > len(chunks) {
-		nw = len(chunks)
+	if nw > len(slots) {
+		nw = len(slots)
 	}
 	if nw <= 1 {
 		vc := newVecCtx(vs.nbuf, 0, 0, len(vs.items))
@@ -374,11 +382,14 @@ func (vs *vecSelect) run(src *colSource) ([][]Value, error) {
 		// costs more in copies and GC scanning than the slack.
 		vs.qc.chargeMem(int64(src.nrows) * 2 * bytesPerValue)
 		out := make([][]Value, 0, src.nrows)
-		for _, ch := range chunks {
+		for _, sl := range slots {
 			if err := vs.qc.pollAbort(); err != nil {
 				return nil, err
 			}
-			var err error
+			ch, err := sl.load(vs.qc)
+			if err != nil {
+				return nil, err
+			}
 			out, err = vs.projectChunk(out, vc, ch)
 			if err != nil {
 				return nil, err
@@ -387,19 +398,22 @@ func (vs *vecSelect) run(src *colSource) ([][]Value, error) {
 		return out, nil
 	}
 	outs := make([][][]Value, nw)
-	err := runChunks(nw, len(chunks), func(w, lo, hi int) error {
+	err := runChunks(nw, len(slots), func(w, lo, hi int) error {
 		vc := newVecCtx(vs.nbuf, 0, 0, len(vs.items))
 		span := 0
-		for _, ch := range chunks[lo:hi] {
-			span += ch.n
+		for _, sl := range slots[lo:hi] {
+			span += sl.slotRows()
 		}
 		vs.qc.chargeMem(int64(span) * 2 * bytesPerValue)
 		out := make([][]Value, 0, span)
-		for _, ch := range chunks[lo:hi] {
+		for _, sl := range slots[lo:hi] {
 			if err := vs.qc.pollAbort(); err != nil {
 				return err
 			}
-			var err error
+			ch, err := sl.load(vs.qc)
+			if err != nil {
+				return err
+			}
 			out, err = vs.projectChunk(out, vc, ch)
 			if err != nil {
 				return err

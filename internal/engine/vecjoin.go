@@ -79,21 +79,22 @@ type vecJoin struct {
 }
 
 // relationChunks exposes a relation as columnar chunks: base-table scans
-// (and join outputs) already are; row-major relations (derived tables, row
-// path outputs) are chunkified in place, keeping the boxed rows as the
-// chunk row views.
-func relationChunks(r *relation) []*chunk {
+// resolve their source slots (loading segment-backed chunks); row-major
+// relations (derived tables, row path outputs) are chunkified in place,
+// keeping the boxed rows as the chunk row views.
+func relationChunks(qc *queryCtx, r *relation) ([]*chunk, error) {
 	if r.rows == nil && r.src != nil {
-		return r.src.scanChunks()
+		return r.src.resolveAll(qc)
 	}
-	return chunkifyRows(r.materialize(), r.width())
+	return chunkifyRows(r.rows, r.width()), nil
 }
 
 // buildVecJoin lowers an equi-join for the vectorized path, or returns nil
 // when anything about it (impure or uncompilable keys, unlowerable
-// residual) needs the row path.
+// residual) needs the row path. The error is a real failure — a
+// segment-backed input chunk that could not be loaded.
 func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.JoinType,
-	leftKeys, rightKeys []sqlparser.Expr, residual sqlparser.Expr) *vecJoin {
+	leftKeys, rightKeys []sqlparser.Expr, residual sqlparser.Expr) (*vecJoin, error) {
 	eng := qc.eng
 	vj := &vecJoin{qc: qc, eng: eng, jt: jt, leftW: left.width(), rightW: right.width()}
 
@@ -101,7 +102,7 @@ func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.Jo
 	for _, k := range leftKeys {
 		n := lc.lower(k)
 		if n == nil {
-			return nil
+			return nil, nil
 		}
 		vj.lKeyNodes = append(vj.lKeyNodes, n) //verdict:nocharge plan-size: one vnode per join key
 	}
@@ -110,7 +111,7 @@ func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.Jo
 	for _, k := range rightKeys {
 		n := rc.lower(k)
 		if n == nil {
-			return nil
+			return nil, nil
 		}
 		vj.rKeyNodes = append(vj.rKeyNodes, n) //verdict:nocharge plan-size: one vnode per join key
 	}
@@ -119,28 +120,35 @@ func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.Jo
 	// Row-compiled fallbacks: lowering succeeded, so these compile too —
 	// the nil checks are belt and braces.
 	if vj.lKeyFns = compileKeyFns(eng, left, leftKeys); vj.lKeyFns == nil {
-		return nil
+		return nil, nil
 	}
 	if vj.rKeyFns = compileKeyFns(eng, right, rightKeys); vj.rKeyFns == nil {
-		return nil
+		return nil, nil
 	}
 
 	if residual != nil {
 		cc := &vecCompiler{eng: eng, rel: combined}
 		vj.resFull, vj.resConjs = cc.lowerWhere(residual)
 		if vj.resFull == nil {
-			return nil
+			return nil, nil
 		}
 		vj.resNbuf = cc.nbuf
 		fn, _, ok := compileExpr(eng, combined, residual)
 		if !ok {
-			return nil
+			return nil, nil
 		}
 		vj.resFn = fn
 	}
 
-	vj.probeChunks = relationChunks(left)
-	vj.buildChunks = relationChunks(right)
+	var err error
+	vj.probeChunks, err = relationChunks(qc, left)
+	if err != nil {
+		return nil, err
+	}
+	vj.buildChunks, err = relationChunks(qc, right)
+	if err != nil {
+		return nil, err
+	}
 	for _, ch := range vj.probeChunks {
 		vj.nProbe += ch.n
 	}
@@ -162,7 +170,7 @@ func buildVecJoin(qc *queryCtx, left, right, combined *relation, jt sqlparser.Jo
 		}
 		vj.buildKinds[j] = kind
 	}
-	return vj
+	return vj, nil
 }
 
 // run executes the join: serial hash build, then morsel-parallel probe with
@@ -187,10 +195,12 @@ func (vj *vecJoin) run() (*colSource, error) {
 		}
 	}
 	n := 0
-	for _, ch := range out {
+	slots := make([]chunkSlot, len(out)) //verdict:nocharge slot-pointer headers over join-output chunks charged during the probe
+	for i, ch := range out {
 		n += ch.n
+		slots[i] = ch
 	}
-	return &colSource{sealed: out, nrows: n}, nil
+	return &colSource{sealed: slots, nrows: n}, nil
 }
 
 func (vj *vecJoin) insert(key []byte, ref int64) {

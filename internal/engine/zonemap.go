@@ -146,12 +146,12 @@ func pruneChunks(t *Table, src *colSource, preds []rangePred) *colSource {
 			continue
 		}
 		//verdict:nopoll zone-map metadata only: O(1) min/max check per chunk, no row work
-		for i, ch := range src.sealed {
+		for i, sl := range src.sealed {
 			if keep != nil && !keep[i] {
 				continue
 			}
-			cv := &ch.cols[col]
-			if !chunkMaySatisfy(cv.min, cv.max, p.op, p.lit) {
+			min, max := sl.slotZone(col)
+			if !chunkMaySatisfy(min, max, p.op, p.lit) {
 				if keep == nil {
 					keep = make([]bool, len(src.sealed))
 					for j := range keep {
@@ -165,12 +165,12 @@ func pruneChunks(t *Table, src *colSource, preds []rangePred) *colSource {
 	if keep == nil {
 		return src
 	}
-	kept := make([]*chunk, 0, len(src.sealed))
+	kept := make([]chunkSlot, 0, len(src.sealed))
 	n := len(src.tail)
-	for i, ch := range src.sealed {
+	for i, sl := range src.sealed {
 		if keep[i] {
-			kept = append(kept, ch)
-			n += ch.n
+			kept = append(kept, sl)
+			n += sl.slotRows()
 		}
 	}
 	return &colSource{sealed: kept, tail: src.tail, nrows: n}

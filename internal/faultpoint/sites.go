@@ -26,17 +26,33 @@ const (
 	// SiteCoreMergePrefix fires while merging per-block partial answers
 	// into a prefix answer.
 	SiteCoreMergePrefix = "core.merge.prefix"
+	// SiteStorageSegmentWrite fires before a segment file is created/written.
+	SiteStorageSegmentWrite = "storage.segment.write"
+	// SiteStorageSegmentFsync fires before a written segment is fsynced.
+	SiteStorageSegmentFsync = "storage.segment.fsync"
+	// SiteStorageSegmentRead fires per chunk load from a segment file.
+	SiteStorageSegmentRead = "storage.segment.read"
+	// SiteStorageSegmentChecksum fires at chunk checksum verification; an
+	// injected error is reported as corruption (quarantine path).
+	SiteStorageSegmentChecksum = "storage.segment.checksum"
+	// SiteStorageManifestWrite fires before a manifest save commits.
+	SiteStorageManifestWrite = "storage.manifest.write"
 )
 
 // sites is the lookup form of the catalog above.
 var sites = map[string]bool{
-	SiteEngineQuery:           true,
-	SiteEngineScanChunk:       true,
-	SiteEngineScanRows:        true,
-	SiteEngineJoinBuild:       true,
-	SiteEngineJoinProbe:       true,
-	SiteCoreProgressivePrefix: true,
-	SiteCoreMergePrefix:       true,
+	SiteEngineQuery:            true,
+	SiteEngineScanChunk:        true,
+	SiteEngineScanRows:         true,
+	SiteEngineJoinBuild:        true,
+	SiteEngineJoinProbe:        true,
+	SiteCoreProgressivePrefix:  true,
+	SiteCoreMergePrefix:        true,
+	SiteStorageSegmentWrite:    true,
+	SiteStorageSegmentFsync:    true,
+	SiteStorageSegmentRead:     true,
+	SiteStorageSegmentChecksum: true,
+	SiteStorageManifestWrite:   true,
 }
 
 // IsSite reports whether name is a registered fault-injection site.

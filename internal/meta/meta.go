@@ -214,6 +214,76 @@ func (c *Catalog) Drop(sampleTable string) error {
 	return c.commitLocked(st.version, next)
 }
 
+// Reconcile re-verifies every registered sample against the underlying
+// database and repairs the catalog: samples whose table has disappeared are
+// dropped, and samples whose row count disagrees with the recorded one
+// (e.g. after crash recovery quarantined a damaged segment) get their
+// SampleRows and per-block counts recounted from the table itself. blockCol
+// names the scramble-block column (passed in to keep meta independent of
+// the sampling package); pass "" to skip block-count repair.
+//
+// The fast path — every sample present with a matching count — costs one
+// count(*) per sample and leaves the catalog version untouched.
+func (c *Catalog) Reconcile(blockCol string) error {
+	infos, _ := c.Snapshot()
+	for _, si := range infos {
+		rs, err := c.db.Query("select count(*) from " + si.SampleTable)
+		if err != nil {
+			// The sample table did not survive (dropped behind our back or
+			// lost to recovery): retire its record rather than serving plans
+			// that reference a missing table.
+			if derr := c.Drop(si.SampleTable); derr != nil {
+				return derr
+			}
+			continue
+		}
+		n, _ := engine.ToInt(rs.Rows[0][0])
+		if n == si.SampleRows {
+			continue
+		}
+		si.SampleRows = n
+		if si.BlockRows > 0 && blockCol != "" {
+			counts, err := c.recountBlocks(si.SampleTable, blockCol)
+			if err != nil {
+				return err
+			}
+			si.BlockCounts = counts
+		}
+		if err := c.Register(si); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recountBlocks reads per-block row counts back from a sample table
+// (1-based block ids; ids the random assignment left empty report 0).
+func (c *Catalog) recountBlocks(table, blockCol string) ([]int64, error) {
+	rs, err := c.db.Query(fmt.Sprintf("select %s, count(*) from %s group by %s",
+		blockCol, table, blockCol))
+	if err != nil {
+		return nil, err
+	}
+	byID := map[int64]int64{}
+	var maxID int64
+	for _, r := range rs.Rows {
+		id, ok := engine.ToInt(r[0])
+		if !ok || id < 1 {
+			continue
+		}
+		n, _ := engine.ToInt(r[1])
+		byID[id] = n
+		if id > maxID {
+			maxID = id
+		}
+	}
+	counts := make([]int64, maxID)
+	for i := range counts {
+		counts[i] = byID[int64(i+1)]
+	}
+	return counts, nil
+}
+
 // Reload re-reads the metadata table from the underlying database —
 // for catalogs whose SQL state was changed behind this process's back —
 // and bumps the version so dependent caches refresh.

@@ -71,17 +71,26 @@ func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.Sampl
 		blockSel = fmt.Sprintf(", %s as %s", expr, BlockCol)
 	}
 
+	// The sampled batch rows are staged in a scratch table first: the row and
+	// per-block counts then come from the (small) delta alone, instead of
+	// register's full recount over the whole sample — append cost stays
+	// O(batch), not O(sample). Creation keeps using register so the two paths
+	// cross-check each other (see TestAppendBatchIncrementalCountsMatchRecount).
+	stage := si.SampleTable + "_verdict_stage"
+	if err := b.exec("drop table if exists " + stage); err != nil {
+		return si, err
+	}
 	var sql string
 	switch si.Type {
 	case sqlparser.UniformSample:
 		sql = fmt.Sprintf(
-			`insert into %s select %s, %.10g as %s, 1 + floor(rand() * %d) as %s%s from %s where rand() < %.10g`,
-			si.SampleTable, colList, si.Ratio, ProbCol, si.Subsamples, SidCol, blockSel, batchTable, si.Ratio)
+			`create table %s as select %s, %.10g as %s, 1 + floor(rand() * %d) as %s%s from %s where rand() < %.10g`,
+			stage, colList, si.Ratio, ProbCol, si.Subsamples, SidCol, blockSel, batchTable, si.Ratio)
 	case sqlparser.HashedSample:
 		col := si.Columns[0]
 		sql = fmt.Sprintf(
-			`insert into %s select %s, %.10g as %s, 1 + hash_bucket(%s, %d) as %s%s from %s where hash01(%s) < %.10g`,
-			si.SampleTable, colList, si.Ratio, ProbCol, col, si.Subsamples, SidCol, blockSel, batchTable, col, si.Ratio)
+			`create table %s as select %s, %.10g as %s, 1 + hash_bucket(%s, %d) as %s%s from %s where hash01(%s) < %.10g`,
+			stage, colList, si.Ratio, ProbCol, col, si.Subsamples, SidCol, blockSel, batchTable, col, si.Ratio)
 	case sqlparser.StratifiedSample:
 		onConds := make([]string, len(si.Columns))
 		groupCols := make([]string, len(si.Columns))
@@ -96,10 +105,10 @@ func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.Sampl
 		probs := fmt.Sprintf("(select %s, min(%s) as old_prob from %s group by %s)",
 			strings.Join(groupCols, ", "), ProbCol, si.SampleTable, strings.Join(groupCols, ", "))
 		sql = fmt.Sprintf(
-			`insert into %s select %s, coalesce(verdict_p.old_prob, 1.0) as %s, 1 + floor(rand() * %d) as %s%s `+
+			`create table %s as select %s, coalesce(verdict_p.old_prob, 1.0) as %s, 1 + floor(rand() * %d) as %s%s `+
 				`from %s as verdict_b left join %s as verdict_p on %s `+
 				`where rand() < coalesce(verdict_p.old_prob, 1.0)`,
-			si.SampleTable, strings.Join(qualCols, ", "), ProbCol, si.Subsamples, SidCol, blockSel,
+			stage, strings.Join(qualCols, ", "), ProbCol, si.Subsamples, SidCol, blockSel,
 			batchTable, probs, strings.Join(onConds, " and "))
 	default:
 		return si, fmt.Errorf("sampling: cannot append to %s sample", si.Type)
@@ -107,9 +116,44 @@ func (b *Builder) AppendBatch(si meta.SampleInfo, batchTable string) (meta.Sampl
 	if err := b.exec(sql); err != nil {
 		return si, err
 	}
+	defer func() { _ = b.exec("drop table if exists " + stage) }()
+
+	stageRows, err := b.baseRows(stage)
+	if err != nil {
+		return si, err
+	}
+	var deltas []int64
+	if si.BlockRows > 0 && hasCol(sampleCols, BlockCol) {
+		if deltas, err = b.blockCounts(stage); err != nil {
+			return si, err
+		}
+	}
+	insCols := colList + ", " + ProbCol + ", " + SidCol
+	if blockSel != "" {
+		insCols += ", " + BlockCol
+	}
+	if err := b.exec(fmt.Sprintf("insert into %s select %s from %s", si.SampleTable, insCols, stage)); err != nil {
+		return si, err
+	}
+
 	si.BaseRows += batchRows
-	// register recounts rows and per-block counts from the table itself.
-	return b.register(si)
+	si.SampleRows += stageRows
+	if len(deltas) > 0 {
+		n := len(si.BlockCounts)
+		if len(deltas) > n {
+			n = len(deltas)
+		}
+		counts := make([]int64, n)
+		copy(counts, si.BlockCounts)
+		for i, d := range deltas {
+			counts[i] += d
+		}
+		si.BlockCounts = counts
+	}
+	if err := b.cat.Register(si); err != nil {
+		return si, err
+	}
+	return si, nil
 }
 
 // appendBlockExpr renders the block assignment for ~expectedRows appended

@@ -496,3 +496,57 @@ func TestAppendBatchWithBlockPartitioningDisabled(t *testing.T) {
 		t.Fatalf("sample shrank: %d -> %d", si.SampleRows, si2.SampleRows)
 	}
 }
+
+// TestAppendBatchIncrementalCountsMatchRecount cross-checks AppendBatch's
+// incremental bookkeeping (counted on the staged delta only) against a full
+// register recount over the final sample table: SampleRows and every
+// per-block count must agree exactly, for every sample type.
+func TestAppendBatchIncrementalCountsMatchRecount(t *testing.T) {
+	db, b := newTestDB(t, drivers.NewGeneric)
+	b.BlockRows = 150
+	for _, tc := range []struct {
+		name   string
+		create func() (meta.SampleInfo, error)
+	}{
+		{"uniform", func() (meta.SampleInfo, error) { return b.CreateUniform("sales", 0.1) }},
+		{"hashed", func() (meta.SampleInfo, error) { return b.CreateHashed("sales", "id", 0.1) }},
+		{"stratified", func() (meta.SampleInfo, error) { return b.CreateStratified("sales", []string{"city"}, 0.05) }},
+	} {
+		si, err := tc.create()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		batch := "batch_" + tc.name
+		if err := db.Exec("create table " + batch + " as select id, city, amount from sales limit 4000"); err != nil {
+			t.Fatal(err)
+		}
+		si2, err := b.AppendBatch(si, batch)
+		if err != nil {
+			t.Fatalf("%s append: %v", tc.name, err)
+		}
+		recount, err := b.register(si2)
+		if err != nil {
+			t.Fatalf("%s recount: %v", tc.name, err)
+		}
+		if si2.SampleRows != recount.SampleRows {
+			t.Errorf("%s: incremental SampleRows %d != recount %d", tc.name, si2.SampleRows, recount.SampleRows)
+		}
+		if len(si2.BlockCounts) != len(recount.BlockCounts) {
+			t.Errorf("%s: incremental blocks %v != recount %v", tc.name, si2.BlockCounts, recount.BlockCounts)
+			continue
+		}
+		for i := range si2.BlockCounts {
+			if si2.BlockCounts[i] != recount.BlockCounts[i] {
+				t.Errorf("%s: block %d incremental %d != recount %d",
+					tc.name, i+1, si2.BlockCounts[i], recount.BlockCounts[i])
+			}
+		}
+		if si2.TotalBlockRows() != si2.SampleRows {
+			t.Errorf("%s: block counts sum %d != sample rows %d", tc.name, si2.TotalBlockRows(), si2.SampleRows)
+		}
+		// The staging table must not linger.
+		if _, err := db.Query("select count(*) from " + si2.SampleTable + "_verdict_stage"); err == nil {
+			t.Errorf("%s: staging table left behind", tc.name)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !(linux || darwin)
+
+package storage
+
+import "os"
+
+// mmapFile always declines on platforms without a wired-up mmap; reads fall
+// back to pread (ReadAt).
+func mmapFile(f *os.File, size int64) []byte { return nil }
+
+func munmapFile(data []byte) {}

@@ -1,0 +1,26 @@
+//go:build linux || darwin
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. Returns nil (pread fallback) when
+// the map fails or the file is empty — mapping is an optimization, never a
+// requirement.
+func mmapFile(f *os.File, size int64) []byte {
+	if size <= 0 || int64(int(size)) != size {
+		return nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+func munmapFile(data []byte) {
+	_ = syscall.Munmap(data)
+}

@@ -1,0 +1,191 @@
+package verdictdb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"verdictdb/internal/drivers"
+	"verdictdb/internal/engine"
+)
+
+// Integration coverage for persistent storage at the middleware layer: the
+// datadir= DSN option, sample rediscovery across restarts, and catalog
+// reconciliation when recovery could not restore a sample table intact.
+
+func TestSQLDriverDataDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	dsn := "dataset=none;seed=3;datadir=" + dir + ";cachemb=64"
+	db := openSQL(t, dsn)
+	if _, err := db.Exec("create table kv (k bigint, v double)"); err != nil {
+		t.Fatal(err)
+	}
+	var vals []string
+	for i := 0; i < 600; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %g)", i, float64(i)+0.5))
+	}
+	if _, err := db.Exec("insert into kv values " + strings.Join(vals, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("create uniform sample of kv ratio 0.5"); err != nil {
+		t.Fatal(err)
+	}
+	// Closing the pool releases the last reference: the engine flushes and
+	// commits its manifest.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if theDriver.openDSNs() != 0 {
+		t.Fatal("DSN instance not evicted on close")
+	}
+
+	re := openSQL(t, dsn)
+	var n int64
+	if err := re.QueryRow("bypass select count(*) from kv").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 600 {
+		t.Fatalf("recovered %d rows, want 600", n)
+	}
+	// The sample table and its catalog record survived too: an approximate
+	// aggregate works without rebuilding anything.
+	var c float64
+	if err := re.QueryRow("select count(*) from kv").Scan(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c < 300 || c > 900 {
+		t.Fatalf("approximate count %g way off 600", c)
+	}
+}
+
+func TestReconcileSamplesAfterQuarantinedSample(t *testing.T) {
+	dir := t.TempDir()
+	sampleTable := ""
+	{
+		eng := engine.NewSeeded(5)
+		if _, err := eng.AttachDataDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := Open(drivers.NewGeneric(eng), Defaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Exec("create table t (x bigint, g string)"); err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]string, 800)
+		for i := range rows {
+			rows[i] = fmt.Sprintf("(%d, 'g%d')", i, i%4)
+		}
+		if err := conn.Exec("insert into t values " + strings.Join(rows, ", ")); err != nil {
+			t.Fatal(err)
+		}
+		if err := conn.Exec("create uniform sample of t ratio 0.5"); err != nil {
+			t.Fatal(err)
+		}
+		sis, err := conn.Samples()
+		if err != nil || len(sis) != 1 {
+			t.Fatalf("samples: %v %v", sis, err)
+		}
+		sampleTable = sis[0].SampleTable
+		if err := eng.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Corrupt the sample table's data segment so recovery quarantines it and
+	// the recorded SampleRows no longer matches the surviving rows.
+	corrupted := false
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, en := range ents {
+		if strings.HasPrefix(en.Name(), sampleTable+"-") && strings.HasSuffix(en.Name(), ".seg") {
+			path := filepath.Join(dir, en.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/3] ^= 0x20
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatalf("no data segment found for sample table %s", sampleTable)
+	}
+
+	eng := engine.NewSeeded(5)
+	rep, err := eng.AttachDataDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if len(rep.Quarantined) == 0 {
+		t.Fatal("corrupted sample segment not quarantined")
+	}
+	conn, err := Open(drivers.NewGeneric(eng), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sis, err := conn.Samples()
+	if err != nil || len(sis) != 1 {
+		t.Fatalf("samples after reconcile: %v %v", sis, err)
+	}
+	if got, want := sis[0].SampleRows, int64(eng.RowCount(sampleTable)); got != want {
+		t.Fatalf("reconciled SampleRows %d != actual %d", got, want)
+	}
+	if sis[0].BlockRows > 0 && sis[0].TotalBlockRows() != sis[0].SampleRows {
+		t.Fatalf("block counts %v do not sum to %d", sis[0].BlockCounts, sis[0].SampleRows)
+	}
+	// Queries over the reconciled catalog still answer.
+	if _, err := conn.Query("select count(*) from t"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconcileSamplesDropsMissingTable(t *testing.T) {
+	eng := engine.NewSeeded(5)
+	dir := t.TempDir()
+	if _, err := eng.AttachDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	conn, err := Open(drivers.NewGeneric(eng), Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Exec("create table t (x bigint)"); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, 400)
+	for i := range rows {
+		rows[i] = fmt.Sprintf("(%d)", i)
+	}
+	if err := conn.Exec("insert into t values " + strings.Join(rows, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Exec("create uniform sample of t ratio 0.5"); err != nil {
+		t.Fatal(err)
+	}
+	sis, _ := conn.Samples()
+	if len(sis) != 1 {
+		t.Fatalf("samples: %v", sis)
+	}
+	// Drop the sample table behind the catalog's back, then reconcile.
+	if err := eng.DropTable(sis[0].SampleTable, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.ReconcileSamples(); err != nil {
+		t.Fatal(err)
+	}
+	if sis, _ = conn.Samples(); len(sis) != 0 {
+		t.Fatalf("missing sample table not dropped from catalog: %v", sis)
+	}
+}

@@ -43,6 +43,7 @@ func init() {
 // dsnInstance is one shared engine pinned by refs open driver connections.
 type dsnInstance struct {
 	conn *Conn
+	eng  *engine.Engine
 	// target is the DSN's progressive-execution target relative error;
 	// 0 means plain single-shot Query.
 	target float64
@@ -65,6 +66,12 @@ type sqlDriver struct {
 //	                          estimated relative error reaches the target
 //	membudget=268435456       per-query memory budget in bytes; overruns
 //	                          abort the query with ErrMemoryBudget
+//	datadir=/path/to/dir      persistent storage: segments + manifest live
+//	                          here; reopening the DSN recovers tables and
+//	                          samples (skips dataset loading when the
+//	                          directory already holds tables)
+//	cachemb=256               decoded-chunk cache budget in MiB for
+//	                          segment-backed scans (with datadir)
 func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
 	d.mu.Lock()
 	inst, ok := d.instances[dsn]
@@ -77,35 +84,47 @@ func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
 
 	// Building an engine can load a whole dataset; do it outside the lock
 	// so other DSNs stay usable meanwhile.
-	conn, target, err := buildFromDSN(dsn)
+	conn, eng, target, err := buildFromDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
+	var loser *engine.Engine
 	if inst, ok = d.instances[dsn]; ok {
 		// Another goroutine built the same DSN concurrently; keep the first
-		// instance so all connections share data and samples.
+		// instance so all connections share data and samples, and close the
+		// duplicate engine (it may hold segment files open).
 		inst.refs++
+		loser = eng
 	} else {
-		inst = &dsnInstance{conn: conn, target: target, refs: 1}
+		inst = &dsnInstance{conn: conn, eng: eng, target: target, refs: 1}
 		d.instances[dsn] = inst
 	}
-	return &sqlConn{driver: d, dsn: dsn, conn: inst.conn, target: inst.target}, nil
+	c := &sqlConn{driver: d, dsn: dsn, conn: inst.conn, target: inst.target}
+	d.mu.Unlock()
+	if loser != nil {
+		_ = loser.Close()
+	}
+	return c, nil
 }
 
 // release drops one reference to a DSN's engine, evicting the instance when
-// the last driver connection closes.
+// the last driver connection closes. Evicted engines are closed (final
+// flush, manifest commit, segment handles released) outside the lock so a
+// slow fsync cannot stall other DSNs.
 func (d *sqlDriver) release(dsn string) {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	inst, ok := d.instances[dsn]
-	if !ok {
-		return
+	var evicted *engine.Engine
+	if inst, ok := d.instances[dsn]; ok {
+		inst.refs--
+		if inst.refs <= 0 {
+			delete(d.instances, dsn)
+			evicted = inst.eng
+		}
 	}
-	inst.refs--
-	if inst.refs <= 0 {
-		delete(d.instances, dsn)
+	d.mu.Unlock()
+	if evicted != nil {
+		_ = evicted.Close()
 	}
 }
 
@@ -116,13 +135,15 @@ func (d *sqlDriver) openDSNs() int {
 	return len(d.instances)
 }
 
-func buildFromDSN(dsn string) (*Conn, float64, error) {
+func buildFromDSN(dsn string) (*Conn, *engine.Engine, float64, error) {
 	opts := Defaults()
 	dataset := "none"
 	scale := 0.1
 	seed := int64(42)
 	samples := ""
 	target := 0.0
+	datadir := ""
+	cacheMB := int64(-1)
 	for _, kv := range strings.Split(dsn, ";") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -130,7 +151,7 @@ func buildFromDSN(dsn string) (*Conn, float64, error) {
 		}
 		parts := strings.SplitN(kv, "=", 2)
 		if len(parts) != 2 {
-			return nil, 0, fmt.Errorf("verdictdb: bad DSN option %q", kv)
+			return nil, nil, 0, fmt.Errorf("verdictdb: bad DSN option %q", kv)
 		}
 		key, val := strings.ToLower(parts[0]), parts[1]
 		switch key {
@@ -139,13 +160,13 @@ func buildFromDSN(dsn string) (*Conn, float64, error) {
 		case "scale":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return nil, 0, fmt.Errorf("verdictdb: bad scale %q", val)
+				return nil, nil, 0, fmt.Errorf("verdictdb: bad scale %q", val)
 			}
 			scale = f
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				return nil, 0, fmt.Errorf("verdictdb: bad seed %q", val)
+				return nil, nil, 0, fmt.Errorf("verdictdb: bad seed %q", val)
 			}
 			seed = n
 		case "samples":
@@ -155,55 +176,81 @@ func buildFromDSN(dsn string) (*Conn, float64, error) {
 		case "budget":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return nil, 0, fmt.Errorf("verdictdb: bad budget %q", val)
+				return nil, nil, 0, fmt.Errorf("verdictdb: bad budget %q", val)
 			}
 			opts.IOBudget = f
 			opts.Planner.IOBudget = f
 		case "target":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil || f < 0 {
-				return nil, 0, fmt.Errorf("verdictdb: bad target %q", val)
+				return nil, nil, 0, fmt.Errorf("verdictdb: bad target %q", val)
 			}
 			target = f
 		case "membudget":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil || n < 0 {
-				return nil, 0, fmt.Errorf("verdictdb: bad membudget %q", val)
+				return nil, nil, 0, fmt.Errorf("verdictdb: bad membudget %q", val)
 			}
 			opts.MemoryBudgetBytes = n
+		case "datadir":
+			datadir = val
+		case "cachemb":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, nil, 0, fmt.Errorf("verdictdb: bad cachemb %q", val)
+			}
+			cacheMB = n
 		default:
-			return nil, 0, fmt.Errorf("verdictdb: unknown DSN option %q", key)
+			return nil, nil, 0, fmt.Errorf("verdictdb: unknown DSN option %q", key)
 		}
 	}
 	eng := engine.NewSeeded(seed)
+	recovered := false
+	if datadir != "" {
+		rep, err := eng.AttachDataDir(datadir)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("verdictdb: opening datadir %s: %w", datadir, err)
+		}
+		recovered = rep.Tables > 0
+	}
+	if cacheMB >= 0 {
+		eng.SetChunkCacheBytes(cacheMB << 20)
+	}
 	var facts []string
 	switch dataset {
 	case "insta":
-		if err := workload.LoadInsta(eng, scale, seed); err != nil {
-			return nil, 0, err
-		}
 		facts = workload.InstaFactTables
-	case "tpch":
-		if err := workload.LoadTPCH(eng, scale, seed); err != nil {
-			return nil, 0, err
+		if !recovered {
+			if err := workload.LoadInsta(eng, scale, seed); err != nil {
+				return nil, nil, 0, err
+			}
 		}
+	case "tpch":
 		facts = workload.TPCHFactTables
+		if !recovered {
+			if err := workload.LoadTPCH(eng, scale, seed); err != nil {
+				return nil, nil, 0, err
+			}
+		}
 	case "none":
 	default:
-		return nil, 0, fmt.Errorf("verdictdb: unknown dataset %q", dataset)
+		return nil, nil, 0, fmt.Errorf("verdictdb: unknown dataset %q", dataset)
 	}
 	conn, err := Open(drivers.NewGeneric(eng), opts)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, 0, err
 	}
 	if samples == "auto" {
-		for _, tbl := range facts {
-			if err := conn.Exec(fmt.Sprintf("create uniform sample of %s ratio 0.01", tbl)); err != nil {
-				return nil, 0, err
+		existing, _ := conn.Samples()
+		if !recovered || len(existing) == 0 {
+			for _, tbl := range facts {
+				if err := conn.Exec(fmt.Sprintf("create uniform sample of %s ratio 0.01", tbl)); err != nil {
+					return nil, nil, 0, err
+				}
 			}
 		}
 	}
-	return conn, target, nil
+	return conn, eng, target, nil
 }
 
 // sqlConn adapts Conn to driver.Conn. VerdictDB has no transactions; Begin

@@ -91,6 +91,15 @@ func Open(db drivers.DB, opts Options) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	// An engine restored from a data directory may have recovered less than
+	// the catalog remembers (crash recovery quarantines damaged segments):
+	// reconcile the rediscovered sample records against the actual tables
+	// before any query plans over them.
+	if d, ok := db.(*drivers.Driver); ok && d.Engine().DataDirAttached() {
+		if err := cat.Reconcile(sampling.BlockCol); err != nil {
+			return nil, err
+		}
+	}
 	return &Conn{
 		db:      db,
 		catalog: cat,
@@ -130,6 +139,14 @@ func (c *Conn) CatalogVersion() int64 { return c.catalog.Version() }
 
 // CacheStats reports the plan/rewrite cache's cumulative hits and misses.
 func (c *Conn) CacheStats() (hits, misses int64) { return c.mw.CacheStats() }
+
+// ReconcileSamples re-verifies registered samples against their tables,
+// dropping records for missing tables and recounting rows and block counts
+// where they disagree — for callers that attach persistent storage (or
+// otherwise mutate tables) after the connection was opened.
+func (c *Conn) ReconcileSamples() error {
+	return c.catalog.Reconcile(sampling.BlockCol)
+}
 
 // DropSample removes a sample: its catalog record first (bumping the
 // catalog version, so cached plans referencing it go stale immediately),
